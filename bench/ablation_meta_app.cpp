@@ -1,0 +1,102 @@
+// Ablation: CoDS shared-space coupling vs the "single MPI meta-application"
+// approach the paper's §I lists among existing M x N solutions. Both move
+// identical bytes for a blocked M -> N redistribution; the comparison shows
+// the *structural* costs: the meta-app needs the producer and consumer
+// fused into one program and pays per-message latency on every overlap,
+// while CoDS decouples them through one-sided windows and pulls the whole
+// schedule as one batch.
+//
+// Live run at small scale (threads), wall-clock timed.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/synthetic.hpp"
+#include "paper_config.hpp"
+#include "runtime/redistribute.hpp"
+
+using namespace cods;
+
+namespace {
+
+double time_meta_app(i32 m_tasks, i32 n_tasks) {
+  Cluster cluster(ClusterSpec{.num_nodes = 8, .cores_per_node = 4});
+  Metrics metrics;
+  Runtime runtime(cluster, metrics);
+  const Decomposition src = blocked({64, 64}, {m_tasks / 4, 4});
+  const Decomposition dst = blocked({64, 64}, {n_tasks / 2, 2});
+  std::vector<CoreLoc> placement;
+  for (i32 r = 0; r < m_tasks + n_tasks; ++r) {
+    placement.push_back(cluster.core_loc(r));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  runtime.run(placement, [&](RankCtx& ctx) {
+    const i32 rank = ctx.world.rank();
+    for (int iter = 0; iter < 8; ++iter) {
+      if (rank < m_tasks) {
+        const Box mine = src.owned_boxes(rank)[0];
+        std::vector<std::byte> data(box_bytes(mine, 8));
+        meta_redistribute_send(ctx.world, src, rank, dst, m_tasks, data, 8,
+                               7000 + iter);
+      } else {
+        const Box mine = dst.owned_boxes(rank - m_tasks)[0];
+        std::vector<std::byte> out(box_bytes(mine, 8));
+        meta_redistribute_recv(ctx.world, src, 0, dst, rank - m_tasks, out,
+                               8, 7000 + iter);
+      }
+    }
+  });
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double time_cods(i32 m_tasks, i32 n_tasks) {
+  Cluster cluster(ClusterSpec{.num_nodes = 8, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {63, 63}});
+  AppSpec producer;
+  producer.app_id = 1;
+  producer.name = "producer";
+  producer.dec = blocked({64, 64}, {m_tasks / 4, 4});
+  AppSpec consumer;
+  consumer.app_id = 2;
+  consumer.name = "consumer";
+  consumer.dec = blocked({64, 64}, {n_tasks / 2, 2});
+  server.register_app(producer,
+                      make_pattern_producer({{"v"}, 8, /*sequential=*/false, 1}));
+  server.register_app(consumer, make_pattern_consumer({{"v"}, 8, false, 1,
+                                                       nullptr, nullptr}));
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_bundle({1, 2});
+  const auto start = std::chrono::steady_clock::now();
+  server.run(dag);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: CoDS coupling vs single-MPI-meta-application "
+              "baseline\n");
+  std::printf("(64x64 domain, 8 coupled iterations, live threaded run)\n");
+  cods::bench::rule();
+  std::printf("%-10s %12s %14s %14s\n", "M -> N", "bytes/iter",
+              "meta-app", "CoDS");
+  cods::bench::rule();
+  for (const auto& [m, n] : std::vector<std::pair<i32, i32>>{
+           {8, 4}, {16, 8}, {24, 8}}) {
+    const double meta_ms = time_meta_app(m, n);
+    const double cods_ms = time_cods(m, n);
+    std::printf("%3d -> %-3d %9.0f KiB %11.1f ms %11.1f ms\n", m, n,
+                64.0 * 64 * 8 / 1024, meta_ms, cods_ms);
+  }
+  cods::bench::rule();
+  std::printf("same bytes either way; CoDS additionally decouples the "
+              "programs (no fused binary)\nand supports consumers that "
+              "arrive later (sequential coupling).\n");
+  return 0;
+}

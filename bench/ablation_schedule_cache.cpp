@@ -1,0 +1,75 @@
+// Ablation (DESIGN.md §4.3): communication-schedule caching. Iterative
+// coupled simulations repeat the same coupling pattern every step; caching
+// the schedule skips the DHT lookup and schedule computation (paper §IV-A).
+// Measured live with google-benchmark on a real CoDS space.
+#include <benchmark/benchmark.h>
+
+#include "core/cods.hpp"
+
+namespace {
+
+using namespace cods;
+
+struct LiveSpace {
+  LiveSpace()
+      : cluster(ClusterSpec{.num_nodes = 8, .cores_per_node = 4}),
+        space(cluster, metrics, Box{{0, 0, 0}, {63, 63, 63}}) {}
+
+  Cluster cluster;
+  Metrics metrics;
+  CodsSpace space;
+};
+
+void iterate_get(benchmark::State& state, bool cache_enabled) {
+  LiveSpace live;
+  const Box domain{{0, 0, 0}, {63, 63, 63}};
+  // 8 producers each store one 32^3 octant for many versions.
+  const i32 versions = 64;
+  for (i32 v = 0; v < versions; ++v) {
+    int p = 0;
+    for (i64 x = 0; x < 64; x += 32) {
+      for (i64 y = 0; y < 64; y += 32) {
+        for (i64 z = 0; z < 64; z += 32) {
+          const Box box{{x, y, z}, {x + 31, y + 31, z + 31}};
+          CodsClient producer(
+              live.space,
+              Endpoint{p, live.cluster.core_loc(p)}, 1);
+          std::vector<std::byte> data(box_bytes(box, 8));
+          producer.put_seq("field", v, box, data, 8);
+          ++p;
+        }
+      }
+    }
+  }
+  CodsClient consumer(
+      live.space, Endpoint{30, live.cluster.core_loc(30)}, 2);
+  consumer.set_schedule_cache_enabled(cache_enabled);
+  const Box region{{8, 8, 8}, {55, 55, 55}};  // straddles all 8 octants
+  std::vector<std::byte> out(box_bytes(region, 8));
+  i32 version = 0;
+  i64 dht_lookups = 0;
+  for (auto _ : state) {
+    const GetResult get =
+        consumer.get_seq("field", version, region, out, 8);
+    dht_lookups += get.dht_cores;
+    version = (version + 1) % versions;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["dht_cores_per_get"] =
+      benchmark::Counter(static_cast<double>(dht_lookups),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_GetSeq_CacheEnabled(benchmark::State& state) {
+  iterate_get(state, true);
+}
+void BM_GetSeq_CacheDisabled(benchmark::State& state) {
+  iterate_get(state, false);
+}
+
+BENCHMARK(BM_GetSeq_CacheEnabled)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GetSeq_CacheDisabled)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Ablation (DESIGN.md §4.2): Hilbert vs Morton linearization for the CoDS
+// DHT. The Hilbert curve's locality means a bounding-box query decomposes
+// into fewer index spans and touches fewer DHT cores, and records spread
+// evenly over the cores.
+#include "core/dht.hpp"
+#include "common/rng.hpp"
+#include "paper_config.hpp"
+
+using namespace cods;
+using namespace cods::bench;
+
+int main() {
+  const Cluster cluster(cluster_for_cores(512));
+  const int bits = 10;  // 1024^3 domain
+  Rng rng(42);
+
+  // Random query boxes shaped like consumer-task regions (128^3-ish).
+  std::vector<Box> queries;
+  for (int i = 0; i < 200; ++i) {
+    Box q;
+    q.lb = Point::zeros(3);
+    q.ub = Point::zeros(3);
+    for (int d = 0; d < 3; ++d) {
+      const i64 size = rng.range(64, 192);
+      const i64 lo = rng.range(0, 1023 - size);
+      q.lb[d] = lo;
+      q.ub[d] = lo + size - 1;
+    }
+    queries.push_back(q);
+  }
+
+  std::printf("Ablation: SFC choice for DHT indexing (1024^3 domain, %d DHT "
+              "cores, 200 task-shaped queries)\n", cluster.num_nodes());
+  rule();
+  std::printf("%-10s %16s %18s %16s\n", "curve", "avg spans/query",
+              "avg DHT cores/query", "record balance");
+  rule();
+  for (CurveKind kind : {CurveKind::kHilbert, CurveKind::kMorton}) {
+    const SfcCurve curve(kind, 3, bits);
+    CodsDht dht(cluster, curve, /*granularity_log2=*/bits - 4);
+    u64 spans = 0;
+    u64 cores = 0;
+    for (const Box& q : queries) {
+      spans += box_spans(curve, q, bits - 4).size();
+      cores += dht.owner_nodes(q).size();
+    }
+    // Balance: insert a uniform tiling of 128^3 regions, then look at the
+    // max/mean records per DHT core.
+    int inserted = 0;
+    for (i64 x = 0; x < 1024; x += 128) {
+      for (i64 y = 0; y < 1024; y += 128) {
+        for (i64 z = 0; z < 1024; z += 128) {
+          DataLocation loc;
+          loc.box = Box{{x, y, z}, {x + 127, y + 127, z + 127}};
+          loc.owner_client = inserted++;
+          dht.insert("v", 0, loc);
+        }
+      }
+    }
+    i64 max_records = 0;
+    i64 total_records = 0;
+    for (i32 n = 0; n < dht.num_dht_cores(); ++n) {
+      max_records = std::max(max_records, dht.node_record_count(n));
+      total_records += dht.node_record_count(n);
+    }
+    const double mean = static_cast<double>(total_records) /
+                        dht.num_dht_cores();
+    std::printf("%-10s %16.1f %18.1f %13.2fx mean\n",
+                kind == CurveKind::kHilbert ? "hilbert" : "morton",
+                static_cast<double>(spans) / queries.size(),
+                static_cast<double>(cores) / queries.size(),
+                static_cast<double>(max_records) / mean);
+  }
+  rule();
+  std::printf("hilbert should need fewer spans and touch fewer DHT cores "
+              "per query\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 9: sequential coupling scenario — amount of coupled
+// data transferred over the network for SAP1 -> SAP2 + SAP3 (16 GiB
+// redistributed), data-centric (client-side) vs round-robin mapping,
+// across decomposition-pattern pairs.
+//
+// Paper shape: ~90% less network data with matching distributions (data
+// consuming tasks are placed at their data), far less effective otherwise.
+#include "paper_config.hpp"
+
+using namespace cods;
+using namespace cods::bench;
+
+int main() {
+  std::printf("Figure 9: sequential coupling (SAP1=512 -> SAP2=128 + "
+              "SAP3=384, 16 GiB coupled data)\n");
+  std::printf("Network-transferred coupled data by decomposition pattern\n");
+  rule();
+  std::printf("%-22s %14s %14s %10s\n", "pattern (SAP1/SAPx)",
+              "round-robin", "data-centric", "reduction");
+  rule();
+
+  const std::vector<std::pair<Dist, Dist>> patterns = {
+      {Dist::kBlocked, Dist::kBlocked},
+      {Dist::kCyclic, Dist::kCyclic},
+      {Dist::kBlockCyclic, Dist::kBlockCyclic},
+      {Dist::kBlocked, Dist::kCyclic},
+      {Dist::kBlocked, Dist::kBlockCyclic},
+      {Dist::kCyclic, Dist::kBlockCyclic},
+  };
+  for (const auto& [pd, cd] : patterns) {
+    const auto rr = run_modeled_scenario(
+        sequential_scenario(MappingStrategy::kRoundRobin, pd, cd));
+    const auto dc = run_modeled_scenario(
+        sequential_scenario(MappingStrategy::kDataCentric, pd, cd));
+    const u64 rr_net = rr.total_inter_net();
+    const u64 dc_net = dc.total_inter_net();
+    const double reduction =
+        rr_net == 0 ? 0.0
+                    : 100.0 * (1.0 - static_cast<double>(dc_net) /
+                                         static_cast<double>(rr_net));
+    char pattern[64];
+    std::snprintf(pattern, sizeof(pattern), "%s/%s", dist_name(pd),
+                  dist_name(cd));
+    std::printf("%-22s %11.2f GiB %11.2f GiB %8.1f %%\n", pattern,
+                gib(rr_net), gib(dc_net), reduction);
+  }
+  rule();
+  std::printf("paper: ~90%% less network data for matching distributions; "
+              "little gain otherwise\n");
+  return 0;
+}

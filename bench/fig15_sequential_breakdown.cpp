@@ -1,0 +1,30 @@
+// Reproduces Figure 15: sequential coupling scenario — total communication
+// cost breakdown (network bytes), inter-application coupling vs
+// intra-application near-neighbour exchange, per mapping strategy.
+#include "paper_config.hpp"
+
+using namespace cods;
+using namespace cods::bench;
+
+int main() {
+  std::printf("Figure 15: sequential scenario — network communication "
+              "breakdown\n");
+  rule();
+  std::printf("%-14s %14s %14s %14s\n", "mapping", "inter-app",
+              "intra-app", "total");
+  rule();
+  for (MappingStrategy strategy :
+       {MappingStrategy::kRoundRobin, MappingStrategy::kDataCentric}) {
+    const auto r = run_modeled_scenario(sequential_scenario(strategy));
+    const u64 inter = r.total_inter_net();
+    const u64 intra = r.total_intra_net();
+    std::printf("%-14s %11.3f GiB %11.3f GiB %11.3f GiB\n",
+                to_string(strategy).c_str(), gib(inter), gib(intra),
+                gib(inter + intra));
+  }
+  rule();
+  std::printf("paper: coupled-data redistribution dominates under "
+              "round-robin;\n       data-centric mapping slashes the overall "
+              "cost\n");
+  return 0;
+}

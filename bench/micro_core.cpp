@@ -1,0 +1,106 @@
+// Microbenchmarks (google-benchmark) for the framework's hot paths:
+// Hilbert encode/decode, box->span decomposition, M x N redistribution
+// volume computation, multilevel partitioning, and live CoDS put/get.
+#include <benchmark/benchmark.h>
+
+#include "core/cods.hpp"
+#include "geometry/redistribution.hpp"
+#include "partition/partitioner.hpp"
+#include "sfc/curve.hpp"
+
+namespace {
+
+using namespace cods;
+
+void BM_HilbertEncode3D(benchmark::State& state) {
+  const SfcCurve curve(CurveKind::kHilbert, 3, 10);
+  u64 i = 0;
+  for (auto _ : state) {
+    const Point p{static_cast<i64>(i % 1024),
+                  static_cast<i64>((i * 7) % 1024),
+                  static_cast<i64>((i * 13) % 1024)};
+    benchmark::DoNotOptimize(curve.encode(p));
+    ++i;
+  }
+}
+BENCHMARK(BM_HilbertEncode3D);
+
+void BM_HilbertDecode3D(benchmark::State& state) {
+  const SfcCurve curve(CurveKind::kHilbert, 3, 10);
+  u64 i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.decode(i % curve.size()));
+    i = i * 2862933555777941757ULL + 3037000493ULL;
+  }
+}
+BENCHMARK(BM_HilbertDecode3D);
+
+void BM_BoxSpans(benchmark::State& state) {
+  const SfcCurve curve(CurveKind::kHilbert, 3, 10);
+  const Box query{{100, 200, 300}, {227, 327, 427}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(box_spans(curve, query));
+  }
+}
+BENCHMARK(BM_BoxSpans)->Unit(benchmark::kMicrosecond);
+
+void BM_RedistributionVolumes(benchmark::State& state) {
+  const i32 scale = static_cast<i32>(state.range(0));
+  const Decomposition src({1024, 1024, 1024}, {scale, 8, 8}, Dist::kBlocked);
+  const Decomposition dst({1024, 1024, 1024}, {scale / 2, 4, 4},
+                          Dist::kBlocked);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(redistribution_volumes(src, dst));
+  }
+  state.SetLabel(std::to_string(src.ntasks()) + "->" +
+                 std::to_string(dst.ntasks()) + " tasks");
+}
+BENCHMARK(BM_RedistributionVolumes)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_KwayPartition(benchmark::State& state) {
+  const i32 side = static_cast<i32>(state.range(0));
+  std::vector<std::tuple<i32, i32, i64>> edges;
+  for (i32 y = 0; y < side; ++y) {
+    for (i32 x = 0; x < side; ++x) {
+      const i32 v = y * side + x;
+      if (x + 1 < side) edges.emplace_back(v, v + 1, 1);
+      if (y + 1 < side) edges.emplace_back(v, v + side, 1);
+    }
+  }
+  const Graph g = Graph::from_edges(side * side, edges);
+  PartitionOptions options;
+  options.max_part_weight = 12;
+  const i32 nparts = (g.nvtx + 11) / 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kway_partition(g, nparts, options));
+  }
+  state.SetLabel(std::to_string(g.nvtx) + " vertices");
+}
+BENCHMARK(BM_KwayPartition)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CodsPutGetRoundTrip(benchmark::State& state) {
+  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
+  Metrics metrics;
+  CodsSpace space(cluster, metrics, Box{{0, 0, 0}, {63, 63, 63}});
+  CodsClient producer(space, Endpoint{0, {0, 0}}, 1);
+  CodsClient consumer(space, Endpoint{8, {2, 0}}, 2);
+  const Box box{{0, 0, 0}, {31, 31, 31}};
+  std::vector<std::byte> data(box_bytes(box, 8));
+  std::vector<std::byte> out(box_bytes(box, 8));
+  i32 version = 0;
+  for (auto _ : state) {
+    producer.put_seq("bench", version, box, data, 8);
+    consumer.get_seq("bench", version, box, out, 8);
+    space.retire("bench", version);
+    ++version;
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(data.size()));
+}
+BENCHMARK(BM_CodsPutGetRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

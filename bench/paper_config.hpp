@@ -1,0 +1,117 @@
+// Shared configuration for the figure-reproduction benchmarks: the paper's
+// evaluation setup (§V) on the modelled Jaguar Cray XT5.
+//
+//   Domain: 1024^3 cells x 8 B doubles = 8 GiB of coupled data.
+//   Concurrent scenario: CAP1 = 512 tasks (8x8x8, 128^3 = 16 MiB each),
+//                        CAP2 = 64 tasks (4x4x4, 128 MiB retrieved each).
+//   Sequential scenario: SAP1 = 512 (8x8x8), SAP2 = 128 (8x8x2, 64 MiB),
+//                        SAP3 = 384 (8x8x6, ~21.3 MiB); both consumers read
+//                        the full domain (16 GiB redistributed in total).
+//   Nodes have 12 cores (dual hex-core Opterons).
+// These match the per-task insert/retrieve sizes reported in §V-C.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workflow/scenario.hpp"
+
+namespace cods::bench {
+
+inline constexpr i32 kCoresPerNode = 12;
+inline constexpr u64 kElem = 8;
+
+inline AppSpec app(i32 id, std::string name, std::vector<i64> extents,
+                   std::vector<i32> procs, Dist dist = Dist::kBlocked,
+                   i64 block = 64) {
+  AppSpec spec;
+  spec.app_id = id;
+  spec.name = std::move(name);
+  spec.dec = Decomposition(std::move(extents), std::move(procs), dist, block);
+  spec.elem_size = kElem;
+  return spec;
+}
+
+inline ClusterSpec cluster_for_cores(i32 cores) {
+  return ClusterSpec{.num_nodes = (cores + kCoresPerNode - 1) / kCoresPerNode,
+                     .cores_per_node = kCoresPerNode};
+}
+
+/// Concurrent scenario (CAP1 -> CAP2) at the base scale with selectable
+/// distribution types for producer and consumer.
+inline ScenarioConfig concurrent_scenario(MappingStrategy strategy,
+                                          Dist producer_dist = Dist::kBlocked,
+                                          Dist consumer_dist = Dist::kBlocked) {
+  ScenarioConfig config;
+  config.cluster = cluster_for_cores(512 + 64);
+  config.apps = {
+      app(1, "CAP1", {1024, 1024, 1024}, {8, 8, 8}, producer_dist),
+      app(2, "CAP2", {1024, 1024, 1024}, {4, 4, 4}, consumer_dist)};
+  config.couplings = {{1, 2}};
+  config.sequential = false;
+  config.strategy = strategy;
+  return config;
+}
+
+/// Sequential scenario (SAP1 -> SAP2 + SAP3) at the base scale.
+inline ScenarioConfig sequential_scenario(MappingStrategy strategy,
+                                          Dist producer_dist = Dist::kBlocked,
+                                          Dist consumer_dist = Dist::kBlocked) {
+  ScenarioConfig config;
+  config.cluster = cluster_for_cores(512);
+  config.apps = {
+      app(1, "SAP1", {1024, 1024, 1024}, {8, 8, 8}, producer_dist),
+      app(2, "SAP2", {1024, 1024, 1024}, {8, 8, 2}, consumer_dist),
+      app(3, "SAP3", {1024, 1024, 1024}, {8, 8, 6}, consumer_dist)};
+  config.couplings = {{1, 2}, {1, 3}};
+  config.sequential = true;
+  config.strategy = strategy;
+  return config;
+}
+
+/// Weak-scaling ladder for Fig. 16: factor in {1, 2, 4, 8, 16} scales the
+/// task counts 512/64 -> 8192/1024 (and 128+384 -> 2048+6144) with a
+/// constant 16 MiB insert per producer task.
+struct ScalePoint {
+  i32 factor;
+  std::vector<i64> extents;
+  std::vector<i32> producer_layout;   // CAP1 / SAP1
+  std::vector<i32> cap2_layout;
+  std::vector<i32> sap2_layout;
+  std::vector<i32> sap3_layout;
+};
+
+inline std::vector<ScalePoint> weak_scaling_ladder() {
+  return {
+      {1, {1024, 1024, 1024}, {8, 8, 8}, {4, 4, 4}, {8, 8, 2}, {8, 8, 6}},
+      {2, {2048, 1024, 1024}, {16, 8, 8}, {8, 4, 4}, {16, 8, 2}, {16, 8, 6}},
+      {4, {2048, 2048, 1024}, {16, 16, 8}, {8, 8, 4}, {16, 16, 2},
+       {16, 16, 6}},
+      {8, {2048, 2048, 2048}, {16, 16, 16}, {8, 8, 8}, {16, 16, 4},
+       {16, 16, 12}},
+      {16, {4096, 2048, 2048}, {32, 16, 16}, {16, 8, 8}, {32, 16, 4},
+       {32, 16, 12}},
+  };
+}
+
+inline double gib(u64 bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+
+inline const char* dist_name(Dist dist) {
+  switch (dist) {
+    case Dist::kBlocked: return "blocked";
+    case Dist::kCyclic: return "cyclic";
+    case Dist::kBlockCyclic: return "blk-cyc";
+  }
+  return "?";
+}
+
+/// Prints a horizontal rule sized to the preceding header.
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace cods::bench

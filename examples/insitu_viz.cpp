@@ -1,0 +1,58 @@
+// In-situ visualization pipeline (paper §VI, "in-situ data analytics and
+// visualization"): the heat-diffusion simulation runs concurrently with a
+// renderer that turns every iteration into a grayscale PGM frame — no file
+// system round trip for the field data, only the final images touch disk.
+//
+//   ./insitu_viz [output_prefix]
+#include <cstdio>
+
+#include "apps/synthetic.hpp"
+
+using namespace cods;
+
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "/tmp/cods_frame_";
+
+  Cluster cluster(ClusterSpec{.num_nodes = 6, .cores_per_node = 4});
+  Metrics metrics;
+  const Box domain{{0, 0}, {63, 63}};
+  WorkflowServer server(cluster, metrics, domain);
+
+  const i32 frames = 5;
+  auto written = std::make_shared<std::vector<std::string>>();
+
+  AppSpec sim;
+  sim.app_id = 1;
+  sim.name = "heat-sim";
+  sim.dec = blocked({64, 64}, {4, 4});
+  server.register_app(sim, make_stencil_simulation({"temperature", frames}));
+
+  AppSpec viz;
+  viz.app_id = 2;
+  viz.name = "renderer";
+  viz.dec = blocked({64, 64}, {2, 2});
+  server.register_app(
+      viz, make_insitu_renderer(
+               {"temperature", frames, 0.0, 1.0, prefix, written}));
+
+  const DagSpec dag = DagSpec::parse(
+      "APP_ID 1\nAPP_ID 2\nBUNDLE 1 2\n");
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kDataCentric;
+  server.run(dag, options);
+
+  std::printf("In-situ visualization: %d frames rendered while the "
+              "simulation ran\n", frames);
+  for (const std::string& frame : *written) {
+    std::printf("  wrote %s\n", frame.c_str());
+  }
+  const ByteCounters c = metrics.counters(2, TrafficClass::kInterApp);
+  std::printf("field data pulled in-situ: %s (%.1f%% via shared memory), "
+              "0 bytes through the file system\n",
+              format_bytes(c.total()).c_str(),
+              c.total() ? 100.0 * static_cast<double>(c.shm_bytes) /
+                              static_cast<double>(c.total())
+                        : 0.0);
+  std::printf("\n%s", server.traffic_report().c_str());
+  return written->size() == static_cast<size_t>(frames) ? 0 : 1;
+}

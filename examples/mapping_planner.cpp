@@ -1,0 +1,167 @@
+// Mapping planner: a command-line what-if tool. Give it the coupled
+// applications' decompositions and a machine shape; it computes both task
+// mappings and predicts the coupled-data traffic split and retrieve time,
+// so a user can decide whether data-centric in-situ placement pays off
+// *before* burning an allocation.
+//
+// Usage:
+//   mapping_planner [--domain X,Y,Z] [--producer PX,PY,PZ]
+//                   [--consumer CX,CY,CZ] [--cores N] [--dist blocked|
+//                   cyclic|block-cyclic] [--sequential] [--ghost G]
+//
+// Example:
+//   ./mapping_planner --domain 1024,1024,1024 --producer 8,8,8
+//                     --consumer 4,4,4 --cores 12   (one line)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "workflow/scenario.hpp"
+
+using namespace cods;
+
+namespace {
+
+std::vector<i64> parse_tuple(const std::string& text) {
+  std::vector<i64> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const std::string token =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    CODS_REQUIRE(!token.empty(), "malformed tuple: " + text);
+    out.push_back(std::stoll(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Dist parse_dist(const std::string& name) {
+  if (name == "blocked") return Dist::kBlocked;
+  if (name == "cyclic") return Dist::kCyclic;
+  if (name == "block-cyclic") return Dist::kBlockCyclic;
+  fail("unknown distribution '" + name + "'");
+}
+
+void print_report(const char* label, const ScenarioResult& result,
+                  i32 consumer_app) {
+  const AppReport& consumer = result.apps.at(consumer_app);
+  const double shm_share =
+      consumer.inter_total()
+          ? 100.0 * static_cast<double>(consumer.inter_shm_bytes) /
+                static_cast<double>(consumer.inter_total())
+          : 0.0;
+  std::printf("%-14s coupled: %s net + %s shm (%.1f%% in-node)\n", label,
+              format_bytes(consumer.inter_net_bytes).c_str(),
+              format_bytes(consumer.inter_shm_bytes).c_str(), shm_share);
+  std::printf("%-14s intra-app halo over network: %s\n", "",
+              format_bytes(consumer.intra_net_bytes +
+                           result.apps.at(1).intra_net_bytes)
+                  .c_str());
+  std::printf("%-14s estimated retrieve time: %s\n", "",
+              format_seconds(consumer.retrieve_time).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<i64> domain = {256, 256, 256};
+  std::vector<i64> producer_layout = {4, 4, 4};
+  std::vector<i64> consumer_layout = {2, 2, 2};
+  i32 cores = 12;
+  Dist dist = Dist::kBlocked;
+  bool sequential = false;
+  int ghost = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      CODS_REQUIRE(i + 1 < argc, arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--domain") {
+      domain = parse_tuple(next());
+    } else if (arg == "--producer") {
+      producer_layout = parse_tuple(next());
+    } else if (arg == "--consumer") {
+      consumer_layout = parse_tuple(next());
+    } else if (arg == "--cores") {
+      cores = static_cast<i32>(std::stoi(next()));
+    } else if (arg == "--dist") {
+      dist = parse_dist(next());
+    } else if (arg == "--sequential") {
+      sequential = true;
+    } else if (arg == "--ghost") {
+      ghost = std::stoi(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mapping_planner [--domain X,Y,Z] [--producer "
+                  "PX,PY,PZ] [--consumer CX,CY,CZ]\n"
+                  "                       [--cores N] [--dist blocked|cyclic|"
+                  "block-cyclic] [--sequential] [--ghost G]\n");
+      return 0;
+    } else {
+      fail("unknown option '" + arg + "' (try --help)");
+    }
+  }
+  CODS_REQUIRE(domain.size() == producer_layout.size() &&
+                   domain.size() == consumer_layout.size(),
+               "domain and layouts must share dimensionality");
+
+  auto to_i32 = [](const std::vector<i64>& v) {
+    std::vector<i32> out;
+    for (i64 x : v) out.push_back(static_cast<i32>(x));
+    return out;
+  };
+
+  ScenarioConfig config;
+  AppSpec producer;
+  producer.app_id = 1;
+  producer.name = "producer";
+  producer.dec = Decomposition(domain, to_i32(producer_layout), dist, 64);
+  AppSpec consumer;
+  consumer.app_id = 2;
+  consumer.name = "consumer";
+  consumer.dec = Decomposition(domain, to_i32(consumer_layout), dist, 64);
+  config.apps = {producer, consumer};
+  config.couplings = {{1, 2}};
+  config.sequential = sequential;
+  config.ghost_width = ghost;
+  const i32 total_tasks =
+      sequential ? producer.ntasks()
+                 : producer.ntasks() + consumer.ntasks();
+  config.cluster =
+      ClusterSpec{.num_nodes = (total_tasks + cores - 1) / cores,
+                  .cores_per_node = cores};
+
+  std::printf("Plan: %s -> %s over %s, %s coupling, %d-core nodes (%d "
+              "nodes)\n\n",
+              producer.dec.to_string().c_str(),
+              consumer.dec.to_string().c_str(),
+              producer.dec.domain_box().to_string().c_str(),
+              sequential ? "sequential" : "concurrent",
+              cores, config.cluster.num_nodes);
+
+  config.strategy = MappingStrategy::kRoundRobin;
+  const ScenarioResult rr = run_modeled_scenario(config);
+  print_report("round-robin:", rr, 2);
+  std::printf("\n");
+  config.strategy = MappingStrategy::kDataCentric;
+  const ScenarioResult dc = run_modeled_scenario(config);
+  print_report("data-centric:", dc, 2);
+
+  const double saving =
+      rr.apps.at(2).inter_net_bytes
+          ? 100.0 * (1.0 - static_cast<double>(dc.apps.at(2).inter_net_bytes) /
+                               static_cast<double>(
+                                   rr.apps.at(2).inter_net_bytes))
+          : 0.0;
+  std::printf("\nverdict: data-centric mapping moves %.1f%% less coupled "
+              "data over the network\n", saving);
+  if (dc.comm_graph_cut_bytes >= 0) {
+    std::printf("         (partitioner cut %s of %s total coupling)\n",
+                format_bytes(static_cast<u64>(dc.comm_graph_cut_bytes)).c_str(),
+                format_bytes(dc.apps.at(2).inter_total()).c_str());
+  }
+  return 0;
+}

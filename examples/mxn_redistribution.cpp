@@ -1,0 +1,87 @@
+// The M x N redistribution problem (paper §I): data produced by an
+// application running on M processes is coupled with another application
+// running on N processes with a different decomposition. This example
+// shows the geometry machinery directly — overlap volumes, the
+// communication schedule, and how distribution-type mismatches explode the
+// fan-out (the Fig. 10 effect) — then moves real data through CoDS to
+// prove the schedule correct.
+//
+//   ./mxn_redistribution
+#include <cstdio>
+
+#include "core/cods.hpp"
+#include "geometry/redistribution.hpp"
+
+using namespace cods;
+
+namespace {
+
+void describe(const char* title, const Decomposition& src,
+              const Decomposition& dst) {
+  const auto volumes = redistribution_volumes(src, dst);
+  // Fan-out: how many producers does one consumer need to contact?
+  std::map<i32, int> sources_per_consumer;
+  for (const TransferVolume& t : volumes) ++sources_per_consumer[t.dst_rank];
+  int max_fan = 0;
+  for (const auto& [rank, n] : sources_per_consumer) {
+    max_fan = std::max(max_fan, n);
+  }
+  std::printf("%-28s M=%-3d N=%-3d pairs=%-5zu max fan-in=%d\n", title,
+              src.ntasks(), dst.ntasks(), volumes.size(), max_fan);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("M x N redistribution schedules over a 64x64 domain\n\n");
+  const std::vector<i64> ext = {64, 64};
+
+  describe("blocked(16) -> blocked(4)", Decomposition(ext, {4, 4}, Dist::kBlocked),
+           Decomposition(ext, {2, 2}, Dist::kBlocked));
+  describe("blocked(16) -> cyclic(4)", Decomposition(ext, {4, 4}, Dist::kBlocked),
+           Decomposition(ext, {2, 2}, Dist::kCyclic));
+  describe("cyclic(16) -> cyclic(4)", Decomposition(ext, {4, 4}, Dist::kCyclic),
+           Decomposition(ext, {2, 2}, Dist::kCyclic));
+  describe("blk-cyc(16,8) -> blocked(4)",
+           Decomposition(ext, {4, 4}, Dist::kBlockCyclic, 8),
+           Decomposition(ext, {2, 2}, Dist::kBlocked));
+
+  std::printf("\nMismatched distributions force every consumer to touch "
+              "every producer\n(the paper's Fig. 10) — matched ones keep the "
+              "fan-in small.\n\n");
+
+  // Now do it for real: 16 blocked producers -> 4 cyclic consumers through
+  // a live CoDS space, verifying every byte.
+  Cluster cluster(ClusterSpec{.num_nodes = 5, .cores_per_node = 4});
+  Metrics metrics;
+  CodsSpace space(cluster, metrics, Box{{0, 0}, {63, 63}});
+  const Decomposition producers(ext, {4, 4}, Dist::kBlocked);
+  const Decomposition consumers(ext, {2, 2}, Dist::kCyclic);
+
+  for (i32 rank = 0; rank < producers.ntasks(); ++rank) {
+    CodsClient client(space, Endpoint{rank, cluster.core_loc(rank)}, 1);
+    for (const Box& box : producers.owned_boxes(rank)) {
+      std::vector<std::byte> data(box_bytes(box, 8));
+      fill_pattern(data, box, 8, 99);
+      client.put_seq("u", 0, box, data, 8);
+    }
+  }
+  u64 bad_total = 0;
+  u64 pulled = 0;
+  for (i32 rank = 0; rank < consumers.ntasks(); ++rank) {
+    CodsClient client(space,
+                      Endpoint{16 + rank, cluster.core_loc(16 + rank)}, 2);
+    // A cyclic consumer owns many small boxes; retrieve and verify each.
+    for (const Box& box : consumers.owned_boxes(rank)) {
+      std::vector<std::byte> out(box_bytes(box, 8));
+      const GetResult get = client.get_seq("u", 0, box, out, 8);
+      pulled += get.bytes;
+      bad_total += verify_pattern(out, box, 8, 99);
+    }
+  }
+  std::printf("live redistribution: pulled %s across 16 producers -> 4 "
+              "cyclic consumers, %llu bad cells\n",
+              format_bytes(pulled).c_str(),
+              static_cast<unsigned long long>(bad_total));
+  return bad_total == 0 ? 0 : 1;
+}

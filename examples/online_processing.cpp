@@ -1,0 +1,90 @@
+// Online data-processing workflow (paper §II-A, Fig. 2 and §V scenario 1):
+// a heat-diffusion simulation and a moments-analysis application run
+// *concurrently* as one bundle. Every iteration the simulation publishes
+// its field with put_cont and the analysis pulls it with get_cont — in-situ,
+// through intra-node shared memory wherever the data-centric mapping
+// co-located the coupled tasks.
+//
+// The example runs the identical workflow twice — with the round-robin
+// baseline and with data-centric (server-side) mapping — and prints the
+// shared-memory vs network split for the coupled traffic.
+//
+//   ./online_processing
+#include <cstdio>
+
+#include "apps/synthetic.hpp"
+
+using namespace cods;
+
+namespace {
+
+void run_once(MappingStrategy strategy) {
+  Cluster cluster(ClusterSpec{.num_nodes = 8, .cores_per_node = 4});
+  Metrics metrics;
+  const Box domain{{0, 0}, {47, 47}};
+  WorkflowServer server(cluster, metrics, domain);
+
+  const i32 iterations = 4;
+  auto moments = std::make_shared<std::vector<Moments>>(iterations);
+
+  // App 1: the simulation — 24 tasks on a 6x4 grid.
+  AppSpec sim;
+  sim.app_id = 1;
+  sim.name = "heat-sim";
+  sim.dec = blocked({48, 48}, {6, 4});
+  server.register_app(sim,
+                      make_stencil_simulation({"temperature", iterations}));
+
+  // App 2: the analysis — 8 tasks on a 4x2 grid.
+  AppSpec analysis;
+  analysis.app_id = 2;
+  analysis.name = "moments";
+  analysis.dec = blocked({48, 48}, {4, 2});
+  server.register_app(
+      analysis, make_moments_analysis({"temperature", iterations, moments}));
+
+  // The workflow: one bundle with both apps (Listing 1, first workflow).
+  const DagSpec dag = DagSpec::parse(
+      "# Online Data Processing Workflow\n"
+      "APP_ID 1\n"
+      "APP_ID 2\n"
+      "BUNDLE 1 2\n");
+
+  WorkflowOptions options;
+  options.strategy = strategy;
+  server.run(dag, options);
+
+  std::printf("\n== mapping: %s ==\n", to_string(strategy).c_str());
+  for (i32 i = 0; i < iterations; ++i) {
+    const Moments& m = (*moments)[static_cast<size_t>(i)];
+    std::printf("  iter %d: min=%.4f max=%.4f mean=%.4f\n", i, m.min, m.max,
+                m.mean);
+  }
+  const ByteCounters inter = metrics.counters(2, TrafficClass::kInterApp);
+  const double shm_share =
+      inter.total() ? 100.0 * static_cast<double>(inter.shm_bytes) /
+                          static_cast<double>(inter.total())
+                    : 0.0;
+  std::printf("  coupled data pulled by the analysis: %s (%.1f%% via "
+              "intra-node shared memory)\n",
+              format_bytes(inter.total()).c_str(), shm_share);
+  if (!server.wave_reports().empty() &&
+      server.wave_reports()[0].used_server_mapping) {
+    std::printf("  server-side mapping cut: %s of coupled data cross-node\n",
+                format_bytes(static_cast<u64>(
+                                 server.wave_reports()[0].comm_graph_cut_bytes))
+                    .c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Online data processing: simulation + in-situ analysis "
+              "(concurrent coupling)\n");
+  run_once(MappingStrategy::kRoundRobin);
+  run_once(MappingStrategy::kDataCentric);
+  std::printf("\nThe moments are identical either way — only *where* the "
+              "bytes moved changed.\n");
+  return 0;
+}

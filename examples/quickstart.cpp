@@ -1,0 +1,64 @@
+// Quickstart: the CoDS shared-space API in ~60 lines.
+//
+// Builds a small virtual cluster, stands up a CoDS space over a 2-D domain,
+// then demonstrates the Table I operators: a producer stores a region with
+// put_seq, a consumer on another node retrieves an overlapping window with
+// get_seq, and the byte accounting shows which part moved over shared
+// memory vs the network.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "core/cods.hpp"
+
+using namespace cods;
+
+int main() {
+  // A 4-node x 4-core virtual cluster and an 64x64 shared domain.
+  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
+  Metrics metrics;
+  CodsSpace space(cluster, metrics, Box{{0, 0}, {63, 63}});
+  std::printf("cluster: %s\n", cluster.to_string().c_str());
+
+  // Two execution clients: a producer on node 0, a consumer on node 1.
+  CodsClient producer(space, Endpoint{0, CoreLoc{0, 0}}, /*app_id=*/1);
+  CodsClient consumer(space, Endpoint{4, CoreLoc{1, 0}}, /*app_id=*/2);
+
+  // The producer owns the left half of the domain and fills it with a
+  // verifiable pattern.
+  const Box left_half{{0, 0}, {63, 31}};
+  std::vector<std::byte> data(box_bytes(left_half, sizeof(double)));
+  fill_pattern(data, left_half, sizeof(double), /*seed=*/42);
+  const PutResult put =
+      producer.put_seq("temperature", /*version=*/0, left_half, data,
+                       sizeof(double));
+  std::printf("put_seq: stored %s, registered with %d DHT core(s)\n",
+              format_bytes(put.bytes).c_str(), put.dht_cores);
+
+  // The consumer asks for a window using a geometric descriptor — it never
+  // needs to know who produced the data or where it lives.
+  const Box window{{16, 8}, {47, 23}};
+  std::vector<std::byte> out(box_bytes(window, sizeof(double)));
+  const GetResult get =
+      consumer.get_seq("temperature", 0, window, out, sizeof(double));
+  std::printf("get_seq: pulled %s from %d source(s), %d DHT core(s) "
+              "queried, model time %s\n",
+              format_bytes(get.bytes).c_str(), get.sources, get.dht_cores,
+              format_seconds(get.model_time).c_str());
+
+  // End-to-end verification: the window's content matches the global
+  // pattern the producer wrote.
+  const u64 bad = verify_pattern(out, window, sizeof(double), 42);
+  std::printf("verify: %llu mismatching cells %s\n",
+              static_cast<unsigned long long>(bad),
+              bad == 0 ? "(all good)" : "(BUG!)");
+
+  // Where did the bytes move? Producer and consumer are on different
+  // nodes, so this retrieval crossed the (modelled) network.
+  const ByteCounters c = metrics.counters(2, TrafficClass::kInterApp);
+  std::printf("consumer traffic: %s over shared memory, %s over the "
+              "network\n",
+              format_bytes(c.shm_bytes).c_str(),
+              format_bytes(c.net_bytes).c_str());
+  return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,455 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cstring>
+#include <fstream>
+
+namespace cods {
+
+AppFn make_pattern_producer(PatternProducerConfig config) {
+  return [config](AppCtx& ctx) {
+    for (i32 version = 0; version < config.nversions; ++version) {
+      for (const Box& box : ctx.my_boxes()) {
+        std::vector<std::byte> data(box_bytes(box, ctx.spec->elem_size));
+        for (size_t v = 0; v < config.vars.size(); ++v) {
+          fill_pattern(data, box, ctx.spec->elem_size,
+                       config.seed + static_cast<u64>(version) + v * 1000);
+          if (config.sequential) {
+            ctx.cods->put_seq(config.vars[v], version, box, data,
+                              ctx.spec->elem_size);
+          } else {
+            ctx.cods->put_cont(config.vars[v], version, box, data,
+                               ctx.spec->elem_size);
+          }
+        }
+      }
+    }
+    // Sequential coupling contract: consumers launch after producers
+    // complete, which the engine's wave ordering already guarantees.
+    ctx.comm.barrier();
+  };
+}
+
+AppFn make_pattern_consumer(PatternConsumerConfig config) {
+  return [config](AppCtx& ctx) {
+    for (i32 version = 0; version < config.nversions; ++version) {
+      for (const Box& box : ctx.my_boxes()) {
+        std::vector<std::byte> out(box_bytes(box, ctx.spec->elem_size));
+        for (size_t v = 0; v < config.vars.size(); ++v) {
+          GetResult get;
+          if (config.sequential) {
+            get = ctx.cods->get_seq(config.vars[v], version, box, out,
+                                    ctx.spec->elem_size);
+          } else {
+            get = ctx.cods->get_cont(config.vars[v], version, box, out,
+                                     ctx.spec->elem_size);
+          }
+          if (config.cache_hits && get.cache_hit) {
+            config.cache_hits->fetch_add(1);
+          }
+          const u64 bad = verify_pattern(
+              out, box, ctx.spec->elem_size,
+              config.seed + static_cast<u64>(version) + v * 1000);
+          if (config.mismatches) config.mismatches->fetch_add(bad);
+        }
+      }
+    }
+    ctx.comm.barrier();
+  };
+}
+
+namespace {
+
+/// Local stencil grid with one ghost layer in every direction.
+struct StencilGrid {
+  Box interior;            ///< the task's owned box (global coordinates)
+  std::vector<i64> ext;    ///< interior extents
+  std::vector<double> u;   ///< (ext+2) per dim, row-major
+  std::vector<double> next;
+
+  explicit StencilGrid(const Box& box) : interior(box) {
+    u64 cells = 1;
+    for (int d = 0; d < box.ndim(); ++d) {
+      ext.push_back(box.extent(d));
+      cells *= static_cast<u64>(box.extent(d) + 2);
+    }
+    u.assign(cells, 0.0);
+    next.assign(cells, 0.0);
+  }
+
+  int nd() const { return interior.ndim(); }
+
+  /// Linear index of a *local* coordinate in [-1, ext[d]] per dim
+  /// (-1 and ext are the ghost layers).
+  size_t idx(const i64* local) const {
+    size_t offset = 0;
+    for (int d = 0; d < nd(); ++d) {
+      offset = offset * static_cast<size_t>(ext[static_cast<size_t>(d)] + 2) +
+               static_cast<size_t>(local[d] + 1);
+    }
+    return offset;
+  }
+
+  double& at(const i64* local) { return u[idx(local)]; }
+};
+
+/// Iterates all interior cells, invoking fn with the local coordinate.
+template <typename Fn>
+void for_each_interior(const StencilGrid& grid, Fn&& fn) {
+  i64 local[kMaxDims] = {0, 0, 0, 0};
+  for (;;) {
+    fn(local);
+    int d = grid.nd() - 1;
+    for (; d >= 0; --d) {
+      if (++local[d] < grid.ext[static_cast<size_t>(d)]) break;
+      local[d] = 0;
+    }
+    if (d < 0) break;
+  }
+}
+
+/// Gathers one interior face (layer adjacent to the boundary in dimension
+/// `dim`, direction `dir`) into a contiguous buffer.
+std::vector<double> pack_face(StencilGrid& grid, int dim, int dir) {
+  std::vector<double> out;
+  i64 local[kMaxDims] = {0, 0, 0, 0};
+  const i64 fixed =
+      dir > 0 ? grid.ext[static_cast<size_t>(dim)] - 1 : 0;
+  // Iterate the face: all dims except `dim`.
+  std::vector<int> dims;
+  for (int d = 0; d < grid.nd(); ++d) {
+    if (d != dim) dims.push_back(d);
+  }
+  local[dim] = fixed;
+  for (;;) {
+    out.push_back(grid.at(local));
+    int i = static_cast<int>(dims.size()) - 1;
+    for (; i >= 0; --i) {
+      const int d = dims[static_cast<size_t>(i)];
+      if (++local[d] < grid.ext[static_cast<size_t>(d)]) break;
+      local[d] = 0;
+    }
+    if (i < 0) break;
+  }
+  return out;
+}
+
+/// Scatters a received buffer into the ghost layer of (dim, dir).
+void unpack_ghost(StencilGrid& grid, int dim, int dir,
+                  const std::vector<double>& in) {
+  i64 local[kMaxDims] = {0, 0, 0, 0};
+  const i64 fixed = dir > 0 ? grid.ext[static_cast<size_t>(dim)] : -1;
+  std::vector<int> dims;
+  for (int d = 0; d < grid.nd(); ++d) {
+    if (d != dim) dims.push_back(d);
+  }
+  local[dim] = fixed;
+  size_t cursor = 0;
+  for (;;) {
+    grid.at(local) = in[cursor++];
+    int i = static_cast<int>(dims.size()) - 1;
+    for (; i >= 0; --i) {
+      const int d = dims[static_cast<size_t>(i)];
+      if (++local[d] < grid.ext[static_cast<size_t>(d)]) break;
+      local[d] = 0;
+    }
+    if (i < 0) break;
+  }
+}
+
+}  // namespace
+
+AppFn make_stencil_simulation(StencilSimConfig config) {
+  return [config](AppCtx& ctx) {
+    const Decomposition& dec = ctx.spec->dec;
+    for (int d = 0; d < dec.ndim(); ++d) {
+      CODS_REQUIRE(dec.dim(d).dist == Dist::kBlocked,
+                   "the stencil simulation needs a blocked decomposition");
+    }
+    const auto boxes = ctx.my_boxes();
+    CODS_CHECK(boxes.size() == 1, "blocked task owns one box");
+    StencilGrid grid(boxes[0]);
+    const Point g = dec.rank_to_grid(ctx.task.rank);
+
+    // Smooth initial condition: product of sines over the global domain.
+    const Box domain = dec.domain_box();
+    for_each_interior(grid, [&](const i64* local) {
+      double value = 1.0;
+      for (int d = 0; d < grid.nd(); ++d) {
+        const double x =
+            static_cast<double>(grid.interior.lb[d] + local[d] + 1) /
+            static_cast<double>(domain.extent(d) + 1);
+        value *= std::sin(x * 3.14159265358979323846);
+      }
+      grid.at(local) = value;
+    });
+
+    std::vector<std::byte> payload(box_bytes(grid.interior, sizeof(double)));
+    for (i32 iter = 0; iter < config.iterations; ++iter) {
+      // Halo exchange: send interior faces, receive ghost layers. Sends are
+      // buffered/non-blocking, so send-all-then-receive-all cannot deadlock.
+      struct Pending {
+        i32 nbr;
+        int dim;
+        int dir;
+      };
+      std::vector<Pending> pending;
+      for (int d = 0; d < grid.nd(); ++d) {
+        for (int dir : {-1, +1}) {
+          Point ng = g;
+          ng[d] += dir;
+          if (ng[d] < 0 || ng[d] >= dec.dim(d).nprocs) continue;
+          const i32 nbr = dec.grid_to_rank(ng);
+          const auto face = pack_face(grid, d, dir);
+          const i32 tag = 100 + iter * 8 + d * 2 + (dir > 0 ? 1 : 0);
+          ctx.comm.send(
+              nbr, tag,
+              std::span(reinterpret_cast<const std::byte*>(face.data()),
+                        face.size() * sizeof(double)));
+          pending.push_back(Pending{nbr, d, dir});
+        }
+      }
+      for (const Pending& p : pending) {
+        // The neighbour's matching send uses the opposite direction bit.
+        const i32 tag = 100 + iter * 8 + p.dim * 2 + (p.dir > 0 ? 0 : 1);
+        const Message m = ctx.comm.recv(p.nbr, tag);
+        std::vector<double> ghost(m.payload.size() / sizeof(double));
+        std::memcpy(ghost.data(), m.payload.data(), m.payload.size());
+        unpack_ghost(grid, p.dim, p.dir, ghost);
+      }
+
+      // Explicit diffusion step (Dirichlet zero at the global boundary —
+      // ghost layers default to 0 there).
+      for_each_interior(grid, [&](const i64* local) {
+        double neighbours = 0.0;
+        i64 probe[kMaxDims];
+        std::memcpy(probe, local, sizeof(probe));
+        for (int d = 0; d < grid.nd(); ++d) {
+          probe[d] = local[d] - 1;
+          neighbours += grid.at(probe);
+          probe[d] = local[d] + 1;
+          neighbours += grid.at(probe);
+          probe[d] = local[d];
+        }
+        const double centre = grid.at(local);
+        grid.next[grid.idx(local)] =
+            centre +
+            config.alpha * (neighbours - 2.0 * grid.nd() * centre);
+      });
+      std::swap(grid.u, grid.next);
+
+      // Publish the interior for the concurrently coupled analysis.
+      auto* values = reinterpret_cast<double*>(payload.data());
+      size_t cursor = 0;
+      for_each_interior(grid, [&](const i64* local) {
+        values[cursor++] = grid.at(local);
+      });
+      ctx.cods->put_cont(config.var, iter, grid.interior, payload,
+                         sizeof(double));
+    }
+    ctx.comm.barrier();
+  };
+}
+
+AppFn make_histogram_analysis(HistogramConfig config) {
+  CODS_REQUIRE(config.bins >= 1, "histogram needs at least one bin");
+  CODS_REQUIRE(config.hi > config.lo, "histogram range must be non-empty");
+  return [config](AppCtx& ctx) {
+    const double width =
+        (config.hi - config.lo) / static_cast<double>(config.bins);
+    for (i32 iter = 0; iter < config.iterations; ++iter) {
+      std::vector<i64> counts(static_cast<size_t>(config.bins), 0);
+      for (const Box& box : ctx.my_boxes()) {
+        std::vector<std::byte> out(box_bytes(box, sizeof(double)));
+        ctx.cods->get_cont(config.var, iter, box, out, sizeof(double));
+        const auto* values = reinterpret_cast<const double*>(out.data());
+        for (u64 i = 0; i < box.volume(); ++i) {
+          i64 bin = static_cast<i64>((values[i] - config.lo) / width);
+          bin = std::clamp<i64>(bin, 0, config.bins - 1);
+          ++counts[static_cast<size_t>(bin)];
+        }
+      }
+      // Sum the per-task histograms across the app communicator.
+      for (i32 b = 0; b < config.bins; ++b) {
+        counts[static_cast<size_t>(b)] =
+            ctx.comm.allreduce_sum(counts[static_cast<size_t>(b)]);
+      }
+      if (ctx.comm.rank() == 0 && config.out) {
+        CODS_CHECK(static_cast<size_t>(iter) < config.out->size(),
+                   "histogram output vector too small");
+        (*config.out)[static_cast<size_t>(iter)] = counts;
+      }
+    }
+    ctx.comm.barrier();
+  };
+}
+
+AppFn make_downsampler(DownsampleConfig config) {
+  CODS_REQUIRE(config.factor >= 1, "downsample factor must be positive");
+  return [config](AppCtx& ctx) {
+    const i64 f = config.factor;
+    for (i32 iter = 0; iter < config.iterations; ++iter) {
+      for (const Box& box : ctx.my_boxes()) {
+        for (int d = 0; d < box.ndim(); ++d) {
+          CODS_REQUIRE(box.extent(d) % f == 0,
+                       "downsample factor must divide the local extent");
+          CODS_REQUIRE(box.lb[d] % f == 0,
+                       "task region must be aligned to the factor");
+        }
+        std::vector<std::byte> fine(box_bytes(box, sizeof(double)));
+        ctx.cods->get_cont(config.in_var, iter, box, fine, sizeof(double));
+        const auto* in = reinterpret_cast<const double*>(fine.data());
+
+        // Coarse box: each output cell averages a f^nd block.
+        Box coarse;
+        coarse.lb = Point::zeros(box.ndim());
+        coarse.ub = Point::zeros(box.ndim());
+        for (int d = 0; d < box.ndim(); ++d) {
+          coarse.lb[d] = box.lb[d] / f;
+          coarse.ub[d] = (box.ub[d] + 1) / f - 1;
+        }
+        std::vector<double> out(coarse.volume(), 0.0);
+        const double norm = std::pow(static_cast<double>(f), box.ndim());
+        // Accumulate every fine cell into its coarse bucket.
+        Point cursor = box.lb;
+        for (;;) {
+          Point cc = Point::zeros(box.ndim());
+          for (int d = 0; d < box.ndim(); ++d) cc[d] = cursor[d] / f;
+          out[cell_offset(coarse, cc)] +=
+              in[cell_offset(box, cursor)] / norm;
+          int d = box.ndim() - 1;
+          for (; d >= 0; --d) {
+            if (++cursor[d] <= box.ub[d]) break;
+            cursor[d] = box.lb[d];
+          }
+          if (d < 0) break;
+        }
+        ctx.cods->put_seq(
+            config.out_var, iter, coarse,
+            std::span(reinterpret_cast<const std::byte*>(out.data()),
+                      out.size() * sizeof(double)),
+            sizeof(double));
+      }
+    }
+    ctx.comm.barrier();
+  };
+}
+
+AppFn make_moments_analysis(AnalysisConfig config) {
+  return [config](AppCtx& ctx) {
+    for (i32 iter = 0; iter < config.iterations; ++iter) {
+      double local_min = std::numeric_limits<double>::infinity();
+      double local_max = -std::numeric_limits<double>::infinity();
+      double local_sum = 0.0;
+      u64 local_cells = 0;
+      for (const Box& box : ctx.my_boxes()) {
+        std::vector<std::byte> out(box_bytes(box, sizeof(double)));
+        ctx.cods->get_cont(config.var, iter, box, out, sizeof(double));
+        const auto* values = reinterpret_cast<const double*>(out.data());
+        const u64 n = box.volume();
+        for (u64 i = 0; i < n; ++i) {
+          local_min = std::min(local_min, values[i]);
+          local_max = std::max(local_max, values[i]);
+          local_sum += values[i];
+        }
+        local_cells += n;
+      }
+      const double gmin = ctx.comm.allreduce_min(local_min);
+      const double gmax = ctx.comm.allreduce_max(local_max);
+      const double gsum = ctx.comm.allreduce_sum(local_sum);
+      const i64 gcells = ctx.comm.allreduce_sum(static_cast<i64>(local_cells));
+      if (ctx.comm.rank() == 0 && config.out) {
+        CODS_CHECK(static_cast<size_t>(iter) < config.out->size(),
+                   "analysis output vector too small");
+        (*config.out)[static_cast<size_t>(iter)] =
+            Moments{gmin, gmax, gsum / static_cast<double>(gcells)};
+      }
+    }
+    ctx.comm.barrier();
+  };
+}
+
+AppFn make_insitu_renderer(RenderConfig config) {
+  CODS_REQUIRE(config.hi > config.lo, "render range must be non-empty");
+  return [config](AppCtx& ctx) {
+    CODS_REQUIRE(ctx.spec->dec.ndim() == 2,
+                 "the in-situ renderer draws 2-D fields");
+    const Box domain = ctx.spec->dec.domain_box();
+    for (i32 iter = 0; iter < config.iterations; ++iter) {
+      // Pull my region and quantize it to 8-bit grayscale.
+      std::vector<std::byte> tile_pixels;
+      std::vector<Box> tile_boxes;
+      for (const Box& box : ctx.my_boxes()) {
+        std::vector<std::byte> raw(box_bytes(box, sizeof(double)));
+        ctx.cods->get_cont(config.var, iter, box, raw, sizeof(double));
+        const auto* values = reinterpret_cast<const double*>(raw.data());
+        std::vector<std::byte> pixels(box.volume());
+        for (u64 i = 0; i < box.volume(); ++i) {
+          const double t =
+              (values[i] - config.lo) / (config.hi - config.lo);
+          pixels[i] = static_cast<std::byte>(
+              std::clamp<int>(static_cast<int>(t * 255.0), 0, 255));
+        }
+        tile_boxes.push_back(box);
+        tile_pixels.insert(tile_pixels.end(), pixels.begin(), pixels.end());
+      }
+      // Serialize (box list + pixels) and gather at rank 0.
+      std::vector<std::byte> packet;
+      const u64 nboxes = tile_boxes.size();
+      const auto append = [&packet](const void* p, size_t n) {
+        const auto* bytes = static_cast<const std::byte*>(p);
+        packet.insert(packet.end(), bytes, bytes + n);
+      };
+      append(&nboxes, sizeof(nboxes));
+      for (const Box& box : tile_boxes) {
+        const i64 coords[4] = {box.lb[0], box.lb[1], box.ub[0], box.ub[1]};
+        append(coords, sizeof(coords));
+      }
+      append(tile_pixels.data(), tile_pixels.size());
+      const auto gathered = ctx.comm.gather(0, packet);
+
+      if (ctx.comm.rank() == 0) {
+        const i64 height = domain.extent(0);
+        const i64 width = domain.extent(1);
+        std::vector<std::byte> image(
+            static_cast<size_t>(height * width), std::byte{0});
+        const Box image_box = domain;
+        for (const auto& buf : gathered) {
+          size_t cursor = 0;
+          const auto read = [&buf, &cursor](void* p, size_t n) {
+            std::memcpy(p, buf.data() + cursor, n);
+            cursor += n;
+          };
+          u64 count;
+          read(&count, sizeof(count));
+          std::vector<Box> boxes;
+          for (u64 b = 0; b < count; ++b) {
+            i64 coords[4];
+            read(coords, sizeof(coords));
+            boxes.push_back(
+                Box{{coords[0], coords[1]}, {coords[2], coords[3]}});
+          }
+          for (const Box& box : boxes) {
+            copy_box_region(
+                std::span(buf.data() + cursor, box.volume()), box,
+                image, image_box, box, /*elem_size=*/1);
+            cursor += box.volume();
+          }
+        }
+        const std::string path =
+            config.output_prefix + std::to_string(iter) + ".pgm";
+        std::ofstream out(path, std::ios::binary);
+        CODS_CHECK(out.good(), "cannot write frame " + path);
+        out << "P5\n" << width << " " << height << "\n255\n";
+        out.write(reinterpret_cast<const char*>(image.data()),
+                  static_cast<std::streamsize>(image.size()));
+        if (config.frames) config.frames->push_back(path);
+      }
+    }
+    ctx.comm.barrier();
+  };
+}
+
+}  // namespace cods

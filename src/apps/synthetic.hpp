@@ -1,0 +1,111 @@
+// Reusable synthetic component applications — the workloads behind the
+// paper's evaluation scenarios (§V): pattern producers/consumers for
+// end-to-end data verification, a stencil heat-diffusion simulation with
+// real halo exchanges (the intra-application communication of §V-B), and a
+// moments analysis consumer (the online data-processing workflow).
+//
+// Each factory returns an AppFn that the workflow engine dispatches once
+// per computation task.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "workflow/engine.hpp"
+
+namespace cods {
+
+/// Producer: fills the deterministic global pattern over the task's owned
+/// region(s) and puts each listed variable for versions [0, nversions).
+struct PatternProducerConfig {
+  std::vector<std::string> vars = {"field"};
+  i32 nversions = 1;
+  bool sequential = true;  ///< put_seq vs put_cont
+  u64 seed = 1;            ///< pattern seed; version v uses seed + v
+};
+AppFn make_pattern_producer(PatternProducerConfig config);
+
+/// Consumer: gets each variable over the task's owned region(s), verifies
+/// the pattern, and accumulates mismatching cells into `mismatches`.
+struct PatternConsumerConfig {
+  std::vector<std::string> vars = {"field"};
+  i32 nversions = 1;
+  bool sequential = true;  ///< get_seq vs get_cont
+  u64 seed = 1;
+  std::shared_ptr<std::atomic<u64>> mismatches;
+  std::shared_ptr<std::atomic<u64>> cache_hits;  ///< optional statistics
+};
+AppFn make_pattern_consumer(PatternConsumerConfig config);
+
+/// Jacobi heat-diffusion simulation on the task's blocked subdomain:
+/// initializes a smooth temperature bump, iterates explicit diffusion with
+/// real near-neighbour halo exchanges over the app communicator, and
+/// publishes the field with put_cont after every iteration.
+struct StencilSimConfig {
+  std::string var = "temperature";
+  i32 iterations = 4;
+  double alpha = 0.1;  ///< diffusion coefficient (stability: alpha <= 1/2d)
+};
+AppFn make_stencil_simulation(StencilSimConfig config);
+
+/// Global field statistics for one iteration of the coupled simulation.
+struct Moments {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Analysis: pulls each iteration's field with get_cont over the task's own
+/// decomposition, reduces global moments across the app communicator, and
+/// records them (rank 0 writes `out`).
+struct AnalysisConfig {
+  std::string var = "temperature";
+  i32 iterations = 4;
+  std::shared_ptr<std::vector<Moments>> out;  ///< sized to `iterations`
+};
+AppFn make_moments_analysis(AnalysisConfig config);
+
+/// Histogram analysis: pulls each iteration's field (doubles) and builds a
+/// global histogram over [lo, hi) with `bins` buckets via an allreduce.
+/// Rank 0 appends one row per iteration to `out`.
+struct HistogramConfig {
+  std::string var = "temperature";
+  i32 iterations = 4;
+  double lo = 0.0;
+  double hi = 1.0;
+  i32 bins = 16;
+  /// out->at(iter) = bucket counts (values outside [lo, hi) are clamped
+  /// into the first/last bucket).
+  std::shared_ptr<std::vector<std::vector<i64>>> out;
+};
+AppFn make_histogram_analysis(HistogramConfig config);
+
+/// Visualization downsampler: pulls each iteration's field and reduces it
+/// by `factor` per dimension (cell averaging), then stores the coarse field
+/// back into the space as `out_var` (sequential put) — the classic in-situ
+/// data-reduction pipeline stage the paper's §I motivates (ADIOS-style).
+struct DownsampleConfig {
+  std::string in_var = "temperature";
+  std::string out_var = "temperature_coarse";
+  i32 iterations = 4;
+  i32 factor = 2;  ///< must divide the task's local extents
+};
+AppFn make_downsampler(DownsampleConfig config);
+
+/// In-situ visualization (paper §VI): renders each iteration of a 2-D field
+/// to a grayscale PGM image. Each task pulls its own region with get_cont;
+/// rank 0 gathers the tiles over the app communicator and writes
+/// `<output_prefix><iter>.pgm`. Values are mapped [lo, hi] -> [0, 255].
+struct RenderConfig {
+  std::string var = "temperature";
+  i32 iterations = 4;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::string output_prefix = "/tmp/cods_frame_";
+  /// Filled with the written file names (rank 0), if non-null.
+  std::shared_ptr<std::vector<std::string>> frames;
+};
+AppFn make_insitu_renderer(RenderConfig config);
+
+}  // namespace cods

@@ -1,0 +1,83 @@
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace cods {
+
+std::string format_bytes(u64 bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[48];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  }
+  return buf;
+}
+
+void fail(const std::string& message, std::source_location loc) {
+  throw Error(std::string(loc.file_name()) + ":" +
+              std::to_string(loc.line()) + ": " + message);
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const std::string& message,
+                  std::source_location loc) {
+  throw Error(std::string(loc.file_name()) + ":" +
+              std::to_string(loc.line()) + ": check `" + expr +
+              "` failed: " + message);
+}
+
+}  // namespace detail
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_log_level.store(level); }
+LogLevel log_level() { return g_log_level.load(); }
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& text) {
+  if (level < log_level() || text.empty()) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kOff: return;
+  }
+  std::scoped_lock lock(g_log_mutex);
+  std::fprintf(stderr, "[cods %s] %s\n", tag, text.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace cods

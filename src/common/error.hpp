@@ -1,0 +1,39 @@
+// Error reporting: a single exception type plus check macros used across the
+// framework. Programmer and configuration errors throw; recoverable "not
+// found" conditions use std::optional at the call site instead.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace cods {
+
+/// Exception thrown on invariant violations and invalid configurations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void fail(
+    const std::string& message,
+    std::source_location loc = std::source_location::current());
+
+namespace detail {
+void check_failed(const char* expr, const std::string& message,
+                  std::source_location loc);
+}  // namespace detail
+
+}  // namespace cods
+
+/// Always-on invariant check; throws cods::Error with location info.
+#define CODS_CHECK(expr, message)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::cods::detail::check_failed(#expr, (message),                     \
+                                   std::source_location::current());     \
+    }                                                                    \
+  } while (0)
+
+/// Argument validation with the same failure path as CODS_CHECK.
+#define CODS_REQUIRE(expr, message) CODS_CHECK(expr, message)

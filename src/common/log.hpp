@@ -1,0 +1,43 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cods {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global severity threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& text);
+}  // namespace detail
+
+/// Streams one log record and emits it atomically on destruction.
+class LogRecord {
+ public:
+  explicit LogRecord(LogLevel level) : level_(level) {}
+  ~LogRecord() { detail::log_line(level_, stream_.str()); }
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cods
+
+#define CODS_LOG_DEBUG ::cods::LogRecord(::cods::LogLevel::kDebug)
+#define CODS_LOG_INFO ::cods::LogRecord(::cods::LogLevel::kInfo)
+#define CODS_LOG_WARN ::cods::LogRecord(::cods::LogLevel::kWarn)
+#define CODS_LOG_ERROR ::cods::LogRecord(::cods::LogLevel::kError)

@@ -1,0 +1,35 @@
+// Fundamental scalar types and byte-size helpers shared by every CoDS module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cods {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+inline constexpr u64 kKiB = 1024ULL;
+inline constexpr u64 kMiB = 1024ULL * kKiB;
+inline constexpr u64 kGiB = 1024ULL * kMiB;
+
+namespace literals {
+constexpr u64 operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr u64 operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr u64 operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+/// Renders a byte count as a human-friendly string, e.g. "1.50 GiB".
+std::string format_bytes(u64 bytes);
+
+/// Renders a duration given in seconds as "12.3 us" / "4.56 ms" / "7.89 s".
+std::string format_seconds(double seconds);
+
+}  // namespace cods

@@ -1,0 +1,123 @@
+// Binary checkpoint/restart for the CoDS sequential object store.
+// Format (little-endian, native field widths):
+//   magic "CODSCKP1" | u64 object_count
+//   per object: u64 var_len | var bytes | i32 version | i32 node |
+//               i32 ndim | i64 lb[ndim] | i64 ub[ndim] |
+//               u64 data_len | data bytes
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "core/cods.hpp"
+
+namespace cods {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'O', 'D', 'S', 'C', 'K', 'P', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  CODS_CHECK(in.good(), "truncated checkpoint stream");
+  return value;
+}
+
+}  // namespace
+
+u64 CodsSpace::save_checkpoint(std::ostream& out) const {
+  struct Entry {
+    std::string var;
+    i32 version;
+    i32 node;
+    Box box;
+    std::vector<std::byte> data;
+  };
+  std::vector<Entry> entries;
+  {
+    std::scoped_lock lock(store_mutex_);
+    for (const auto& [index_key, keys] : store_index_) {
+      for (const auto& [client, window_key] : keys) {
+        const auto it = store_.find({client, window_key});
+        if (it == store_.end()) continue;
+        entries.push_back(Entry{index_key.first, index_key.second,
+                                it->second.node, it->second.box,
+                                it->second.data});
+      }
+    }
+  }
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<u64>(out, entries.size());
+  for (const Entry& e : entries) {
+    write_pod<u64>(out, e.var.size());
+    out.write(e.var.data(), static_cast<std::streamsize>(e.var.size()));
+    write_pod<i32>(out, e.version);
+    write_pod<i32>(out, e.node);
+    write_pod<i32>(out, e.box.ndim());
+    for (int d = 0; d < e.box.ndim(); ++d) write_pod<i64>(out, e.box.lb[d]);
+    for (int d = 0; d < e.box.ndim(); ++d) write_pod<i64>(out, e.box.ub[d]);
+    write_pod<u64>(out, e.data.size());
+    out.write(reinterpret_cast<const char*>(e.data.data()),
+              static_cast<std::streamsize>(e.data.size()));
+  }
+  CODS_CHECK(out.good(), "checkpoint write failed");
+  return entries.size();
+}
+
+u64 CodsSpace::save_checkpoint(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  CODS_REQUIRE(out.good(), "cannot open checkpoint file for writing: " + path);
+  return save_checkpoint(out);
+}
+
+u64 CodsSpace::load_checkpoint(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  CODS_REQUIRE(in.good() && std::equal(std::begin(magic), std::end(magic),
+                                       std::begin(kMagic)),
+               "not a CoDS checkpoint (bad magic)");
+  const u64 count = read_pod<u64>(in);
+  for (u64 i = 0; i < count; ++i) {
+    const u64 var_len = read_pod<u64>(in);
+    CODS_REQUIRE(var_len < (1u << 20), "implausible variable name length");
+    std::string var(var_len, '\0');
+    in.read(var.data(), static_cast<std::streamsize>(var_len));
+    const i32 version = read_pod<i32>(in);
+    const i32 node = read_pod<i32>(in);
+    CODS_REQUIRE(node >= 0 && node < cluster_->num_nodes(),
+                 "checkpoint references a node outside this cluster");
+    const i32 ndim = read_pod<i32>(in);
+    CODS_REQUIRE(ndim >= 1 && ndim <= kMaxDims, "bad checkpoint dimension");
+    Box box;
+    box.lb = Point::zeros(ndim);
+    box.ub = Point::zeros(ndim);
+    for (int d = 0; d < ndim; ++d) box.lb[d] = read_pod<i64>(in);
+    for (int d = 0; d < ndim; ++d) box.ub[d] = read_pod<i64>(in);
+    CODS_REQUIRE(box.valid(), "bad checkpoint region");
+    const u64 data_len = read_pod<u64>(in);
+    std::vector<std::byte> data(data_len);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data_len));
+    CODS_CHECK(in.good(), "truncated checkpoint stream");
+    const DataLocation loc =
+        store_object(node, var, version, box, std::move(data));
+    dht_.insert(var, version, loc);
+  }
+  return count;
+}
+
+u64 CodsSpace::load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CODS_REQUIRE(in.good(), "cannot open checkpoint file: " + path);
+  return load_checkpoint(in);
+}
+
+}  // namespace cods

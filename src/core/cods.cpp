@@ -1,0 +1,452 @@
+#include "core/cods.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cods {
+
+namespace {
+
+u64 fnv1a(const void* data, size_t len, u64 seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  u64 h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+SfcCurve make_curve(const Box& domain, CurveKind kind) {
+  i64 max_extent = 1;
+  for (int d = 0; d < domain.ndim(); ++d) {
+    max_extent = std::max(max_extent, domain.extent(d));
+  }
+  return SfcCurve(kind, domain.ndim(), SfcCurve::bits_for_extent(max_extent));
+}
+
+}  // namespace
+
+CodsSpace::CodsSpace(const Cluster& cluster, Metrics& metrics,
+                     const Box& domain, CodsConfig config)
+    : cluster_(&cluster),
+      domain_(domain),
+      dart_(cluster, metrics, config.cost),
+      dht_(cluster, make_curve(domain, config.curve),
+           config.dht_granularity_log2) {
+  CODS_REQUIRE(domain.valid(), "domain must be non-empty");
+  Point origin = Point::zeros(domain.ndim());
+  CODS_REQUIRE(domain.lb == origin, "domain must be anchored at the origin");
+}
+
+u64 CodsSpace::window_key(const std::string& var, i32 version,
+                          const Box& box) {
+  u64 h = fnv1a(var.data(), var.size());
+  h = fnv1a(&version, sizeof(version), h);
+  for (int d = 0; d < box.ndim(); ++d) {
+    const i64 lo = box.lb[d];
+    const i64 hi = box.ub[d];
+    h = fnv1a(&lo, sizeof(lo), h);
+    h = fnv1a(&hi, sizeof(hi), h);
+  }
+  return h;
+}
+
+DataLocation CodsSpace::store_object(i32 node, const std::string& var,
+                                     i32 version, const Box& box,
+                                     std::vector<std::byte> data) {
+  const i32 client = storage_client(node);
+  const u64 key = window_key(var, version, box);
+  std::span<std::byte> window;
+  {
+    std::scoped_lock lock(store_mutex_);
+    auto [it, inserted] =
+        store_.insert({{client, key}, StoredObject{node, box, std::move(data)}});
+    CODS_CHECK(inserted, "object already stored for this (var, version, box)");
+    store_index_[{var, version}].push_back({client, key});
+    window = std::span(it->second.data);
+  }
+  dart_.expose(client, key, window);
+  note_version(var, version);
+  DataLocation loc;
+  loc.box = box;
+  loc.owner_client = client;
+  loc.owner_loc = CoreLoc{node, 0};
+  loc.window_key = key;
+  return loc;
+}
+
+void CodsSpace::post_cont(const std::string& var, i32 version, const Box& box,
+                          std::vector<std::byte> data,
+                          const Endpoint& producer) {
+  const u64 key = window_key(var, version, box);
+  std::span<std::byte> window;
+  {
+    std::scoped_lock lock(cont_mutex_);
+    auto& records = cont_[{var, version}];
+    records.push_back(ContRecord{box, producer, key, std::move(data)});
+    window = std::span(records.back().data);
+  }
+  dart_.expose(producer.client_id, key, window);
+  note_version(var, version);
+  cont_cv_.notify_all();
+}
+
+std::vector<CodsSpace::ContEntry> CodsSpace::wait_cont_coverage(
+    const std::string& var, i32 version, const Box& region,
+    std::chrono::seconds timeout) {
+  std::unique_lock lock(cont_mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto it = cont_.find({var, version});
+    if (it != cont_.end()) {
+      u64 covered = 0;
+      std::vector<ContEntry> entries;
+      for (const ContRecord& r : it->second) {
+        const auto overlap = intersect(r.box, region);
+        if (!overlap) continue;
+        covered += overlap->volume();
+        entries.push_back(ContEntry{r.box, r.producer, r.window_key});
+      }
+      // Producers own disjoint regions, so coverage sums without overlap.
+      if (covered >= region.volume()) return entries;
+    }
+    if (cont_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      fail("get_cont timed out waiting for producers to cover " +
+           region.to_string() + " of '" + var + "' v" +
+           std::to_string(version));
+    }
+  }
+}
+
+void CodsSpace::retire(const std::string& var, i32 version) {
+  {
+    std::scoped_lock lock(store_mutex_);
+    const auto it = store_index_.find({var, version});
+    if (it != store_index_.end()) {
+      for (const auto& [client, key] : it->second) {
+        dart_.withdraw(client, key);
+        store_.erase({client, key});
+      }
+      store_index_.erase(it);
+    }
+  }
+  {
+    std::scoped_lock lock(cont_mutex_);
+    const auto it = cont_.find({var, version});
+    if (it != cont_.end()) {
+      for (const ContRecord& r : it->second) {
+        dart_.withdraw(r.producer.client_id, r.window_key);
+      }
+      cont_.erase(it);
+    }
+  }
+  dht_.retire(var, version);
+}
+
+u64 CodsSpace::stored_bytes() const {
+  std::scoped_lock lock(store_mutex_);
+  u64 total = 0;
+  for (const auto& [key, object] : store_) total += object.data.size();
+  return total;
+}
+
+void CodsSpace::note_version(const std::string& var, i32 version) {
+  {
+    std::scoped_lock lock(meta_mutex_);
+    auto [it, inserted] = latest_.insert({var, version});
+    if (!inserted && it->second < version) it->second = version;
+  }
+  meta_cv_.notify_all();
+}
+
+i32 CodsSpace::latest_version(const std::string& var) const {
+  std::scoped_lock lock(meta_mutex_);
+  const auto it = latest_.find(var);
+  return it == latest_.end() ? -1 : it->second;
+}
+
+void CodsSpace::wait_version(const std::string& var, i32 version,
+                             std::chrono::seconds timeout) const {
+  std::unique_lock lock(meta_mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto it = latest_.find(var);
+    if (it != latest_.end() && it->second >= version) return;
+    if (meta_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      fail("wait_version timed out for '" + var + "' v" +
+           std::to_string(version));
+    }
+  }
+}
+
+std::vector<std::string> CodsSpace::variables() const {
+  std::set<std::string> names;
+  {
+    std::scoped_lock lock(store_mutex_);
+    for (const auto& [key, entries] : store_index_) {
+      if (!entries.empty()) names.insert(key.first);
+    }
+  }
+  {
+    std::scoped_lock lock(cont_mutex_);
+    for (const auto& [key, records] : cont_) {
+      if (!records.empty()) names.insert(key.first);
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+std::vector<i32> CodsSpace::versions(const std::string& var) const {
+  std::set<i32> out;
+  {
+    std::scoped_lock lock(store_mutex_);
+    for (const auto& [key, entries] : store_index_) {
+      if (key.first == var && !entries.empty()) out.insert(key.second);
+    }
+  }
+  {
+    std::scoped_lock lock(cont_mutex_);
+    for (const auto& [key, records] : cont_) {
+      if (key.first == var && !records.empty()) out.insert(key.second);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<DataLocation> CodsSpace::catalog(const std::string& var,
+                                             i32 version) const {
+  std::vector<DataLocation> out;
+  {
+    std::scoped_lock lock(store_mutex_);
+    const auto it = store_index_.find({var, version});
+    if (it != store_index_.end()) {
+      for (const auto& [client, key] : it->second) {
+        const auto obj = store_.find({client, key});
+        if (obj == store_.end()) continue;
+        DataLocation loc;
+        loc.box = obj->second.box;
+        loc.owner_client = client;
+        loc.owner_loc = CoreLoc{obj->second.node, 0};
+        loc.window_key = key;
+        out.push_back(loc);
+      }
+    }
+  }
+  {
+    std::scoped_lock lock(cont_mutex_);
+    const auto it = cont_.find({var, version});
+    if (it != cont_.end()) {
+      for (const ContRecord& r : it->second) {
+        DataLocation loc;
+        loc.box = r.box;
+        loc.owner_client = r.producer.client_id;
+        loc.owner_loc = r.producer.loc;
+        loc.window_key = r.window_key;
+        out.push_back(loc);
+      }
+    }
+  }
+  return out;
+}
+
+i32 CodsSpace::retire_older_than(const std::string& var, i32 keep) {
+  CODS_REQUIRE(keep >= 1, "must keep at least one version");
+  const i32 latest = latest_version(var);
+  if (latest < 0) return 0;
+  i32 retired = 0;
+  for (i32 version : versions(var)) {
+    if (version <= latest - keep) {
+      retire(var, version);
+      ++retired;
+    }
+  }
+  return retired;
+}
+
+// ---------------------------------------------------------------------------
+// CodsClient
+// ---------------------------------------------------------------------------
+
+PutResult CodsClient::put_seq(const std::string& var, i32 version,
+                              const Box& box, std::span<const std::byte> data,
+                              u64 elem_size) {
+  CODS_REQUIRE(data.size() == box_bytes(box, elem_size),
+               "data size does not match box");
+  const i32 node = self_.loc.node;
+  const DataLocation loc = space_->store_object(
+      node, var, version, box, {data.begin(), data.end()});
+  // The store lands on the producer's own node: a shared-memory movement.
+  space_->dart().metrics().record(app_id_, TrafficClass::kInterApp,
+                                  data.size(), /*via_network=*/false);
+  double time = space_->dart().cost_model().flow_time(
+      Flow{self_.loc, loc.owner_loc, data.size()});
+  // Register with every responsible DHT core (control RPCs).
+  const auto nodes = space_->dht().owner_nodes(box);
+  for (i32 dht_node : nodes) {
+    time += space_->dart().rpc(self_, space_->storage_endpoint(dht_node));
+  }
+  space_->dht().insert(var, version, loc);
+  PutResult result;
+  result.model_time = time;
+  result.bytes = data.size();
+  result.dht_cores = static_cast<i32>(nodes.size());
+  return result;
+}
+
+PutResult CodsClient::put_cont(const std::string& var, i32 version,
+                               const Box& box,
+                               std::span<const std::byte> data,
+                               u64 elem_size) {
+  CODS_REQUIRE(data.size() == box_bytes(box, elem_size),
+               "data size does not match box");
+  space_->post_cont(var, version, box, {data.begin(), data.end()}, self_);
+  PutResult result;
+  // Publication is asynchronous registration: no data crosses cores until
+  // consumers pull, so only a negligible local cost is modelled.
+  result.model_time = space_->dart().cost_model().params().shm_latency;
+  result.bytes = data.size();
+  return result;
+}
+
+std::string CodsClient::cache_key(const std::string& var, const Box& region,
+                                  u64 elem_size) const {
+  return var + "|" + region.to_string() + "|" + std::to_string(elem_size);
+}
+
+GetResult CodsClient::pull_schedule(const Schedule& schedule,
+                                    const std::string& var, i32 version,
+                                    const Box& region, std::span<std::byte> out,
+                                    u64 elem_size) {
+  std::vector<PullOp> ops;
+  ops.reserve(schedule.entries.size());
+  for (const ScheduleEntry& entry : schedule.entries) {
+    PullOp op;
+    op.local = self_;
+    op.remote = entry.source;
+    op.key = CodsSpace::window_key(var, version, entry.source_box);
+    op.bytes = box_bytes(entry.overlap, elem_size);
+    op.app_id = app_id_;
+    op.cls = TrafficClass::kInterApp;
+    const Box source_box = entry.source_box;
+    const Box overlap = entry.overlap;
+    op.copy = [out, source_box, overlap, region,
+               elem_size](std::span<const std::byte> window) {
+      copy_box_region(window, source_box, out, region, overlap, elem_size);
+    };
+    ops.push_back(std::move(op));
+  }
+  const double time = space_->dart().pull(ops);
+  GetResult result;
+  result.model_time = time;
+  for (const PullOp& op : ops) result.bytes += op.bytes;
+  result.sources = static_cast<i32>(ops.size());
+  return result;
+}
+
+GetResult CodsClient::get_seq(const std::string& var, i32 version,
+                              const Box& region, std::span<std::byte> out,
+                              u64 elem_size) {
+  CODS_REQUIRE(out.size() >= box_bytes(region, elem_size),
+               "output buffer too small");
+  const std::string key = cache_key(var, region, elem_size);
+
+  // Schedule-cache fast path: reuse the source list, recompute this
+  // version's window keys, and verify the windows still exist.
+  if (cache_enabled_) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      bool usable = !it->second.entries.empty();
+      for (const ScheduleEntry& entry : it->second.entries) {
+        if (!space_->dart().has_window(
+                entry.source.client_id,
+                CodsSpace::window_key(var, version, entry.source_box))) {
+          usable = false;
+          break;
+        }
+      }
+      if (usable) {
+        GetResult result =
+            pull_schedule(it->second, var, version, region, out, elem_size);
+        result.cache_hit = true;
+        return result;
+      }
+      cache_.erase(it);
+    }
+  }
+
+  const LookupResult lookup = space_->dht().query(var, version, region);
+  double query_time = 0.0;
+  for (i32 node : lookup.dht_nodes) {
+    query_time += space_->dart().rpc(self_, space_->storage_endpoint(node));
+  }
+
+  Schedule schedule;
+  u64 covered = 0;
+  for (const DataLocation& loc : lookup.locations) {
+    const auto overlap = intersect(loc.box, region);
+    if (!overlap) continue;
+    covered += overlap->volume();
+    schedule.entries.push_back(ScheduleEntry{
+        Endpoint{loc.owner_client, loc.owner_loc}, loc.box, *overlap});
+  }
+  CODS_CHECK(covered >= region.volume(),
+             "stored data does not cover the requested region " +
+                 region.to_string() + " of '" + var + "' v" +
+                 std::to_string(version));
+
+  GetResult result = pull_schedule(schedule, var, version, region, out,
+                                   elem_size);
+  result.model_time += query_time;
+  result.dht_cores = static_cast<i32>(lookup.dht_nodes.size());
+  if (cache_enabled_) cache_[key] = std::move(schedule);
+  return result;
+}
+
+GetResult CodsClient::get_cont(const std::string& var, i32 version,
+                               const Box& region, std::span<std::byte> out,
+                               u64 elem_size) {
+  CODS_REQUIRE(out.size() >= box_bytes(region, elem_size),
+               "output buffer too small");
+  const std::string key = cache_key(var, region, elem_size);
+
+  if (cache_enabled_) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      // Concurrent coupling: producers may not have published this version
+      // yet; wait for coverage before pulling through the cached schedule.
+      space_->wait_cont_coverage(var, version, region);
+      bool usable = !it->second.entries.empty();
+      for (const ScheduleEntry& entry : it->second.entries) {
+        if (!space_->dart().has_window(
+                entry.source.client_id,
+                CodsSpace::window_key(var, version, entry.source_box))) {
+          usable = false;
+          break;
+        }
+      }
+      if (usable) {
+        GetResult result =
+            pull_schedule(it->second, var, version, region, out, elem_size);
+        result.cache_hit = true;
+        return result;
+      }
+      cache_.erase(it);
+    }
+  }
+
+  const auto entries = space_->wait_cont_coverage(var, version, region);
+  Schedule schedule;
+  for (const auto& entry : entries) {
+    const auto overlap = intersect(entry.box, region);
+    if (!overlap) continue;
+    schedule.entries.push_back(
+        ScheduleEntry{entry.producer, entry.box, *overlap});
+  }
+  GetResult result =
+      pull_schedule(schedule, var, version, region, out, elem_size);
+  if (cache_enabled_) cache_[key] = std::move(schedule);
+  return result;
+}
+
+}  // namespace cods

@@ -1,0 +1,242 @@
+// Co-located DataSpaces (CoDS): the paper's virtual shared-space
+// abstraction (§III-A, §IV-A, Table I). Coupled applications interact
+// through semantically specialized one-sided operators over the shared
+// n-D domain:
+//
+//   put_seq / get_seq   — sequential coupling: producers store regions into
+//                         the distributed in-memory object store on their
+//                         own node and register them with the SFC DHT;
+//                         consumers look locations up in the DHT, compute a
+//                         communication schedule and pull the data.
+//   put_cont / get_cont — concurrent coupling: producers publish regions at
+//                         their own cores; consumers rendezvous directly
+//                         with the producers (no DHT lookup) and pull.
+//
+// Both paths use receiver-driven parallel pulls over HybridDART, cache
+// communication schedules across iterations (versions), and account every
+// byte as shared-memory or network traffic depending on placement.
+#pragma once
+
+#include <condition_variable>
+#include <iosfwd>
+
+#include "core/dht.hpp"
+#include "core/layout.hpp"
+#include "dart/dart.hpp"
+
+namespace cods {
+
+struct CodsConfig {
+  CurveKind curve = CurveKind::kHilbert;
+  /// Coarsening for DHT query routing (see CodsDht); 0 = exact spans.
+  int dht_granularity_log2 = 0;
+  CostParams cost;
+};
+
+/// Outcome of a put operation.
+struct PutResult {
+  double model_time = 0.0;  ///< modelled completion time
+  u64 bytes = 0;
+  i32 dht_cores = 0;  ///< DHT cores updated (seq only)
+};
+
+/// Outcome of a get operation.
+struct GetResult {
+  double model_time = 0.0;  ///< modelled completion time (query + pull)
+  u64 bytes = 0;            ///< payload pulled
+  i32 sources = 0;          ///< distinct windows pulled from
+  i32 dht_cores = 0;        ///< DHT cores queried (0 on a schedule-cache hit)
+  bool cache_hit = false;   ///< communication schedule reused
+};
+
+/// The shared space. One instance per workflow run; shared by all
+/// execution clients. Thread-safe.
+class CodsSpace {
+ public:
+  CodsSpace(const Cluster& cluster, Metrics& metrics, const Box& domain,
+            CodsConfig config = {});
+
+  const Cluster& cluster() const { return *cluster_; }
+  HybridDart& dart() { return dart_; }
+  CodsDht& dht() { return dht_; }
+  const Box& domain() const { return domain_; }
+
+  /// Synthetic client id of the storage service on a node (windows of
+  /// stored objects are exposed under this id, at core 0 of the node).
+  i32 storage_client(i32 node) const {
+    return cluster_->total_cores() + node;
+  }
+  Endpoint storage_endpoint(i32 node) const {
+    return Endpoint{storage_client(node), CoreLoc{node, 0}};
+  }
+
+  /// Deterministic window key for (var, version, box): lets a cached
+  /// schedule recompute next iteration's keys without a DHT query.
+  static u64 window_key(const std::string& var, i32 version, const Box& box);
+
+  /// Stores an object in the node's in-memory store, exposes its window and
+  /// returns its location record. Takes ownership of the bytes.
+  DataLocation store_object(i32 node, const std::string& var, i32 version,
+                            const Box& box, std::vector<std::byte> data);
+
+  /// Registers a concurrently-published region (put_cont side).
+  void post_cont(const std::string& var, i32 version, const Box& box,
+                 std::vector<std::byte> data, const Endpoint& producer);
+
+  struct ContEntry {
+    Box box;
+    Endpoint producer;
+    u64 window_key = 0;
+  };
+
+  /// Blocks until published regions fully cover `region` for (var,
+  /// version); returns the overlapping entries. Throws on timeout.
+  std::vector<ContEntry> wait_cont_coverage(
+      const std::string& var, i32 version, const Box& region,
+      std::chrono::seconds timeout = std::chrono::seconds(120));
+
+  /// Drops all stored objects, published regions, windows and DHT records
+  /// of (var, version). Frees the memory held for that iteration.
+  void retire(const std::string& var, i32 version);
+
+  /// Sliding-window memory management for iterative coupling: retires every
+  /// version of `var` older than (latest - keep + 1). Returns versions
+  /// retired. keep >= 1.
+  i32 retire_older_than(const std::string& var, i32 keep);
+
+  /// Total bytes currently held by the in-memory object store.
+  u64 stored_bytes() const;
+
+  // --- version coordination (supplements the paper's one-sided operators
+  // with the "coordination" half of the shared-space abstraction) ---
+
+  /// Highest version of `var` that has been put (seq or cont); -1 if none.
+  i32 latest_version(const std::string& var) const;
+
+  /// Blocks until latest_version(var) >= version. Throws on timeout.
+  void wait_version(const std::string& var, i32 version,
+                    std::chrono::seconds timeout =
+                        std::chrono::seconds(120)) const;
+
+  // --- metadata catalog ---
+
+  /// All variables with at least one live (stored or published) version.
+  std::vector<std::string> variables() const;
+
+  /// Live versions of one variable, ascending.
+  std::vector<i32> versions(const std::string& var) const;
+
+  /// Regions of (var, version) currently stored/published, with owners.
+  std::vector<DataLocation> catalog(const std::string& var,
+                                    i32 version) const;
+
+  // --- checkpoint/restart ---
+
+  /// Serializes every *sequentially stored* object (variable, version,
+  /// region, node, bytes) to a binary stream. Concurrently published
+  /// regions are transient rendezvous state and are not captured.
+  /// Returns the number of objects written.
+  u64 save_checkpoint(std::ostream& out) const;
+  u64 save_checkpoint(const std::string& path) const;
+
+  /// Restores objects from a checkpoint into this (typically fresh) space:
+  /// data lands back on its original node's store and is re-registered
+  /// with the DHT. The cluster must have at least as many nodes as the
+  /// checkpoint references. Returns the number of objects restored.
+  u64 load_checkpoint(std::istream& in);
+  u64 load_checkpoint(const std::string& path);
+
+ private:
+  struct StoredObject {
+    i32 node = -1;
+    Box box;
+    std::vector<std::byte> data;
+  };
+
+  const Cluster* cluster_;
+  Box domain_;
+  HybridDart dart_;
+  CodsDht dht_;
+
+  mutable std::mutex store_mutex_;
+  // (storage client, window key) -> object
+  std::map<std::pair<i32, u64>, StoredObject> store_;
+  std::map<std::pair<std::string, i32>, std::vector<std::pair<i32, u64>>>
+      store_index_;  // (var, version) -> store keys
+
+  mutable std::mutex cont_mutex_;
+  std::condition_variable cont_cv_;
+  struct ContRecord {
+    Box box;
+    Endpoint producer;
+    u64 window_key = 0;
+    std::vector<std::byte> data;
+  };
+  std::map<std::pair<std::string, i32>, std::vector<ContRecord>> cont_;
+
+  void note_version(const std::string& var, i32 version);
+
+  mutable std::mutex meta_mutex_;
+  mutable std::condition_variable meta_cv_;
+  std::map<std::string, i32> latest_;
+};
+
+/// Per-execution-client handle implementing the Table I operators.
+/// Not thread-safe across calls on the *same* client (each client is one
+/// rank); different clients may call concurrently.
+class CodsClient {
+ public:
+  CodsClient(CodsSpace& space, Endpoint self, i32 app_id)
+      : space_(&space), self_(self), app_id_(app_id) {}
+
+  const Endpoint& endpoint() const { return self_; }
+  i32 app_id() const { return app_id_; }
+
+  /// Sequential coupling: store `data` (row-major over `box`) into the
+  /// space; data lands in the local node's store and is DHT-registered.
+  PutResult put_seq(const std::string& var, i32 version, const Box& box,
+                    std::span<const std::byte> data, u64 elem_size);
+
+  /// Sequential coupling: retrieve `region` into `out` (row-major over
+  /// `region`). Throws if the stored data does not cover the region.
+  GetResult get_seq(const std::string& var, i32 version, const Box& region,
+                    std::span<std::byte> out, u64 elem_size);
+
+  /// Concurrent coupling: publish `data` for direct consumer pulls.
+  PutResult put_cont(const std::string& var, i32 version, const Box& box,
+                     std::span<const std::byte> data, u64 elem_size);
+
+  /// Concurrent coupling: wait for producers covering `region`, then pull
+  /// directly from them.
+  GetResult get_cont(const std::string& var, i32 version, const Box& region,
+                     std::span<std::byte> out, u64 elem_size);
+
+  /// Communication-schedule cache management (ablation hook).
+  void set_schedule_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  void clear_schedule_cache() { cache_.clear(); }
+  size_t schedule_cache_size() const { return cache_.size(); }
+
+ private:
+  struct ScheduleEntry {
+    Endpoint source;
+    Box source_box;  ///< box the source window is laid out over
+    Box overlap;     ///< region cells served by this source
+  };
+  struct Schedule {
+    std::vector<ScheduleEntry> entries;
+  };
+
+  GetResult pull_schedule(const Schedule& schedule, const std::string& var,
+                          i32 version, const Box& region,
+                          std::span<std::byte> out, u64 elem_size);
+  std::string cache_key(const std::string& var, const Box& region,
+                        u64 elem_size) const;
+
+  CodsSpace* space_;
+  Endpoint self_;
+  i32 app_id_;
+  bool cache_enabled_ = true;
+  std::map<std::string, Schedule> cache_;
+};
+
+}  // namespace cods

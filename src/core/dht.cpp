@@ -1,0 +1,99 @@
+#include "core/dht.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+namespace cods {
+
+CodsDht::CodsDht(const Cluster& cluster, SfcCurve curve, int granularity_log2)
+    : cluster_(&cluster),
+      curve_(curve),
+      granularity_log2_(granularity_log2) {
+  const u64 n = static_cast<u64>(cluster.num_nodes());
+  indices_per_node_ = (curve_.size() + n - 1) / n;
+  tables_.reserve(n);
+  for (u64 i = 0; i < n; ++i) tables_.push_back(std::make_unique<NodeTable>());
+}
+
+i32 CodsDht::owner_node(u64 index) const {
+  CODS_REQUIRE(index < curve_.size(), "index outside curve");
+  return static_cast<i32>(index / indices_per_node_);
+}
+
+IndexSpan CodsDht::node_interval(i32 node) const {
+  CODS_REQUIRE(node >= 0 && node < num_dht_cores(), "node out of range");
+  const u64 lo = static_cast<u64>(node) * indices_per_node_;
+  const u64 hi =
+      std::min(curve_.size() - 1, lo + indices_per_node_ - 1);
+  return IndexSpan{lo, hi};
+}
+
+std::vector<i32> CodsDht::owner_nodes(const Box& query) const {
+  std::set<i32> nodes;
+  for (const IndexSpan& span :
+       box_spans(curve_, query, granularity_log2_)) {
+    const i32 first = owner_node(span.lo);
+    const i32 last = owner_node(span.hi);
+    for (i32 n = first; n <= last; ++n) nodes.insert(n);
+  }
+  return {nodes.begin(), nodes.end()};
+}
+
+i32 CodsDht::insert(const std::string& var, i32 version,
+                    const DataLocation& loc) {
+  CODS_REQUIRE(loc.box.valid(), "cannot insert an empty region");
+  const auto nodes = owner_nodes(loc.box);
+  for (i32 node : nodes) {
+    NodeTable& table = *tables_[static_cast<size_t>(node)];
+    std::scoped_lock lock(table.mutex);
+    table.records[{var, version}].push_back(loc);
+  }
+  return static_cast<i32>(nodes.size());
+}
+
+LookupResult CodsDht::query(const std::string& var, i32 version,
+                            const Box& region) const {
+  LookupResult result;
+  result.dht_nodes = owner_nodes(region);
+  // Dedupe records that multiple DHT cores know about (a region spanning
+  // several intervals is registered with each).
+  std::set<std::pair<i32, u64>> seen;  // (owner_client, window_key)
+  for (i32 node : result.dht_nodes) {
+    const NodeTable& table = *tables_[static_cast<size_t>(node)];
+    std::scoped_lock lock(table.mutex);
+    const auto it = table.records.find({var, version});
+    if (it == table.records.end()) continue;
+    for (const DataLocation& loc : it->second) {
+      if (!loc.box.intersects(region)) continue;
+      if (!seen.insert({loc.owner_client, loc.window_key}).second) continue;
+      result.locations.push_back(loc);
+    }
+  }
+  return result;
+}
+
+i64 CodsDht::retire(const std::string& var, i32 version) {
+  i64 removed = 0;
+  for (auto& table : tables_) {
+    std::scoped_lock lock(table->mutex);
+    const auto it = table->records.find({var, version});
+    if (it == table->records.end()) continue;
+    removed += static_cast<i64>(it->second.size());
+    table->records.erase(it);
+  }
+  return removed;
+}
+
+i64 CodsDht::node_record_count(i32 node) const {
+  CODS_REQUIRE(node >= 0 && node < num_dht_cores(), "node out of range");
+  const NodeTable& table = *tables_[static_cast<size_t>(node)];
+  std::scoped_lock lock(table.mutex);
+  i64 count = 0;
+  for (const auto& [key, records] : table.records) {
+    count += static_cast<i64>(records.size());
+  }
+  return count;
+}
+
+}  // namespace cods

@@ -1,0 +1,111 @@
+// Typed convenience layer over the CoDS byte-level operators: a
+// FieldView<T> binds (client, variable) and reads/writes regions as
+// vectors of T, with cell-level accessors. This is the API most
+// application code wants; the byte-level CodsClient remains available for
+// heterogeneous element types.
+#pragma once
+
+#include <vector>
+
+#include "core/cods.hpp"
+
+namespace cods {
+
+/// A typed region of a variable: the box plus its row-major values.
+template <typename T>
+struct Region {
+  Box box;
+  std::vector<T> values;
+
+  T& at(const Point& cell) {
+    return values[cell_offset(box, cell)];
+  }
+  const T& at(const Point& cell) const {
+    return values[cell_offset(box, cell)];
+  }
+};
+
+/// Typed view of one shared variable through one execution client.
+/// T must be trivially copyable (it is transported as raw bytes).
+template <typename T>
+class FieldView {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  FieldView(CodsClient& client, std::string var)
+      : client_(&client), var_(std::move(var)) {}
+
+  const std::string& var() const { return var_; }
+
+  /// Writes a typed region (sequential coupling).
+  PutResult put_seq(i32 version, const Region<T>& region) {
+    return put(version, region, /*sequential=*/true);
+  }
+
+  /// Publishes a typed region (concurrent coupling).
+  PutResult put_cont(i32 version, const Region<T>& region) {
+    return put(version, region, /*sequential=*/false);
+  }
+
+  /// Reads a region (sequential coupling). Returns the filled region and
+  /// the transfer statistics.
+  std::pair<Region<T>, GetResult> get_seq(i32 version, const Box& box) {
+    return get(version, box, /*sequential=*/true);
+  }
+
+  /// Reads a region (concurrent coupling; blocks for the producers).
+  std::pair<Region<T>, GetResult> get_cont(i32 version, const Box& box) {
+    return get(version, box, /*sequential=*/false);
+  }
+
+  /// Builds a region over `box` filled by fn(cell).
+  template <typename Fn>
+  static Region<T> generate(const Box& box, Fn&& fn) {
+    Region<T> region;
+    region.box = box;
+    region.values.resize(box.volume());
+    Point cursor = box.lb;
+    for (size_t i = 0; i < region.values.size(); ++i) {
+      region.values[cell_offset(box, cursor)] = fn(cursor);
+      int d = box.ndim() - 1;
+      for (; d >= 0; --d) {
+        if (++cursor[d] <= box.ub[d]) break;
+        cursor[d] = box.lb[d];
+      }
+    }
+    return region;
+  }
+
+ private:
+  PutResult put(i32 version, const Region<T>& region, bool sequential) {
+    CODS_REQUIRE(region.values.size() == region.box.volume(),
+                 "region value count does not match its box");
+    const auto bytes = std::span(
+        reinterpret_cast<const std::byte*>(region.values.data()),
+        region.values.size() * sizeof(T));
+    return sequential
+               ? client_->put_seq(var_, version, region.box, bytes, sizeof(T))
+               : client_->put_cont(var_, version, region.box, bytes,
+                                   sizeof(T));
+  }
+
+  std::pair<Region<T>, GetResult> get(i32 version, const Box& box,
+                                      bool sequential) {
+    Region<T> region;
+    region.box = box;
+    region.values.resize(box.volume());
+    const auto bytes =
+        std::span(reinterpret_cast<std::byte*>(region.values.data()),
+                  region.values.size() * sizeof(T));
+    const GetResult result =
+        sequential
+            ? client_->get_seq(var_, version, box, bytes, sizeof(T))
+            : client_->get_cont(var_, version, box, bytes, sizeof(T));
+    return {std::move(region), result};
+  }
+
+  CodsClient* client_;
+  std::string var_;
+};
+
+}  // namespace cods

@@ -1,0 +1,108 @@
+#include "core/layout.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace cods {
+
+u64 cell_offset(const Box& box, const Point& cell) {
+  CODS_REQUIRE(box.contains(cell), "cell outside box");
+  u64 offset = 0;
+  for (int d = 0; d < box.ndim(); ++d) {
+    offset = offset * static_cast<u64>(box.extent(d)) +
+             static_cast<u64>(cell[d] - box.lb[d]);
+  }
+  return offset;
+}
+
+void copy_box_region(std::span<const std::byte> src, const Box& src_box,
+                     std::span<std::byte> dst, const Box& dst_box,
+                     const Box& region, u64 elem_size) {
+  CODS_REQUIRE(src_box.contains(region), "region outside source box");
+  CODS_REQUIRE(dst_box.contains(region), "region outside destination box");
+  CODS_REQUIRE(src.size() >= box_bytes(src_box, elem_size),
+               "source buffer too small");
+  CODS_REQUIRE(dst.size() >= box_bytes(dst_box, elem_size),
+               "destination buffer too small");
+  const int nd = region.ndim();
+  const u64 row_cells = static_cast<u64>(region.extent(nd - 1));
+  const u64 row_bytes = row_cells * elem_size;
+  // Iterate all rows: the region minus its last dimension.
+  Point cursor = region.lb;
+  for (;;) {
+    const u64 src_off = cell_offset(src_box, cursor) * elem_size;
+    const u64 dst_off = cell_offset(dst_box, cursor) * elem_size;
+    std::memcpy(dst.data() + dst_off, src.data() + src_off, row_bytes);
+    // Advance the row cursor over dims [0, nd-1).
+    int d = nd - 2;
+    for (; d >= 0; --d) {
+      if (++cursor[d] <= region.ub[d]) break;
+      cursor[d] = region.lb[d];
+    }
+    if (d < 0) break;
+  }
+}
+
+namespace {
+
+u64 cell_value(const Box& box, const Point& cell, u64 seed) {
+  // Value depends only on *global* coordinates, not the buffer's anchor, so
+  // any correctly transferred region verifies regardless of how it moved.
+  u64 h = seed;
+  for (int d = 0; d < box.ndim(); ++d) {
+    h ^= static_cast<u64>(cell[d]) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  u64 s = h;
+  return splitmix64(s);
+}
+
+template <typename Fn>
+void for_each_cell(const Box& box, Fn&& fn) {
+  Point cursor = box.lb;
+  for (;;) {
+    fn(cursor);
+    int d = box.ndim() - 1;
+    for (; d >= 0; --d) {
+      if (++cursor[d] <= box.ub[d]) break;
+      cursor[d] = box.lb[d];
+    }
+    if (d < 0) break;
+  }
+}
+
+}  // namespace
+
+void fill_pattern(std::span<std::byte> buffer, const Box& box, u64 elem_size,
+                  u64 seed) {
+  CODS_REQUIRE(buffer.size() >= box_bytes(box, elem_size),
+               "buffer too small for box");
+  for_each_cell(box, [&](const Point& cell) {
+    const u64 value = cell_value(box, cell, seed);
+    std::byte* p = buffer.data() + cell_offset(box, cell) * elem_size;
+    for (u64 b = 0; b < elem_size; ++b) {
+      p[b] = static_cast<std::byte>((value >> (8 * (b % 8))) & 0xff);
+    }
+  });
+}
+
+u64 verify_pattern(std::span<const std::byte> buffer, const Box& box,
+                   u64 elem_size, u64 seed) {
+  CODS_REQUIRE(buffer.size() >= box_bytes(box, elem_size),
+               "buffer too small for box");
+  u64 mismatches = 0;
+  for_each_cell(box, [&](const Point& cell) {
+    const u64 value = cell_value(box, cell, seed);
+    const std::byte* p = buffer.data() + cell_offset(box, cell) * elem_size;
+    for (u64 b = 0; b < elem_size; ++b) {
+      if (p[b] != static_cast<std::byte>((value >> (8 * (b % 8))) & 0xff)) {
+        ++mismatches;
+        return;
+      }
+    }
+  });
+  return mismatches;
+}
+
+}  // namespace cods

@@ -1,0 +1,41 @@
+// Row-major buffer layout over boxes: the data representation for every
+// stored/coupled variable region. Provides the strided gather/scatter used
+// when a transfer moves a sub-box between two differently-anchored buffers.
+#pragma once
+
+#include <span>
+
+#include "geometry/box.hpp"
+
+namespace cods {
+
+/// Bytes needed for a row-major buffer holding `box` with `elem_size`-byte
+/// cells.
+inline u64 box_bytes(const Box& box, u64 elem_size) {
+  return box.volume() * elem_size;
+}
+
+/// Linear element offset of `cell` inside a row-major buffer over `box`
+/// (last dimension contiguous).
+u64 cell_offset(const Box& box, const Point& cell);
+
+/// Copies the cells of `region` from a row-major buffer laid out over
+/// `src_box` into a row-major buffer laid out over `dst_box`.
+/// `region` must be contained in both boxes. Rows (contiguous runs along
+/// the last dimension) are moved with memcpy.
+void copy_box_region(std::span<const std::byte> src, const Box& src_box,
+                     std::span<std::byte> dst, const Box& dst_box,
+                     const Box& region, u64 elem_size);
+
+/// Fills a row-major buffer over `box` with a deterministic per-cell value:
+/// f(cell) = seed * 1e9 + linear cell index in the *global* coordinate
+/// space. Used by tests, examples and apps to verify end-to-end content.
+void fill_pattern(std::span<std::byte> buffer, const Box& box, u64 elem_size,
+                  u64 seed);
+
+/// Verifies a buffer over `box` against fill_pattern(seed); returns the
+/// number of mismatching cells.
+u64 verify_pattern(std::span<const std::byte> buffer, const Box& box,
+                   u64 elem_size, u64 seed);
+
+}  // namespace cods

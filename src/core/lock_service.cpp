@@ -1,0 +1,113 @@
+#include "core/lock_service.hpp"
+
+namespace cods {
+
+void LockService::account(const Endpoint& who, const std::string& name) {
+  if (dart_ == nullptr) return;
+  // The lock lives on a node hashed from its name; acquiring/releasing is
+  // one control round trip to that node's service core.
+  u64 h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<u64>(c);
+    h *= 1099511628211ULL;
+  }
+  const i32 node =
+      static_cast<i32>(h % static_cast<u64>(dart_->cluster().num_nodes()));
+  dart_->rpc(who, Endpoint{-1, CoreLoc{node, 0}});
+}
+
+LockService::LockState& LockService::state(const std::string& name) {
+  return locks_[name];  // default-constructed on first use
+}
+
+void LockService::lock_read(const std::string& name, const Endpoint& who,
+                            std::chrono::seconds timeout) {
+  account(who, name);
+  std::unique_lock lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  LockState& s = state(name);
+  // Writer preference: readers also yield to queued writers.
+  while (s.writer || s.waiting_writers > 0) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      fail("lock_read timed out on '" + name + "'");
+    }
+  }
+  ++s.readers;
+}
+
+void LockService::lock_write(const std::string& name, const Endpoint& who,
+                             std::chrono::seconds timeout) {
+  account(who, name);
+  std::unique_lock lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  LockState& s = state(name);
+  ++s.waiting_writers;
+  while (s.writer || s.readers > 0) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      --s.waiting_writers;
+      fail("lock_write timed out on '" + name + "'");
+    }
+  }
+  --s.waiting_writers;
+  s.writer = true;
+  s.writer_client = who.client_id;
+}
+
+void LockService::unlock_read(const std::string& name, const Endpoint& who) {
+  account(who, name);
+  {
+    std::scoped_lock lock(mutex_);
+    LockState& s = state(name);
+    CODS_REQUIRE(s.readers > 0, "unlock_read without a read lock");
+    --s.readers;
+  }
+  cv_.notify_all();
+}
+
+void LockService::unlock_write(const std::string& name, const Endpoint& who) {
+  account(who, name);
+  {
+    std::scoped_lock lock(mutex_);
+    LockState& s = state(name);
+    CODS_REQUIRE(s.writer, "unlock_write without a write lock");
+    CODS_REQUIRE(s.writer_client == who.client_id,
+                 "unlock_write by a client that does not hold the lock");
+    s.writer = false;
+    s.writer_client = -1;
+  }
+  cv_.notify_all();
+}
+
+bool LockService::try_lock_read(const std::string& name, const Endpoint& who) {
+  account(who, name);
+  std::scoped_lock lock(mutex_);
+  LockState& s = state(name);
+  if (s.writer || s.waiting_writers > 0) return false;
+  ++s.readers;
+  return true;
+}
+
+bool LockService::try_lock_write(const std::string& name,
+                                 const Endpoint& who) {
+  account(who, name);
+  std::scoped_lock lock(mutex_);
+  LockState& s = state(name);
+  if (s.writer || s.readers > 0) return false;
+  s.writer = true;
+  s.writer_client = who.client_id;
+  return true;
+}
+
+i32 LockService::readers(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = locks_.find(name);
+  return it == locks_.end() ? 0 : it->second.readers;
+}
+
+bool LockService::write_locked(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = locks_.find(name);
+  return it != locks_.end() && it->second.writer;
+}
+
+}  // namespace cods

@@ -1,0 +1,93 @@
+// Named reader/writer lock service for inter-application coordination —
+// the DataSpaces-lineage primitive behind safe concurrent access to shared
+// regions (the paper's CoDS "can be used to express coordination ...
+// between the coupled components", §Abstract/§III). Locks are identified by
+// name; writers are exclusive, readers share. Lock traffic is accounted as
+// control RPCs against the node hosting the lock (hashed by name).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "dart/dart.hpp"
+
+namespace cods {
+
+/// The lock manager. Thread-safe; one instance per CoDS space deployment.
+class LockService {
+ public:
+  /// `dart` is used to account lock RPC traffic; may be nullptr in tests.
+  explicit LockService(HybridDart* dart = nullptr) : dart_(dart) {}
+
+  /// Acquires `name` for reading (shared). Blocks while a writer holds it.
+  void lock_read(const std::string& name, const Endpoint& who,
+                 std::chrono::seconds timeout = std::chrono::seconds(120));
+
+  /// Acquires `name` for writing (exclusive).
+  void lock_write(const std::string& name, const Endpoint& who,
+                  std::chrono::seconds timeout = std::chrono::seconds(120));
+
+  void unlock_read(const std::string& name, const Endpoint& who);
+  void unlock_write(const std::string& name, const Endpoint& who);
+
+  /// Non-blocking variants; true on success.
+  bool try_lock_read(const std::string& name, const Endpoint& who);
+  bool try_lock_write(const std::string& name, const Endpoint& who);
+
+  /// Diagnostics.
+  i32 readers(const std::string& name) const;
+  bool write_locked(const std::string& name) const;
+
+ private:
+  struct LockState {
+    i32 readers = 0;
+    bool writer = false;
+    i32 writer_client = -1;
+    i32 waiting_writers = 0;  ///< writer preference to avoid starvation
+  };
+
+  void account(const Endpoint& who, const std::string& name);
+  LockState& state(const std::string& name);
+
+  HybridDart* dart_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, LockState> locks_;
+};
+
+/// RAII guards.
+class ReadLock {
+ public:
+  ReadLock(LockService& service, std::string name, const Endpoint& who)
+      : service_(&service), name_(std::move(name)), who_(who) {
+    service_->lock_read(name_, who_);
+  }
+  ~ReadLock() { service_->unlock_read(name_, who_); }
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  LockService* service_;
+  std::string name_;
+  Endpoint who_;
+};
+
+class WriteLock {
+ public:
+  WriteLock(LockService& service, std::string name, const Endpoint& who)
+      : service_(&service), name_(std::move(name)), who_(who) {
+    service_->lock_write(name_, who_);
+  }
+  ~WriteLock() { service_->unlock_write(name_, who_); }
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+ private:
+  LockService* service_;
+  std::string name_;
+  Endpoint who_;
+};
+
+}  // namespace cods

@@ -1,0 +1,104 @@
+#include "dart/dart.hpp"
+
+#include <cstring>
+
+namespace cods {
+
+void HybridDart::expose(i32 client_id, u64 key, std::span<std::byte> window) {
+  std::unique_lock lock(mutex_);
+  const auto [it, inserted] = windows_.insert({Key{client_id, key}, window});
+  CODS_CHECK(inserted, "window already exposed for this (client, key)");
+}
+
+void HybridDart::withdraw(i32 client_id, u64 key) {
+  std::unique_lock lock(mutex_);
+  windows_.erase(Key{client_id, key});
+}
+
+std::span<std::byte> HybridDart::window(i32 client_id, u64 key) const {
+  std::shared_lock lock(mutex_);
+  return window_locked(client_id, key);
+}
+
+std::span<std::byte> HybridDart::window_locked(i32 client_id, u64 key) const {
+  const auto it = windows_.find(Key{client_id, key});
+  CODS_CHECK(it != windows_.end(), "window not exposed");
+  return it->second;
+}
+
+bool HybridDart::has_window(i32 client_id, u64 key) const {
+  std::shared_lock lock(mutex_);
+  return windows_.contains(Key{client_id, key});
+}
+
+void HybridDart::record(i32 app_id, TrafficClass cls, const CoreLoc& src,
+                        const CoreLoc& dst, u64 bytes, double model_time) {
+  const bool net = select_transport(src, dst) == TransportKind::kRdma;
+  metrics_->record(app_id, cls, bytes, net);
+  if (transfer_log_ != nullptr) {
+    transfer_log_->record(
+        TransferRecord{src, dst, bytes, net, cls, app_id, model_time});
+  }
+}
+
+double HybridDart::get(const Endpoint& local, i32 app_id, TrafficClass cls,
+                       const Endpoint& remote, u64 key, u64 offset,
+                       std::span<std::byte> dst) {
+  {
+    // Hold the registry lock across the copy: a window cannot be withdrawn
+    // (and its memory freed) while a one-sided read is in flight — the
+    // software analogue of pinned RDMA regions.
+    std::shared_lock lock(mutex_);
+    const auto win = window_locked(remote.client_id, key);
+    CODS_REQUIRE(offset + dst.size() <= win.size(),
+                 "get exceeds remote window bounds");
+    std::memcpy(dst.data(), win.data() + offset, dst.size());
+  }
+  const double time = model_.flow_time(Flow{remote.loc, local.loc, dst.size()});
+  record(app_id, cls, remote.loc, local.loc, dst.size(), time);
+  return time;
+}
+
+double HybridDart::put(const Endpoint& local, i32 app_id, TrafficClass cls,
+                       const Endpoint& remote, u64 key, u64 offset,
+                       std::span<const std::byte> src) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto win = window_locked(remote.client_id, key);
+    CODS_REQUIRE(offset + src.size() <= win.size(),
+                 "put exceeds remote window bounds");
+    std::memcpy(win.data() + offset, src.data(), src.size());
+  }
+  const double time = model_.flow_time(Flow{local.loc, remote.loc, src.size()});
+  record(app_id, cls, local.loc, remote.loc, src.size(), time);
+  return time;
+}
+
+double HybridDart::pull(std::span<PullOp> ops) {
+  std::vector<Flow> flows;
+  flows.reserve(ops.size());
+  {
+    // Pin all source windows for the duration of the gather (see get()).
+    std::shared_lock lock(mutex_);
+    for (PullOp& op : ops) {
+      const auto win = window_locked(op.remote.client_id, op.key);
+      if (op.copy) op.copy(win);
+      flows.push_back(Flow{op.remote.loc, op.local.loc, op.bytes});
+    }
+  }
+  const double time = model_.batch_time(flows);
+  for (const PullOp& op : ops) {
+    record(op.app_id, op.cls, op.remote.loc, op.local.loc, op.bytes, time);
+  }
+  return time;
+}
+
+double HybridDart::rpc(const Endpoint& from, const Endpoint& to, u64 count) {
+  const u64 bytes =
+      count * static_cast<u64>(model_.params().rpc_bytes) * 2;  // round trips
+  metrics_->record(/*app_id=*/0, TrafficClass::kControl, bytes,
+                   select_transport(from.loc, to.loc) == TransportKind::kRdma);
+  return model_.rpc_time(from.loc, to.loc, count);
+}
+
+}  // namespace cods

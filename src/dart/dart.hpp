@@ -1,0 +1,122 @@
+// HybridDART (paper §III-A, §IV-A): the asynchronous data-transport layer
+// between execution clients. It exposes RDMA-style one-sided windows
+// (registered memory regions) and automatically selects the transport for
+// each transfer: intra-node shared memory when both endpoints live on the
+// same compute node, network (RDMA-modelled) otherwise.
+//
+// Data movement is real (bytes are copied between buffers so end-to-end
+// content can be verified); transfer *times* come from the platform cost
+// model, and every byte is accounted in the Metrics registry. This is the
+// substitution for Cray Portals documented in DESIGN.md §1.
+#pragma once
+
+#include <functional>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+
+#include "platform/cost_model.hpp"
+#include "platform/metrics.hpp"
+#include "platform/transfer_log.hpp"
+
+namespace cods {
+
+/// Identity of an execution client: a stable id plus its core location.
+struct Endpoint {
+  i32 client_id = -1;
+  CoreLoc loc;
+};
+
+enum class TransportKind { kSharedMemory, kRdma };
+
+/// One receiver-driven pull operation (paper §IV-A: consumers issue data
+/// requests to the cores where data lives). `copy` receives the remote
+/// window and performs the (possibly strided) gather into local memory.
+struct PullOp {
+  Endpoint local;             ///< the requesting (receiving) client
+  Endpoint remote;            ///< where the exposed window lives
+  u64 key = 0;                ///< remote window key
+  u64 bytes = 0;              ///< payload size accounted and timed
+  i32 app_id = 0;             ///< receiving application (metrics owner)
+  TrafficClass cls = TrafficClass::kInterApp;
+  std::function<void(std::span<const std::byte>)> copy;
+};
+
+/// The hybrid transport. Thread-safe; one instance is shared by all
+/// execution clients of a workflow run.
+class HybridDart {
+ public:
+  HybridDart(const Cluster& cluster, Metrics& metrics, CostParams params = {})
+      : cluster_(&cluster), metrics_(&metrics), model_(cluster, params) {}
+
+  const Cluster& cluster() const { return *cluster_; }
+  const CostModel& cost_model() const { return model_; }
+  Metrics& metrics() { return *metrics_; }
+
+  /// Optional per-transfer journal (nullptr disables detailed logging).
+  void set_transfer_log(TransferLog* log) { transfer_log_ = log; }
+  TransferLog* transfer_log() const { return transfer_log_; }
+
+  /// Transport used between two cores: shared memory iff same node.
+  TransportKind select_transport(const CoreLoc& a, const CoreLoc& b) const {
+    return a.node == b.node ? TransportKind::kSharedMemory
+                            : TransportKind::kRdma;
+  }
+
+  /// Registers a remotely accessible window. The caller keeps ownership of
+  /// the memory and must keep it alive until withdraw().
+  void expose(i32 client_id, u64 key, std::span<std::byte> window);
+
+  /// Removes a window. Idempotent.
+  void withdraw(i32 client_id, u64 key);
+
+  /// Looks up a window; throws if not exposed.
+  std::span<std::byte> window(i32 client_id, u64 key) const;
+
+  bool has_window(i32 client_id, u64 key) const;
+
+  /// One-sided contiguous read: remote window [offset, offset+dst.size())
+  /// into dst. Returns the modelled transfer time.
+  double get(const Endpoint& local, i32 app_id, TrafficClass cls,
+             const Endpoint& remote, u64 key, u64 offset,
+             std::span<std::byte> dst);
+
+  /// One-sided contiguous write: src into remote window at offset.
+  double put(const Endpoint& local, i32 app_id, TrafficClass cls,
+             const Endpoint& remote, u64 key, u64 offset,
+             std::span<const std::byte> src);
+
+  /// Executes a batch of concurrent pulls (all requests issued together)
+  /// and returns the modelled completion time of the batch.
+  double pull(std::span<PullOp> ops);
+
+  /// Accounts `count` small control round-trips (e.g. DHT queries) and
+  /// returns their modelled time.
+  double rpc(const Endpoint& from, const Endpoint& to, u64 count = 1);
+
+ private:
+  struct Key {
+    i32 client;
+    u64 key;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<u64>()(static_cast<u64>(k.client) * 0x9e3779b97f4a7c15ULL ^
+                              k.key);
+    }
+  };
+
+  void record(i32 app_id, TrafficClass cls, const CoreLoc& src,
+              const CoreLoc& dst, u64 bytes, double model_time);
+  std::span<std::byte> window_locked(i32 client_id, u64 key) const;
+
+  const Cluster* cluster_;
+  Metrics* metrics_;
+  CostModel model_;
+  TransferLog* transfer_log_ = nullptr;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Key, std::span<std::byte>, KeyHash> windows_;
+};
+
+}  // namespace cods

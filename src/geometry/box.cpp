@@ -1,0 +1,70 @@
+#include "geometry/box.hpp"
+
+#include <algorithm>
+
+namespace cods {
+
+std::optional<Box> intersect(const Box& a, const Box& b) {
+  if (a.ndim() != b.ndim()) return std::nullopt;
+  Box out;
+  out.lb = Point::zeros(a.ndim());
+  out.ub = Point::zeros(a.ndim());
+  for (int d = 0; d < a.ndim(); ++d) {
+    out.lb[d] = std::max(a.lb[d], b.lb[d]);
+    out.ub[d] = std::min(a.ub[d], b.ub[d]);
+    if (out.lb[d] > out.ub[d]) return std::nullopt;
+  }
+  return out;
+}
+
+Box grow(const Box& box, i64 width, const Box& bounds) {
+  CODS_REQUIRE(width >= 0, "ghost width must be non-negative");
+  CODS_REQUIRE(box.ndim() == bounds.ndim(), "dimensionality mismatch");
+  CODS_REQUIRE(bounds.contains(box), "box must lie inside the bounds");
+  Box out = box;
+  for (int d = 0; d < box.ndim(); ++d) {
+    out.lb[d] = std::max(bounds.lb[d], box.lb[d] - width);
+    out.ub[d] = std::min(bounds.ub[d], box.ub[d] + width);
+  }
+  return out;
+}
+
+std::vector<Box> subtract(const Box& a, const Box& b) {
+  auto common = intersect(a, b);
+  if (!common) return {a};
+  if (*common == a) return {};
+  // Guillotine split: peel slabs off `a` around the common box, one
+  // dimension at a time; remaining core shrinks to `common` and is dropped.
+  std::vector<Box> out;
+  Box core = a;
+  for (int d = 0; d < a.ndim(); ++d) {
+    if (core.lb[d] < common->lb[d]) {
+      Box slab = core;
+      slab.ub[d] = common->lb[d] - 1;
+      out.push_back(slab);
+      core.lb[d] = common->lb[d];
+    }
+    if (core.ub[d] > common->ub[d]) {
+      Box slab = core;
+      slab.lb[d] = common->ub[d] + 1;
+      out.push_back(slab);
+      core.ub[d] = common->ub[d];
+    }
+  }
+  return out;
+}
+
+bool exactly_covers(const Box& whole, const std::vector<Box>& pieces) {
+  u64 total = 0;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    const Box& p = pieces[i];
+    if (!p.valid() || !whole.contains(p)) return false;
+    total += p.volume();
+    for (size_t j = i + 1; j < pieces.size(); ++j) {
+      if (p.intersects(pieces[j])) return false;
+    }
+  }
+  return total == whole.volume();
+}
+
+}  // namespace cods

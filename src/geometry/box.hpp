@@ -1,0 +1,94 @@
+// Axis-aligned bounding boxes with *inclusive* bounds, matching the paper's
+// geometric descriptors (e.g. <0,0,0; 10,10,20> in Table I).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace cods {
+
+/// Inclusive axis-aligned box: all cells x with lb[d] <= x[d] <= ub[d].
+struct Box {
+  Point lb;
+  Point ub;
+
+  Box() = default;
+  Box(Point lower, Point upper) : lb(lower), ub(upper) {
+    CODS_REQUIRE(lb.nd == ub.nd, "box bounds must share dimensionality");
+  }
+  Box(std::initializer_list<i64> lower, std::initializer_list<i64> upper)
+      : lb(lower), ub(upper) {
+    CODS_REQUIRE(lb.nd == ub.nd, "box bounds must share dimensionality");
+  }
+
+  int ndim() const { return lb.nd; }
+
+  /// True iff every dimension has non-negative extent.
+  bool valid() const {
+    for (int d = 0; d < ndim(); ++d)
+      if (lb[d] > ub[d]) return false;
+    return ndim() >= 1;
+  }
+
+  /// Number of cells along dimension d.
+  i64 extent(int d) const { return ub[d] - lb[d] + 1; }
+
+  /// Total number of cells in the box.
+  u64 volume() const {
+    if (!valid()) return 0;
+    u64 v = 1;
+    for (int d = 0; d < ndim(); ++d) v *= static_cast<u64>(extent(d));
+    return v;
+  }
+
+  bool contains(const Point& p) const {
+    if (p.nd != ndim()) return false;
+    for (int d = 0; d < ndim(); ++d)
+      if (p[d] < lb[d] || p[d] > ub[d]) return false;
+    return true;
+  }
+
+  bool contains(const Box& other) const {
+    if (other.ndim() != ndim()) return false;
+    for (int d = 0; d < ndim(); ++d)
+      if (other.lb[d] < lb[d] || other.ub[d] > ub[d]) return false;
+    return true;
+  }
+
+  bool intersects(const Box& other) const {
+    if (other.ndim() != ndim()) return false;
+    for (int d = 0; d < ndim(); ++d)
+      if (other.ub[d] < lb[d] || other.lb[d] > ub[d]) return false;
+    return true;
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lb == b.lb && a.ub == b.ub;
+  }
+  friend bool operator!=(const Box& a, const Box& b) { return !(a == b); }
+
+  std::string to_string() const {
+    return "<" + lb.to_string() + ";" + ub.to_string() + ">";
+  }
+};
+
+/// Intersection of two boxes, or nullopt when they do not overlap.
+std::optional<Box> intersect(const Box& a, const Box& b);
+
+/// `box` expanded by `width` cells in every direction, clamped to `bounds`
+/// — the ghost-extended region a stencil task reads (its own cells plus
+/// halos) when exchanging halos *through the shared space* instead of
+/// point-to-point messages.
+Box grow(const Box& box, i64 width, const Box& bounds);
+
+/// `a` minus `b`, expressed as a set of disjoint boxes covering a \ b.
+std::vector<Box> subtract(const Box& a, const Box& b);
+
+/// True iff `pieces` are pairwise disjoint and exactly cover `whole`.
+/// O(n^2) in the number of pieces; intended for tests and validation.
+bool exactly_covers(const Box& whole, const std::vector<Box>& pieces);
+
+}  // namespace cods

@@ -1,0 +1,64 @@
+#include "geometry/halo.hpp"
+
+#include <algorithm>
+
+namespace cods {
+
+Decomposition blocked_view(const Decomposition& dec) {
+  std::vector<DimSpec> dims;
+  dims.reserve(static_cast<size_t>(dec.ndim()));
+  for (int d = 0; d < dec.ndim(); ++d) {
+    DimSpec ds = dec.dim(d);
+    ds.dist = Dist::kBlocked;
+    dims.push_back(ds);
+  }
+  return Decomposition(std::move(dims));
+}
+
+std::vector<TransferVolume> halo_volumes(const Decomposition& dec,
+                                         int ghost_width) {
+  CODS_REQUIRE(ghost_width >= 0, "ghost width must be non-negative");
+  for (int d = 0; d < dec.ndim(); ++d) {
+    CODS_REQUIRE(dec.dim(d).dist == Dist::kBlocked,
+                 "halo exchange requires a blocked decomposition; wrap the "
+                 "app's coupling decomposition with blocked_view()");
+  }
+  std::vector<TransferVolume> out;
+  if (ghost_width == 0) return out;
+  for (i32 rank = 0; rank < dec.ntasks(); ++rank) {
+    const Point g = dec.rank_to_grid(rank);
+    // Local extent along each dim for this rank (may be 0 at the ragged
+    // edge when the extent does not divide evenly).
+    std::array<i64, kMaxDims> local{};
+    bool empty = false;
+    for (int d = 0; d < dec.ndim(); ++d) {
+      local[static_cast<size_t>(d)] =
+          dec.owned_count_dim(d, static_cast<i32>(g[d]));
+      if (local[static_cast<size_t>(d)] == 0) empty = true;
+    }
+    if (empty) continue;
+    for (int d = 0; d < dec.ndim(); ++d) {
+      for (int dir : {-1, +1}) {
+        Point ng = g;
+        ng[d] += dir;
+        if (ng[d] < 0 || ng[d] >= dec.dim(d).nprocs) continue;
+        const i64 nbr_extent =
+            dec.owned_count_dim(d, static_cast<i32>(ng[d]));
+        if (nbr_extent == 0) continue;
+        // Cells this rank sends to the neighbour: a slab of up to
+        // ghost_width layers times the cross-sectional face area.
+        u64 face = 1;
+        for (int e = 0; e < dec.ndim(); ++e) {
+          if (e != d) face *= static_cast<u64>(local[static_cast<size_t>(e)]);
+        }
+        const u64 layers = static_cast<u64>(
+            std::min<i64>(ghost_width, local[static_cast<size_t>(d)]));
+        out.push_back(
+            TransferVolume{rank, dec.grid_to_rank(ng), face * layers});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cods

@@ -1,0 +1,26 @@
+// Near-neighbour (stencil) halo-exchange volumes for a data-parallel
+// application with a blocked task grid. Models the paper's §V-B
+// intra-application "2D or 3D stencil-like near-neighbor data exchanges".
+#pragma once
+
+#include <vector>
+
+#include "geometry/redistribution.hpp"
+
+namespace cods {
+
+/// Ghost-cell exchange volumes between rank-grid neighbours (one entry per
+/// direction, i.e. the a->b and b->a transfers are listed separately).
+/// Non-periodic boundaries; faces only (no edge/corner exchanges).
+/// Requires a blocked decomposition — stencil codes exchange contiguous
+/// boundary slabs of their local blocks.
+std::vector<TransferVolume> halo_volumes(const Decomposition& dec,
+                                         int ghost_width);
+
+/// The blocked "internal view" of an application whose coupling
+/// decomposition may be cyclic/block-cyclic: same extents and process
+/// layout, blocked distribution. Intra-app stencil exchange happens on this
+/// view regardless of how coupled data is distributed.
+Decomposition blocked_view(const Decomposition& dec);
+
+}  // namespace cods

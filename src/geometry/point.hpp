@@ -1,0 +1,60 @@
+// n-dimensional integer coordinates for Cartesian application domains.
+// Dimension is dynamic (1..kMaxDims) to support config-driven workflows;
+// storage is a fixed inline array so points stay trivially copyable.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cods {
+
+inline constexpr int kMaxDims = 4;
+
+/// An integer point (cell coordinate) in an n-D Cartesian domain.
+struct Point {
+  int nd = 0;
+  std::array<i64, kMaxDims> c{};
+
+  Point() = default;
+  Point(std::initializer_list<i64> coords) {
+    CODS_REQUIRE(coords.size() >= 1 && coords.size() <= kMaxDims,
+                 "point dimension out of range");
+    nd = static_cast<int>(coords.size());
+    size_t d = 0;
+    for (i64 v : coords) {
+      if (d >= kMaxDims) break;  // unreachable: bounds checked above
+      c[d++] = v;
+    }
+  }
+  static Point zeros(int nd) {
+    CODS_REQUIRE(nd >= 1 && nd <= kMaxDims, "dimension out of range");
+    Point p;
+    p.nd = nd;
+    return p;
+  }
+
+  i64& operator[](int d) { return c[static_cast<size_t>(d)]; }
+  i64 operator[](int d) const { return c[static_cast<size_t>(d)]; }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    if (a.nd != b.nd) return false;
+    for (int d = 0; d < a.nd; ++d)
+      if (a[d] != b[d]) return false;
+    return true;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  std::string to_string() const {
+    std::string s = "(";
+    for (int d = 0; d < nd; ++d) {
+      if (d) s += ",";
+      s += std::to_string(c[static_cast<size_t>(d)]);
+    }
+    return s + ")";
+  }
+};
+
+}  // namespace cods

@@ -1,0 +1,168 @@
+#include "geometry/redistribution.hpp"
+
+#include <algorithm>
+
+namespace cods {
+
+namespace {
+
+/// Sparse per-dimension adjacency: for each src process coordinate, the
+/// list of (dst process coordinate, shared cell count) with count > 0.
+struct DimAdjacency {
+  // adj[ra] = { (rb, cells), ... }
+  std::vector<std::vector<std::pair<i32, i64>>> adj;
+};
+
+DimAdjacency dim_adjacency(const Decomposition& src, const Decomposition& dst,
+                           int d, i64 lo, i64 hi) {
+  DimAdjacency out;
+  const i32 pa = src.dim(d).nprocs;
+  const i32 pb = dst.dim(d).nprocs;
+  out.adj.resize(static_cast<size_t>(pa));
+  for (i32 ra = 0; ra < pa; ++ra) {
+    const auto segs = src.owned_segments_dim(d, ra, lo, hi);
+    for (i32 rb = 0; rb < pb; ++rb) {
+      i64 cells = 0;
+      for (const Segment& s : segs) {
+        cells += dst.owned_count_dim_in(d, rb, s.first, s.second);
+      }
+      if (cells > 0) out.adj[static_cast<size_t>(ra)].emplace_back(rb, cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TransferVolume> redistribution_volumes(
+    const Decomposition& src, const Decomposition& dst,
+    const std::optional<Box>& region) {
+  CODS_REQUIRE(src.ndim() == dst.ndim(),
+               "coupled decompositions must share dimensionality");
+  const int nd = src.ndim();
+  const Box window = region ? *region : src.domain_box();
+  CODS_REQUIRE(window.ndim() == nd, "region dimensionality mismatch");
+
+  std::vector<DimAdjacency> per_dim;
+  per_dim.reserve(static_cast<size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    per_dim.push_back(
+        dim_adjacency(src, dst, d, window.lb[d], window.ub[d]));
+  }
+
+  std::vector<TransferVolume> out;
+  // Enumerate src ranks; for each, walk the product of its per-dim adjacency
+  // lists, so only non-zero (src, dst) pairs are ever touched.
+  for (i32 sa = 0; sa < src.ntasks(); ++sa) {
+    const Point ga = src.rank_to_grid(sa);
+    // Gather this rank's per-dim adjacency rows; empty row => no overlap.
+    bool empty = false;
+    std::array<const std::vector<std::pair<i32, i64>>*, kMaxDims> rows{};
+    for (int d = 0; d < nd; ++d) {
+      rows[static_cast<size_t>(d)] =
+          &per_dim[static_cast<size_t>(d)]
+               .adj[static_cast<size_t>(ga[d])];
+      if (rows[static_cast<size_t>(d)]->empty()) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+    std::array<size_t, kMaxDims> idx{};
+    for (;;) {
+      u64 cells = 1;
+      Point gb = Point::zeros(nd);
+      for (int d = 0; d < nd; ++d) {
+        const auto& [rb, cnt] =
+            (*rows[static_cast<size_t>(d)])[idx[static_cast<size_t>(d)]];
+        gb[d] = rb;
+        cells *= static_cast<u64>(cnt);
+      }
+      out.push_back(TransferVolume{sa, dst.grid_to_rank(gb), cells});
+      int d = nd - 1;
+      for (; d >= 0; --d) {
+        if (++idx[static_cast<size_t>(d)] <
+            rows[static_cast<size_t>(d)]->size())
+          break;
+        idx[static_cast<size_t>(d)] = 0;
+      }
+      if (d < 0) break;
+    }
+  }
+  return out;
+}
+
+std::vector<Segment> intersect_segments(const std::vector<Segment>& a,
+                                        const std::vector<Segment>& b) {
+  std::vector<Segment> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const i64 lo = std::max(a[i].first, b[j].first);
+    const i64 hi = std::min(a[i].second, b[j].second);
+    if (lo <= hi) out.emplace_back(lo, hi);
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<Box> overlap_boxes(const Decomposition& src, i32 sa,
+                               const Decomposition& dst, i32 db,
+                               const std::optional<Box>& region,
+                               size_t max_boxes) {
+  CODS_REQUIRE(src.ndim() == dst.ndim(),
+               "coupled decompositions must share dimensionality");
+  const int nd = src.ndim();
+  const Box window = region ? *region : src.domain_box();
+  const Point ga = src.rank_to_grid(sa);
+  const Point gb = dst.rank_to_grid(db);
+
+  std::vector<std::vector<Segment>> per_dim(static_cast<size_t>(nd));
+  size_t count = 1;
+  for (int d = 0; d < nd; ++d) {
+    const auto sd = src.owned_segments_dim(d, static_cast<i32>(ga[d]),
+                                           window.lb[d], window.ub[d]);
+    const auto dd = dst.owned_segments_dim(d, static_cast<i32>(gb[d]),
+                                           window.lb[d], window.ub[d]);
+    per_dim[static_cast<size_t>(d)] = intersect_segments(sd, dd);
+    count *= per_dim[static_cast<size_t>(d)].size();
+    if (count == 0) return {};
+    CODS_CHECK(count <= max_boxes, "overlap enumeration exceeds max_boxes");
+  }
+
+  std::vector<Box> out;
+  out.reserve(count);
+  std::array<size_t, kMaxDims> idx{};
+  for (;;) {
+    Box b;
+    b.lb = Point::zeros(nd);
+    b.ub = Point::zeros(nd);
+    for (int d = 0; d < nd; ++d) {
+      const Segment& s =
+          per_dim[static_cast<size_t>(d)][idx[static_cast<size_t>(d)]];
+      b.lb[d] = s.first;
+      b.ub[d] = s.second;
+    }
+    out.push_back(b);
+    int d = nd - 1;
+    for (; d >= 0; --d) {
+      if (++idx[static_cast<size_t>(d)] < per_dim[static_cast<size_t>(d)].size())
+        break;
+      idx[static_cast<size_t>(d)] = 0;
+    }
+    if (d < 0) break;
+  }
+  return out;
+}
+
+u64 total_cells(const std::vector<TransferVolume>& transfers) {
+  u64 total = 0;
+  for (const TransferVolume& t : transfers) total += t.cells;
+  return total;
+}
+
+}  // namespace cods

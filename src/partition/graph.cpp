@@ -1,0 +1,99 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cods {
+
+Graph Graph::from_edges(i32 nvtx,
+                        const std::vector<std::tuple<i32, i32, i64>>& edges,
+                        std::vector<i64> vertex_weights) {
+  CODS_REQUIRE(nvtx >= 0, "vertex count must be non-negative");
+  // Merge parallel edges.
+  std::map<std::pair<i32, i32>, i64> merged;
+  for (const auto& [u, v, w] : edges) {
+    CODS_REQUIRE(u >= 0 && u < nvtx && v >= 0 && v < nvtx,
+                 "edge endpoint out of range");
+    CODS_REQUIRE(w >= 0, "edge weight must be non-negative");
+    if (u == v || w == 0) continue;
+    merged[{std::min(u, v), std::max(u, v)}] += w;
+  }
+  Graph g;
+  g.nvtx = nvtx;
+  if (vertex_weights.empty()) {
+    g.vwgt.assign(static_cast<size_t>(nvtx), 1);
+  } else {
+    CODS_REQUIRE(static_cast<i32>(vertex_weights.size()) == nvtx,
+                 "vertex weight size mismatch");
+    g.vwgt = std::move(vertex_weights);
+  }
+  std::vector<i64> deg(static_cast<size_t>(nvtx), 0);
+  for (const auto& [key, w] : merged) {
+    ++deg[static_cast<size_t>(key.first)];
+    ++deg[static_cast<size_t>(key.second)];
+  }
+  g.xadj.assign(static_cast<size_t>(nvtx) + 1, 0);
+  for (i32 v = 0; v < nvtx; ++v) {
+    g.xadj[static_cast<size_t>(v) + 1] =
+        g.xadj[static_cast<size_t>(v)] + deg[static_cast<size_t>(v)];
+  }
+  g.adjncy.resize(static_cast<size_t>(g.xadj.back()));
+  g.adjwgt.resize(static_cast<size_t>(g.xadj.back()));
+  std::vector<i64> fill(g.xadj.begin(), g.xadj.end() - 1);
+  for (const auto& [key, w] : merged) {
+    const auto [u, v] = key;
+    g.adjncy[static_cast<size_t>(fill[static_cast<size_t>(u)])] = v;
+    g.adjwgt[static_cast<size_t>(fill[static_cast<size_t>(u)]++)] = w;
+    g.adjncy[static_cast<size_t>(fill[static_cast<size_t>(v)])] = u;
+    g.adjwgt[static_cast<size_t>(fill[static_cast<size_t>(v)]++)] = w;
+  }
+  return g;
+}
+
+i64 Graph::total_vertex_weight() const {
+  i64 total = 0;
+  for (i64 w : vwgt) total += w;
+  return total;
+}
+
+i64 Graph::total_edge_weight() const {
+  i64 total = 0;
+  for (i64 w : adjwgt) total += w;
+  return total / 2;
+}
+
+i64 Graph::edge_cut(std::span<const i32> part) const {
+  CODS_REQUIRE(static_cast<i32>(part.size()) == nvtx,
+               "partition vector size mismatch");
+  i64 cut = 0;
+  for (i32 v = 0; v < nvtx; ++v) {
+    for (i64 e = xadj[static_cast<size_t>(v)];
+         e < xadj[static_cast<size_t>(v) + 1]; ++e) {
+      const i32 u = adjncy[static_cast<size_t>(e)];
+      if (part[static_cast<size_t>(v)] != part[static_cast<size_t>(u)]) {
+        cut += adjwgt[static_cast<size_t>(e)];
+      }
+    }
+  }
+  return cut / 2;
+}
+
+void Graph::validate() const {
+  CODS_CHECK(static_cast<i32>(xadj.size()) == nvtx + 1, "bad xadj size");
+  CODS_CHECK(adjncy.size() == adjwgt.size(), "adjncy/adjwgt size mismatch");
+  CODS_CHECK(static_cast<i32>(vwgt.size()) == nvtx, "bad vwgt size");
+  CODS_CHECK(xadj.front() == 0 &&
+                 xadj.back() == static_cast<i64>(adjncy.size()),
+             "bad xadj bounds");
+  for (i32 v = 0; v < nvtx; ++v) {
+    CODS_CHECK(xadj[static_cast<size_t>(v)] <= xadj[static_cast<size_t>(v) + 1],
+               "xadj not monotone");
+    for (i64 e = xadj[static_cast<size_t>(v)];
+         e < xadj[static_cast<size_t>(v) + 1]; ++e) {
+      const i32 u = adjncy[static_cast<size_t>(e)];
+      CODS_CHECK(u >= 0 && u < nvtx && u != v, "bad neighbour");
+    }
+  }
+}
+
+}  // namespace cods

@@ -1,0 +1,469 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace cods {
+
+namespace {
+
+i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+
+struct CoarseLevel {
+  Graph graph;
+  std::vector<i32> fine_to_coarse;
+};
+
+/// Heavy-edge matching + contraction. `merge_cap` bounds the combined
+/// weight of a matched pair so coarse vertices stay placeable. Returns
+/// nullopt when the graph no longer shrinks meaningfully.
+std::optional<CoarseLevel> coarsen_once(const Graph& g, i64 merge_cap,
+                                        Rng& rng) {
+  std::vector<i32> order(static_cast<size_t>(g.nvtx));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<i32> match(static_cast<size_t>(g.nvtx), -1);
+  i32 ncoarse = 0;
+  std::vector<i32> fine_to_coarse(static_cast<size_t>(g.nvtx), -1);
+  for (i32 v : order) {
+    if (match[static_cast<size_t>(v)] != -1) continue;
+    i32 best = -1;
+    i64 best_w = -1;
+    for (i64 e = g.xadj[static_cast<size_t>(v)];
+         e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
+      const i32 u = g.adjncy[static_cast<size_t>(e)];
+      if (match[static_cast<size_t>(u)] != -1) continue;
+      if (g.vwgt[static_cast<size_t>(v)] + g.vwgt[static_cast<size_t>(u)] >
+          merge_cap)
+        continue;
+      if (g.adjwgt[static_cast<size_t>(e)] > best_w) {
+        best_w = g.adjwgt[static_cast<size_t>(e)];
+        best = u;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<size_t>(v)] = best;
+      match[static_cast<size_t>(best)] = v;
+      fine_to_coarse[static_cast<size_t>(v)] = ncoarse;
+      fine_to_coarse[static_cast<size_t>(best)] = ncoarse;
+      ++ncoarse;
+    } else {
+      match[static_cast<size_t>(v)] = v;
+      fine_to_coarse[static_cast<size_t>(v)] = ncoarse;
+      ++ncoarse;
+    }
+  }
+  if (ncoarse >= g.nvtx * 9 / 10) return std::nullopt;  // stalled
+
+  std::vector<i64> cvwgt(static_cast<size_t>(ncoarse), 0);
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    cvwgt[static_cast<size_t>(fine_to_coarse[static_cast<size_t>(v)])] +=
+        g.vwgt[static_cast<size_t>(v)];
+  }
+  std::vector<std::tuple<i32, i32, i64>> cedges;
+  cedges.reserve(g.adjncy.size() / 2);
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    const i32 cv = fine_to_coarse[static_cast<size_t>(v)];
+    for (i64 e = g.xadj[static_cast<size_t>(v)];
+         e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
+      const i32 cu =
+          fine_to_coarse[static_cast<size_t>(g.adjncy[static_cast<size_t>(e)])];
+      if (cv < cu) {  // each undirected edge once
+        cedges.emplace_back(cv, cu, g.adjwgt[static_cast<size_t>(e)]);
+      }
+    }
+  }
+  CoarseLevel level;
+  level.graph = Graph::from_edges(ncoarse, cedges, std::move(cvwgt));
+  level.fine_to_coarse = std::move(fine_to_coarse);
+  return level;
+}
+
+std::vector<i64> part_weights(const Graph& g, std::span<const i32> part,
+                              i32 nparts) {
+  std::vector<i64> w(static_cast<size_t>(nparts), 0);
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    w[static_cast<size_t>(part[static_cast<size_t>(v)])] +=
+        g.vwgt[static_cast<size_t>(v)];
+  }
+  return w;
+}
+
+/// Greedy graph growing on the coarsest graph, capacity-aware per part.
+std::vector<i32> initial_partition(const Graph& g, i32 nparts,
+                                   std::span<const i64> caps, Rng& rng) {
+  std::vector<i32> part(static_cast<size_t>(g.nvtx), -1);
+  if (nparts == 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+  std::vector<i64> weight(static_cast<size_t>(nparts), 0);
+  const i64 total = g.total_vertex_weight();
+  i64 total_cap = 0;
+  for (i64 c : caps) total_cap += c;
+  i32 assigned = 0;
+
+  std::vector<i32> perm(static_cast<size_t>(g.nvtx));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  size_t seed_cursor = 0;
+  auto next_seed = [&]() -> i32 {
+    while (seed_cursor < perm.size() &&
+           part[static_cast<size_t>(perm[seed_cursor])] != -1) {
+      ++seed_cursor;
+    }
+    return seed_cursor < perm.size() ? perm[seed_cursor] : -1;
+  };
+
+  for (i32 p = 0; p < nparts && assigned < g.nvtx; ++p) {
+    const i64 cap = caps[static_cast<size_t>(p)];
+    // Grow each region towards its proportional share of the total weight.
+    const i64 target = std::min(cap, ceil_div(total * cap, total_cap));
+    std::vector<i64> connectivity(static_cast<size_t>(g.nvtx), 0);
+    std::vector<i32> frontier;
+    auto add_to_region = [&](i32 v) {
+      part[static_cast<size_t>(v)] = p;
+      weight[static_cast<size_t>(p)] += g.vwgt[static_cast<size_t>(v)];
+      ++assigned;
+      for (i64 e = g.xadj[static_cast<size_t>(v)];
+           e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
+        const i32 u = g.adjncy[static_cast<size_t>(e)];
+        if (part[static_cast<size_t>(u)] != -1) continue;
+        if (connectivity[static_cast<size_t>(u)] == 0) frontier.push_back(u);
+        connectivity[static_cast<size_t>(u)] +=
+            g.adjwgt[static_cast<size_t>(e)];
+      }
+    };
+    const i32 seed = next_seed();
+    if (seed < 0) break;
+    add_to_region(seed);
+    while (weight[static_cast<size_t>(p)] < target && assigned < g.nvtx) {
+      // Pick frontier vertex with max connectivity that fits.
+      i32 best = -1;
+      i64 best_conn = -1;
+      size_t best_idx = 0;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        const i32 u = frontier[i];
+        if (part[static_cast<size_t>(u)] != -1) continue;  // stale entry
+        if (weight[static_cast<size_t>(p)] + g.vwgt[static_cast<size_t>(u)] >
+            cap)
+          continue;
+        if (connectivity[static_cast<size_t>(u)] > best_conn) {
+          best_conn = connectivity[static_cast<size_t>(u)];
+          best = u;
+          best_idx = i;
+        }
+      }
+      if (best < 0) {
+        // Disconnected or everything too heavy: jump to a fresh seed.
+        const i32 s = next_seed();
+        if (s < 0 ||
+            weight[static_cast<size_t>(p)] + g.vwgt[static_cast<size_t>(s)] >
+                cap)
+          break;
+        add_to_region(s);
+        continue;
+      }
+      frontier[best_idx] = frontier.back();
+      frontier.pop_back();
+      add_to_region(best);
+    }
+  }
+  // Leftovers: relatively-lightest part with room; if coarse-vertex
+  // granularity leaves no part with room, overfill the relatively-lightest
+  // part — the fine-level repair pass restores the hard bound.
+  auto fill_ratio = [&](i32 p) {
+    return static_cast<double>(weight[static_cast<size_t>(p)]) /
+           static_cast<double>(std::max<i64>(1, caps[static_cast<size_t>(p)]));
+  };
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    if (part[static_cast<size_t>(v)] != -1) continue;
+    i32 best = -1;
+    i32 lightest = 0;
+    for (i32 p = 0; p < nparts; ++p) {
+      if (fill_ratio(p) < fill_ratio(lightest)) lightest = p;
+      if (weight[static_cast<size_t>(p)] + g.vwgt[static_cast<size_t>(v)] >
+          caps[static_cast<size_t>(p)])
+        continue;
+      if (best < 0 || fill_ratio(p) < fill_ratio(best)) best = p;
+    }
+    if (best < 0) best = lightest;
+    part[static_cast<size_t>(v)] = best;
+    weight[static_cast<size_t>(best)] += g.vwgt[static_cast<size_t>(v)];
+  }
+  return part;
+}
+
+/// Greedy boundary refinement (FM-style single-vertex moves).
+void refine(const Graph& g, std::vector<i32>& part, i32 nparts,
+            std::span<const i64> caps, int passes, Rng& rng) {
+  if (nparts <= 1 || g.nvtx == 0) return;
+  std::vector<i64> weight = part_weights(g, part, nparts);
+  std::vector<i32> order(static_cast<size_t>(g.nvtx));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<i64> conn(static_cast<size_t>(nparts), 0);
+  std::vector<i32> touched;
+  for (int pass = 0; pass < passes; ++pass) {
+    std::shuffle(order.begin(), order.end(), rng);
+    bool moved = false;
+    for (i32 v : order) {
+      const i32 from = part[static_cast<size_t>(v)];
+      // Connectivity of v to each neighbouring part.
+      touched.clear();
+      for (i64 e = g.xadj[static_cast<size_t>(v)];
+           e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
+        const i32 p = part[static_cast<size_t>(g.adjncy[static_cast<size_t>(e)])];
+        if (conn[static_cast<size_t>(p)] == 0) touched.push_back(p);
+        conn[static_cast<size_t>(p)] += g.adjwgt[static_cast<size_t>(e)];
+      }
+      i32 best = from;
+      i64 best_gain = 0;
+      for (i32 p : touched) {
+        if (p == from) continue;
+        if (weight[static_cast<size_t>(p)] + g.vwgt[static_cast<size_t>(v)] >
+            caps[static_cast<size_t>(p)])
+          continue;
+        const i64 gain = conn[static_cast<size_t>(p)] -
+                         conn[static_cast<size_t>(from)];
+        const bool better =
+            gain > best_gain ||
+            (gain == best_gain && gain > 0 &&
+             weight[static_cast<size_t>(p)] <
+                 weight[static_cast<size_t>(best)]);
+        if (better) {
+          best_gain = gain;
+          best = p;
+        }
+      }
+      for (i32 p : touched) conn[static_cast<size_t>(p)] = 0;
+      if (best != from) {
+        part[static_cast<size_t>(v)] = best;
+        weight[static_cast<size_t>(from)] -= g.vwgt[static_cast<size_t>(v)];
+        weight[static_cast<size_t>(best)] += g.vwgt[static_cast<size_t>(v)];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+/// Moves vertices out of overfull parts until every capacity holds.
+void repair_capacity(const Graph& g, std::vector<i32>& part, i32 nparts,
+                     std::span<const i64> caps) {
+  std::vector<i64> weight = part_weights(g, part, nparts);
+  for (;;) {
+    i32 over = -1;
+    for (i32 p = 0; p < nparts; ++p) {
+      if (weight[static_cast<size_t>(p)] > caps[static_cast<size_t>(p)]) {
+        over = p;
+        break;
+      }
+    }
+    if (over < 0) return;
+    // Cheapest vertex (by cut increase) in the overfull part that fits a
+    // destination part.
+    i32 best_v = -1;
+    i32 best_p = -1;
+    i64 best_cost = 0;
+    for (i32 v = 0; v < g.nvtx; ++v) {
+      if (part[static_cast<size_t>(v)] != over) continue;
+      for (i32 p = 0; p < nparts; ++p) {
+        if (p == over) continue;
+        if (weight[static_cast<size_t>(p)] + g.vwgt[static_cast<size_t>(v)] >
+            caps[static_cast<size_t>(p)])
+          continue;
+        i64 cost = 0;
+        for (i64 e = g.xadj[static_cast<size_t>(v)];
+             e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
+          const i32 q =
+              part[static_cast<size_t>(g.adjncy[static_cast<size_t>(e)])];
+          if (q == over) cost += g.adjwgt[static_cast<size_t>(e)];
+          if (q == p) cost -= g.adjwgt[static_cast<size_t>(e)];
+        }
+        if (best_v < 0 || cost < best_cost) {
+          best_v = v;
+          best_p = p;
+          best_cost = cost;
+        }
+      }
+    }
+    CODS_CHECK(best_v >= 0, "capacity repair failed (infeasible instance)");
+    weight[static_cast<size_t>(over)] -= g.vwgt[static_cast<size_t>(best_v)];
+    weight[static_cast<size_t>(best_p)] += g.vwgt[static_cast<size_t>(best_v)];
+    part[static_cast<size_t>(best_v)] = best_p;
+  }
+}
+
+/// The full multilevel pipeline for one (sub)problem.
+std::vector<i32> multilevel_partition(const Graph& g, i32 nparts,
+                                      std::span<const i64> caps,
+                                      const PartitionOptions& options,
+                                      Rng& rng) {
+  const i64 merge_cap =
+      *std::max_element(caps.begin(), caps.end());
+  std::vector<CoarseLevel> levels;
+  const Graph* current = &g;
+  while (current->nvtx > std::max<i32>(options.coarsen_target, nparts * 2)) {
+    auto level = coarsen_once(*current, merge_cap, rng);
+    if (!level) break;
+    levels.push_back(std::move(*level));
+    current = &levels.back().graph;
+  }
+
+  std::vector<i32> part = initial_partition(*current, nparts, caps, rng);
+  refine(*current, part, nparts, caps, options.refine_passes, rng);
+
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const Graph& fine =
+        (std::next(it) == levels.rend()) ? g : std::next(it)->graph;
+    std::vector<i32> fine_part(static_cast<size_t>(fine.nvtx));
+    for (i32 v = 0; v < fine.nvtx; ++v) {
+      fine_part[static_cast<size_t>(v)] =
+          part[static_cast<size_t>(it->fine_to_coarse[static_cast<size_t>(v)])];
+    }
+    part = std::move(fine_part);
+    refine(fine, part, nparts, caps, options.refine_passes, rng);
+  }
+
+  repair_capacity(g, part, nparts, caps);
+  return part;
+}
+
+/// Extracts the sub-graph induced by the vertices with part[v] == side.
+/// Returns the sub-graph and the local->global vertex mapping.
+std::pair<Graph, std::vector<i32>> induced_subgraph(
+    const Graph& g, std::span<const i32> part, i32 side) {
+  std::vector<i32> local(static_cast<size_t>(g.nvtx), -1);
+  std::vector<i32> global;
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    if (part[static_cast<size_t>(v)] == side) {
+      local[static_cast<size_t>(v)] = static_cast<i32>(global.size());
+      global.push_back(v);
+    }
+  }
+  std::vector<std::tuple<i32, i32, i64>> edges;
+  std::vector<i64> vwgt;
+  vwgt.reserve(global.size());
+  for (i32 lv = 0; lv < static_cast<i32>(global.size()); ++lv) {
+    const i32 v = global[static_cast<size_t>(lv)];
+    vwgt.push_back(g.vwgt[static_cast<size_t>(v)]);
+    for (i64 e = g.xadj[static_cast<size_t>(v)];
+         e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
+      const i32 u = g.adjncy[static_cast<size_t>(e)];
+      const i32 lu = local[static_cast<size_t>(u)];
+      if (lu > lv) {
+        edges.emplace_back(lv, lu, g.adjwgt[static_cast<size_t>(e)]);
+      }
+    }
+  }
+  return {Graph::from_edges(static_cast<i32>(global.size()), edges,
+                            std::move(vwgt)),
+          std::move(global)};
+}
+
+void recursive_bisect(const Graph& g, std::span<const i32> global_ids,
+                      i32 nparts, std::span<const i64> caps, i32 first_part,
+                      const PartitionOptions& options, Rng& rng,
+                      std::vector<i32>& out) {
+  if (nparts == 1) {
+    for (i32 v = 0; v < g.nvtx; ++v) {
+      out[static_cast<size_t>(global_ids[static_cast<size_t>(v)])] =
+          first_part;
+    }
+    return;
+  }
+  const i32 k1 = nparts / 2;
+  const i32 k2 = nparts - k1;
+  i64 cap_left = 0;
+  i64 cap_right = 0;
+  for (i32 p = 0; p < k1; ++p) cap_left += caps[static_cast<size_t>(p)];
+  for (i32 p = k1; p < nparts; ++p) cap_right += caps[static_cast<size_t>(p)];
+  const std::array<i64, 2> side_caps = {cap_left, cap_right};
+  const std::vector<i32> bisection =
+      multilevel_partition(g, 2, side_caps, options, rng);
+  for (i32 side = 0; side < 2; ++side) {
+    auto [sub, sub_global] = induced_subgraph(g, bisection, side);
+    // Map the sub-graph's local ids back to the original vertex ids.
+    for (i32& v : sub_global) {
+      v = global_ids[static_cast<size_t>(v)];
+    }
+    if (sub.nvtx == 0) continue;
+    recursive_bisect(sub, sub_global, side == 0 ? k1 : k2,
+                     caps.subspan(side == 0 ? 0 : static_cast<size_t>(k1),
+                                  static_cast<size_t>(side == 0 ? k1 : k2)),
+                     first_part + (side == 0 ? 0 : k1), options, rng, out);
+  }
+}
+
+}  // namespace
+
+PartitionResult kway_partition(const Graph& g, i32 nparts,
+                               PartitionOptions options) {
+  CODS_REQUIRE(nparts >= 1, "nparts must be positive");
+  g.validate();
+  const i64 total = g.total_vertex_weight();
+  std::vector<i64> caps;
+  if (!options.part_capacities.empty()) {
+    CODS_REQUIRE(static_cast<i32>(options.part_capacities.size()) == nparts,
+                 "part_capacities size must equal nparts");
+    caps = options.part_capacities;
+  } else {
+    const i64 cap = options.max_part_weight > 0 ? options.max_part_weight
+                                                : ceil_div(total, nparts);
+    caps.assign(static_cast<size_t>(nparts), cap);
+  }
+  i64 total_cap = 0;
+  i64 max_cap = 0;
+  for (i64 c : caps) {
+    CODS_REQUIRE(c >= 1, "part capacity must be positive");
+    total_cap += c;
+    max_cap = std::max(max_cap, c);
+  }
+  CODS_REQUIRE(total <= total_cap,
+               "infeasible: total vertex weight exceeds total capacity");
+  for (i64 w : g.vwgt) {
+    CODS_REQUIRE(w <= max_cap, "a single vertex exceeds every capacity");
+  }
+
+  Rng rng(options.seed);
+  std::vector<i32> part;
+  if (options.scheme == PartitionScheme::kRecursiveBisection && nparts > 1) {
+    part.assign(static_cast<size_t>(g.nvtx), 0);
+    std::vector<i32> identity(static_cast<size_t>(g.nvtx));
+    std::iota(identity.begin(), identity.end(), 0);
+    recursive_bisect(g, identity, nparts, caps, 0, options, rng, part);
+    repair_capacity(g, part, nparts, caps);
+  } else {
+    part = multilevel_partition(g, nparts, caps, options, rng);
+  }
+
+  PartitionResult result;
+  result.part = std::move(part);
+  result.edge_cut = g.edge_cut(result.part);
+  const auto weights = part_weights(g, result.part, nparts);
+  result.max_weight = weights.empty()
+                          ? 0
+                          : *std::max_element(weights.begin(), weights.end());
+  return result;
+}
+
+bool partition_valid(const Graph& g, std::span<const i32> part, i32 nparts,
+                     i64 max_part_weight) {
+  if (static_cast<i32>(part.size()) != g.nvtx) return false;
+  std::vector<i64> weight(static_cast<size_t>(nparts), 0);
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    const i32 p = part[static_cast<size_t>(v)];
+    if (p < 0 || p >= nparts) return false;
+    weight[static_cast<size_t>(p)] += g.vwgt[static_cast<size_t>(v)];
+  }
+  for (i64 w : weight) {
+    if (max_part_weight > 0 && w > max_part_weight) return false;
+  }
+  return true;
+}
+
+}  // namespace cods

@@ -1,0 +1,54 @@
+// Multilevel k-way graph partitioning with a hard per-part capacity — the
+// from-scratch METIS stand-in used by server-side data-centric task mapping.
+//
+// Pipeline (classic multilevel scheme):
+//   1. Coarsening: heavy-edge matching collapses strongly-communicating
+//      vertex pairs (respecting the capacity so coarse vertices stay
+//      placeable), until the graph is small.
+//   2. Initial partitioning: greedy graph growing — grow k regions from
+//      spread-out seeds, always extending the lightest region along its
+//      heaviest frontier edge.
+//   3. Uncoarsening: project the partition back level by level, running
+//      boundary (FM-style) refinement passes that move vertices to the
+//      neighbouring part with maximal gain, subject to capacity.
+// A final repair pass guarantees no part exceeds `max_part_weight`.
+#pragma once
+
+#include "partition/graph.hpp"
+
+namespace cods {
+
+enum class PartitionScheme {
+  kDirectKway,          ///< one multilevel k-way pass (default)
+  kRecursiveBisection,  ///< classic recursive 2-way splitting
+};
+
+struct PartitionOptions {
+  /// Hard upper bound on the vertex weight of each part
+  /// (task mapping: cores per node). 0 = ceil(total/nparts).
+  i64 max_part_weight = 0;
+  /// Per-part capacities for heterogeneous nodes; overrides
+  /// max_part_weight when non-empty (size must equal nparts).
+  std::vector<i64> part_capacities;
+  u64 seed = 1;            ///< deterministic RNG seed
+  int refine_passes = 8;   ///< refinement sweeps per uncoarsening level
+  i32 coarsen_target = 96; ///< stop coarsening near this many vertices
+  PartitionScheme scheme = PartitionScheme::kDirectKway;
+};
+
+struct PartitionResult {
+  std::vector<i32> part;  ///< part id per vertex, in [0, nparts)
+  i64 edge_cut = 0;
+  i64 max_weight = 0;     ///< heaviest part weight actually produced
+};
+
+/// Partitions `g` into `nparts` parts. Throws if the capacity makes the
+/// instance infeasible (total weight > nparts * max_part_weight).
+PartitionResult kway_partition(const Graph& g, i32 nparts,
+                               PartitionOptions options = {});
+
+/// True iff `part` is a valid assignment respecting the capacity.
+bool partition_valid(const Graph& g, std::span<const i32> part, i32 nparts,
+                     i64 max_part_weight);
+
+}  // namespace cods

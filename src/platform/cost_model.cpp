@@ -1,0 +1,123 @@
+#include "platform/cost_model.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cods {
+
+namespace fabric {
+
+CostParams seastar2() { return CostParams{}; }
+
+CostParams gemini() {
+  CostParams params;
+  params.link_bw = 2.9e10;   // ~29 GB/s per link
+  params.nic_bw = 6.0e9;     // ~6 GB/s injection
+  params.hop_latency = 1e-6;
+  params.net_latency = 1.5e-6;
+  params.shm_bw = 8.0e9;
+  return params;
+}
+
+CostParams modern_hpc() {
+  CostParams params;
+  params.link_bw = 5.0e10;
+  params.nic_bw = 1.2e10;    // ~100 Gbps
+  params.hop_latency = 2e-7;
+  params.net_latency = 1e-6;
+  params.shm_bw = 2.0e10;    // DDR5-era streaming
+  params.shm_latency = 2e-7;
+  return params;
+}
+
+}  // namespace fabric
+
+double CostModel::flow_time(const Flow& flow) const {
+  if (flow.bytes == 0) return 0.0;
+  const double bytes = static_cast<double>(flow.bytes);
+  if (flow.src.node == flow.dst.node) {
+    return params_.shm_latency + bytes / params_.shm_bw;
+  }
+  const i32 hops = cluster_->hops(flow.src.node, flow.dst.node);
+  const double wire_bw = std::min(params_.link_bw, params_.nic_bw);
+  return params_.net_latency + hops * params_.hop_latency + bytes / wire_bw;
+}
+
+double CostModel::batch_time(const std::vector<Flow>& flows) const {
+  return batch_time_with_background(flows, {});
+}
+
+double CostModel::batch_time_with_background(
+    const std::vector<Flow>& primary, const std::vector<Flow>& background) const {
+  if (primary.empty()) return 0.0;
+  // Accumulate loads over primary + background, but remember which
+  // resources the primary flows touch: only those bound the result.
+  std::unordered_set<u64> primary_links;
+  std::unordered_set<i32> primary_nics;
+  std::unordered_set<i32> primary_shm;
+  for (const Flow& f : primary) {
+    if (f.bytes == 0) continue;
+    if (f.src.node == f.dst.node) {
+      primary_shm.insert(f.src.node);
+      continue;
+    }
+    primary_nics.insert(f.src.node);
+    primary_nics.insert(f.dst.node);
+    for (u64 link : cluster_->route_links(f.src.node, f.dst.node)) {
+      primary_links.insert(link);
+    }
+  }
+  std::vector<Flow> flows = primary;
+  flows.insert(flows.end(), background.begin(), background.end());
+  std::unordered_map<u64, double> link_load;   // directed torus links
+  std::unordered_map<i32, double> nic_load;    // per-node injection+ejection
+  std::unordered_map<i32, double> shm_load;    // per-node memory bus
+  i32 max_hops = 0;
+  for (const Flow& f : primary) {
+    if (f.bytes == 0 || f.src.node == f.dst.node) continue;
+    max_hops = std::max(max_hops, cluster_->hops(f.src.node, f.dst.node));
+  }
+  for (const Flow& f : flows) {
+    if (f.bytes == 0) continue;
+    const double bytes = static_cast<double>(f.bytes);
+    if (f.src.node == f.dst.node) {
+      shm_load[f.src.node] += bytes;
+      continue;
+    }
+    nic_load[f.src.node] += bytes;
+    nic_load[f.dst.node] += bytes;
+    for (u64 link : cluster_->route_links(f.src.node, f.dst.node)) {
+      link_load[link] += bytes;
+    }
+  }
+  double bottleneck = 0.0;
+  for (const auto& [link, load] : link_load) {
+    if (!primary_links.contains(link)) continue;
+    bottleneck = std::max(bottleneck, load / params_.link_bw);
+  }
+  for (const auto& [node, load] : nic_load) {
+    if (!primary_nics.contains(node)) continue;
+    bottleneck = std::max(bottleneck, load / params_.nic_bw);
+  }
+  for (const auto& [node, load] : shm_load) {
+    if (!primary_shm.contains(node)) continue;
+    bottleneck = std::max(bottleneck, load / params_.shm_bw);
+  }
+  double latency = 0.0;
+  if (!primary_nics.empty()) {
+    latency = params_.net_latency + max_hops * params_.hop_latency;
+  } else if (!primary_shm.empty()) {
+    latency = params_.shm_latency;
+  }
+  return bottleneck + latency;
+}
+
+double CostModel::rpc_time(const CoreLoc& src, const CoreLoc& dst,
+                           u64 count) const {
+  if (count == 0) return 0.0;
+  Flow f{src, dst, static_cast<u64>(params_.rpc_bytes)};
+  return static_cast<double>(count) * 2.0 * flow_time(f);  // round trip
+}
+
+}  // namespace cods

@@ -1,0 +1,87 @@
+#include "platform/metrics.hpp"
+
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace cods {
+
+void Metrics::record(i32 app_id, TrafficClass cls, u64 bytes,
+                     bool via_network) {
+  std::scoped_lock lock(mutex_);
+  ByteCounters& c = counters_[{app_id, cls}];
+  if (via_network) {
+    c.net_bytes += bytes;
+  } else {
+    c.shm_bytes += bytes;
+  }
+  ++c.transfers;
+}
+
+void Metrics::add_time(i32 app_id, const std::string& phase, double seconds) {
+  std::scoped_lock lock(mutex_);
+  times_[{app_id, phase}] += seconds;
+}
+
+ByteCounters Metrics::counters(i32 app_id, TrafficClass cls) const {
+  std::scoped_lock lock(mutex_);
+  auto it = counters_.find({app_id, cls});
+  return it == counters_.end() ? ByteCounters{} : it->second;
+}
+
+double Metrics::time(i32 app_id, const std::string& phase) const {
+  std::scoped_lock lock(mutex_);
+  auto it = times_.find({app_id, phase});
+  return it == times_.end() ? 0.0 : it->second;
+}
+
+ByteCounters Metrics::total(TrafficClass cls) const {
+  std::scoped_lock lock(mutex_);
+  ByteCounters total;
+  for (const auto& [key, c] : counters_) {
+    if (key.second != cls) continue;
+    total.shm_bytes += c.shm_bytes;
+    total.net_bytes += c.net_bytes;
+    total.transfers += c.transfers;
+  }
+  return total;
+}
+
+u64 Metrics::total_net_bytes() const {
+  std::scoped_lock lock(mutex_);
+  u64 total = 0;
+  for (const auto& [key, c] : counters_) total += c.net_bytes;
+  return total;
+}
+
+void Metrics::reset() {
+  std::scoped_lock lock(mutex_);
+  counters_.clear();
+  times_.clear();
+}
+
+std::string Metrics::report() const {
+  std::scoped_lock lock(mutex_);
+  std::ostringstream os;
+  auto cls_name = [](TrafficClass cls) {
+    switch (cls) {
+      case TrafficClass::kInterApp: return "inter-app";
+      case TrafficClass::kIntraApp: return "intra-app";
+      case TrafficClass::kControl: return "control";
+    }
+    return "?";
+  };
+  for (const auto& [key, c] : counters_) {
+    os << "app " << key.first << " " << cls_name(key.second)
+       << ": shm=" << format_bytes(c.shm_bytes)
+       << " net=" << format_bytes(c.net_bytes) << " (" << c.transfers
+       << " transfers)\n";
+  }
+  for (const auto& [key, t] : times_) {
+    os << "app " << key.first << " " << key.second << ": "
+       << format_seconds(t) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cods

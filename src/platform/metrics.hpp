@@ -1,0 +1,57 @@
+// Byte-exact accounting of every data movement in the framework, split by
+// transport (shared memory vs network) and by class (inter-application
+// coupling vs intra-application exchange). These counters are the ground
+// truth behind the reproduction of the paper's Figures 8, 9 and 12-15.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "platform/cluster.hpp"
+
+namespace cods {
+
+/// Which kind of traffic a transfer belongs to.
+enum class TrafficClass { kInterApp, kIntraApp, kControl };
+
+/// Aggregated byte counters for one (app, class) key.
+struct ByteCounters {
+  u64 shm_bytes = 0;
+  u64 net_bytes = 0;
+  u64 transfers = 0;
+
+  u64 total() const { return shm_bytes + net_bytes; }
+};
+
+/// Thread-safe metrics registry. One instance is shared by the transport
+/// layer, the CoDS clients and the benchmarks of a given experiment run.
+class Metrics {
+ public:
+  /// Records one transfer attributed to the *receiving* application
+  /// (receiver-driven pull: the consumer pays for its data).
+  void record(i32 app_id, TrafficClass cls, u64 bytes, bool via_network);
+
+  /// Accumulates wall/model time for a named phase of an application.
+  void add_time(i32 app_id, const std::string& phase, double seconds);
+
+  ByteCounters counters(i32 app_id, TrafficClass cls) const;
+  double time(i32 app_id, const std::string& phase) const;
+
+  /// Sum across all apps for one traffic class.
+  ByteCounters total(TrafficClass cls) const;
+
+  /// Sum of network bytes across all apps and classes.
+  u64 total_net_bytes() const;
+
+  void reset();
+
+  std::string report() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<i32, TrafficClass>, ByteCounters> counters_;
+  std::map<std::pair<i32, std::string>, double> times_;
+};
+
+}  // namespace cods

@@ -1,0 +1,53 @@
+// Optional detailed transfer log: records individual data movements
+// (endpoints, bytes, transport, traffic class, modelled duration) for
+// debugging and offline analysis, with a chrome://tracing JSON export.
+// Attach one to HybridDart when per-transfer visibility is needed; the
+// aggregate Metrics registry stays the always-on accounting path.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "platform/metrics.hpp"
+
+namespace cods {
+
+struct TransferRecord {
+  CoreLoc src;
+  CoreLoc dst;
+  u64 bytes = 0;
+  bool via_network = false;
+  TrafficClass cls = TrafficClass::kInterApp;
+  i32 app_id = 0;
+  double model_time = 0.0;  ///< modelled duration of this transfer
+};
+
+/// Bounded, thread-safe transfer journal.
+class TransferLog {
+ public:
+  explicit TransferLog(size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void record(const TransferRecord& record);
+
+  size_t size() const;
+  u64 dropped() const;  ///< records discarded after the log filled up
+  std::vector<TransferRecord> snapshot() const;
+  void clear();
+
+  /// Summary rows: per (app, class, transport) count and bytes.
+  std::string summary() const;
+
+  /// Chrome trace-event JSON ("catapult" format): one complete event per
+  /// transfer, on a per-node timeline, durations from the cost model.
+  std::string to_chrome_trace() const;
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  u64 dropped_ = 0;
+  std::vector<TransferRecord> records_;
+};
+
+}  // namespace cods

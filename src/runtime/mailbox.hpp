@@ -1,0 +1,85 @@
+// Per-rank message queue with MPI-style (source, tag) matching.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cods {
+
+inline constexpr i32 kAnySource = -1;
+inline constexpr i32 kAnyTag = -1;
+
+/// A delivered message. `comm_tag` combines the communicator id and user
+/// tag so independent communicators never match each other's traffic.
+struct Message {
+  i32 src_global = -1;  ///< sender's *global* rank
+  i64 comm_tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe mailbox; recv blocks until a matching message arrives.
+class Mailbox {
+ public:
+  void push(Message message) {
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message with the given comm_tag (and source, unless
+  /// kAnySource) is available, removes and returns it. FIFO per match.
+  /// Throws after `timeout` so one failed rank cannot deadlock the run.
+  Message pop(i32 src_global, i64 comm_tag,
+              std::chrono::seconds timeout = std::chrono::seconds(120)) {
+    std::unique_lock lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->comm_tag != comm_tag) continue;
+        if (src_global != kAnySource && it->src_global != src_global) continue;
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        fail("recv timed out waiting for a matching message");
+      }
+    }
+  }
+
+  /// Non-blocking variant of pop: returns the first matching message, or
+  /// nullopt when none is queued.
+  std::optional<Message> try_pop(i32 src_global, i64 comm_tag) {
+    std::scoped_lock lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->comm_tag != comm_tag) continue;
+      if (src_global != kAnySource && it->src_global != src_global) continue;
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+    return std::nullopt;
+  }
+
+  size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace cods

@@ -1,0 +1,78 @@
+#include "runtime/redistribute.hpp"
+
+#include "core/layout.hpp"
+
+namespace cods {
+
+namespace {
+
+void require_blocked(const Decomposition& dec) {
+  for (int d = 0; d < dec.ndim(); ++d) {
+    CODS_REQUIRE(dec.dim(d).dist == Dist::kBlocked,
+                 "meta-app redistribution requires blocked decompositions");
+  }
+}
+
+Box single_box(const Decomposition& dec, i32 rank) {
+  const auto boxes = dec.owned_boxes(rank);
+  CODS_CHECK(boxes.size() == 1, "blocked task owns one box");
+  return boxes[0];
+}
+
+}  // namespace
+
+RedistributeStats meta_redistribute_send(const Comm& world,
+                                         const Decomposition& src,
+                                         i32 src_rank,
+                                         const Decomposition& dst,
+                                         i32 consumer_rank0,
+                                         std::span<const std::byte> data,
+                                         u64 elem_size, i32 tag) {
+  require_blocked(src);
+  require_blocked(dst);
+  const Box mine = single_box(src, src_rank);
+  CODS_REQUIRE(data.size() >= box_bytes(mine, elem_size),
+               "producer buffer too small for its owned box");
+  RedistributeStats stats;
+  for (i32 dst_rank = 0; dst_rank < dst.ntasks(); ++dst_rank) {
+    const Box theirs = single_box(dst, dst_rank);
+    const auto overlap = intersect(mine, theirs);
+    if (!overlap) continue;
+    // Pack the overlap into a contiguous buffer and ship it.
+    std::vector<std::byte> packed(box_bytes(*overlap, elem_size));
+    copy_box_region(data, mine, packed, *overlap, *overlap, elem_size);
+    world.send(consumer_rank0 + dst_rank, tag, packed);
+    stats.bytes_sent += packed.size();
+    ++stats.peers;
+  }
+  return stats;
+}
+
+RedistributeStats meta_redistribute_recv(const Comm& world,
+                                         const Decomposition& src,
+                                         i32 producer_rank0,
+                                         const Decomposition& dst,
+                                         i32 dst_rank,
+                                         std::span<std::byte> out,
+                                         u64 elem_size, i32 tag) {
+  require_blocked(src);
+  require_blocked(dst);
+  const Box mine = single_box(dst, dst_rank);
+  CODS_REQUIRE(out.size() >= box_bytes(mine, elem_size),
+               "consumer buffer too small for its owned box");
+  RedistributeStats stats;
+  for (i32 src_rank = 0; src_rank < src.ntasks(); ++src_rank) {
+    const Box theirs = single_box(src, src_rank);
+    const auto overlap = intersect(mine, theirs);
+    if (!overlap) continue;
+    const Message m = world.recv(producer_rank0 + src_rank, tag);
+    CODS_CHECK(m.payload.size() == box_bytes(*overlap, elem_size),
+               "unexpected redistribution message size");
+    copy_box_region(m.payload, *overlap, out, mine, *overlap, elem_size);
+    stats.bytes_received += m.payload.size();
+    ++stats.peers;
+  }
+  return stats;
+}
+
+}  // namespace cods

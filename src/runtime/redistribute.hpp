@@ -1,0 +1,45 @@
+// The "single MPI meta-application" baseline for the M x N coupling
+// problem (paper §I): instead of sharing data through the CoDS space, the
+// producer and consumer applications are fused into one communicator and
+// exchange the overlap regions with explicit point-to-point messages.
+// Provided as a comparison substrate (see bench/ablation_meta_app) and for
+// tests that cross-check CoDS transfer volumes against a direct exchange.
+//
+// Restriction: both decompositions must be blocked (each task owns one
+// contiguous box) — the typical layout of the stencil codes this baseline
+// historically served.
+#pragma once
+
+#include "geometry/redistribution.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cods {
+
+struct RedistributeStats {
+  u64 bytes_sent = 0;
+  u64 bytes_received = 0;
+  i32 peers = 0;  ///< distinct remote tasks exchanged with
+};
+
+/// Producer side: `data` is row-major over this task's owned box of `src`.
+/// Sends every overlap to the consumer world ranks, which are assumed to be
+/// laid out as world rank = consumer_rank0 + dst_rank.
+RedistributeStats meta_redistribute_send(const Comm& world,
+                                         const Decomposition& src,
+                                         i32 src_rank,
+                                         const Decomposition& dst,
+                                         i32 consumer_rank0,
+                                         std::span<const std::byte> data,
+                                         u64 elem_size, i32 tag = 7000);
+
+/// Consumer side: fills `out` (row-major over this task's owned box of
+/// `dst`) from producer world ranks laid out as producer_rank0 + src_rank.
+RedistributeStats meta_redistribute_recv(const Comm& world,
+                                         const Decomposition& src,
+                                         i32 producer_rank0,
+                                         const Decomposition& dst,
+                                         i32 dst_rank,
+                                         std::span<std::byte> out,
+                                         u64 elem_size, i32 tag = 7000);
+
+}  // namespace cods

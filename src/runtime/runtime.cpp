@@ -1,0 +1,337 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <thread>
+
+namespace cods {
+
+namespace {
+
+// Internal tags for collectives live above the user tag space.
+constexpr i32 kUserTagBits = 20;
+constexpr i32 kTagGather = (1 << kUserTagBits) + 1;
+constexpr i32 kTagBcast = (1 << kUserTagBits) + 2;
+constexpr i32 kTagSplit = (1 << kUserTagBits) + 3;
+constexpr i32 kTagScatter = (1 << kUserTagBits) + 4;
+constexpr i32 kTagAlltoall = (1 << kUserTagBits) + 5;
+
+}  // namespace
+
+bool Comm::RecvRequest::test() {
+  if (message_) return true;
+  const i32 src_global =
+      src_ == kAnySource ? kAnySource : comm_->global_rank(src_);
+  auto m = comm_->runtime_->mailbox(comm_->global_rank(comm_->rank()))
+               .try_pop(src_global, comm_->comm_tag(tag_));
+  if (m) message_ = std::move(*m);
+  return message_.has_value();
+}
+
+Message Comm::RecvRequest::wait() {
+  if (!message_) message_ = comm_->recv(src_, tag_);
+  Message out = std::move(*message_);
+  message_.reset();
+  return out;
+}
+
+i64 Comm::comm_tag(i32 tag) const {
+  CODS_REQUIRE(tag >= 0 && tag < (1 << (kUserTagBits + 2)),
+               "tag out of range");
+  return comm_id_ * (i64{1} << (kUserTagBits + 2)) + tag;
+}
+
+i32 Comm::global_rank(i32 comm_rank) const {
+  CODS_REQUIRE(valid(), "invalid communicator");
+  CODS_REQUIRE(comm_rank >= 0 && comm_rank < size(), "rank out of range");
+  return (*members_)[static_cast<size_t>(comm_rank)];
+}
+
+void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
+  CODS_REQUIRE(valid(), "invalid communicator");
+  const i32 dst_global = global_rank(dst);
+  const i32 src_global = global_rank(my_index_);
+  Message m;
+  m.src_global = src_global;
+  m.comm_tag = comm_tag(tag);
+  m.payload.assign(payload.begin(), payload.end());
+  // Account the movement against the placement of the two ranks.
+  const CoreLoc a = runtime_->loc(src_global);
+  const CoreLoc b = runtime_->loc(dst_global);
+  if (dst_global != src_global && !payload.empty()) {
+    runtime_->metrics().record(app_id_, TrafficClass::kIntraApp,
+                               payload.size(), a.node != b.node);
+  }
+  runtime_->mailbox(dst_global).push(std::move(m));
+}
+
+Message Comm::recv(i32 src, i32 tag) const {
+  CODS_REQUIRE(valid(), "invalid communicator");
+  const i32 src_global = src == kAnySource ? kAnySource : global_rank(src);
+  Message m = runtime_->mailbox(global_rank(my_index_)).pop(src_global,
+                                                            comm_tag(tag));
+  return m;
+}
+
+void Comm::barrier() const {
+  // Linear gather to rank 0 followed by a broadcast release.
+  gather(0, {});
+  std::vector<std::byte> token;
+  bcast(0, token);
+}
+
+void Comm::bcast(i32 root, std::vector<std::byte>& data) const {
+  CODS_REQUIRE(valid(), "invalid communicator");
+  if (my_index_ == root) {
+    for (i32 r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send(r, kTagBcast, data);
+    }
+  } else {
+    const Message m = recv(root, kTagBcast);
+    data = m.payload;
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(
+    i32 root, std::span<const std::byte> contribution) const {
+  CODS_REQUIRE(valid(), "invalid communicator");
+  std::vector<std::vector<std::byte>> result;
+  if (my_index_ == root) {
+    result.resize(static_cast<size_t>(size()));
+    result[static_cast<size_t>(root)].assign(contribution.begin(),
+                                             contribution.end());
+    for (i32 r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message m = recv(r, kTagGather);
+      result[static_cast<size_t>(r)] = std::move(m.payload);
+    }
+  } else {
+    send(root, kTagGather, contribution);
+  }
+  return result;
+}
+
+std::vector<std::byte> Comm::scatter(
+    i32 root, const std::vector<std::vector<std::byte>>& chunks) const {
+  CODS_REQUIRE(valid(), "invalid communicator");
+  if (my_index_ == root) {
+    CODS_REQUIRE(static_cast<i32>(chunks.size()) == size(),
+                 "scatter needs one chunk per rank at the root");
+    for (i32 r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send(r, kTagScatter, chunks[static_cast<size_t>(r)]);
+    }
+    return chunks[static_cast<size_t>(root)];
+  }
+  return recv(root, kTagScatter).payload;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv(
+    const std::vector<std::vector<std::byte>>& send_bufs) const {
+  CODS_REQUIRE(valid(), "invalid communicator");
+  CODS_REQUIRE(static_cast<i32>(send_bufs.size()) == size(),
+               "alltoallv needs one buffer per rank");
+  // Buffered sends: fire them all, then drain the receives.
+  for (i32 r = 0; r < size(); ++r) {
+    if (r == my_index_) continue;
+    send(r, kTagAlltoall, send_bufs[static_cast<size_t>(r)]);
+  }
+  std::vector<std::vector<std::byte>> result(static_cast<size_t>(size()));
+  result[static_cast<size_t>(my_index_)] =
+      send_bufs[static_cast<size_t>(my_index_)];
+  for (i32 r = 0; r < size(); ++r) {
+    if (r == my_index_) continue;
+    result[static_cast<size_t>(r)] = recv(r, kTagAlltoall).payload;
+  }
+  return result;
+}
+
+namespace {
+
+template <typename T, typename Op>
+T allreduce(const Comm& comm, T value, Op op) {
+  const auto bytes =
+      std::span(reinterpret_cast<const std::byte*>(&value), sizeof(T));
+  auto contributions = comm.gather(0, bytes);
+  std::vector<std::byte> out(sizeof(T));
+  if (comm.rank() == 0) {
+    T acc = value;
+    for (i32 r = 1; r < comm.size(); ++r) {
+      T v;
+      std::memcpy(&v, contributions[static_cast<size_t>(r)].data(), sizeof(T));
+      acc = op(acc, v);
+    }
+    std::memcpy(out.data(), &acc, sizeof(T));
+  }
+  comm.bcast(0, out);
+  T result;
+  std::memcpy(&result, out.data(), sizeof(T));
+  return result;
+}
+
+}  // namespace
+
+i64 Comm::allreduce_sum(i64 value) const {
+  return allreduce(*this, value, [](i64 a, i64 b) { return a + b; });
+}
+
+double Comm::allreduce_sum(double value) const {
+  return allreduce(*this, value, [](double a, double b) { return a + b; });
+}
+
+i64 Comm::allreduce_max(i64 value) const {
+  return allreduce(*this, value, [](i64 a, i64 b) { return std::max(a, b); });
+}
+
+double Comm::allreduce_max(double value) const {
+  return allreduce(*this, value,
+                   [](double a, double b) { return std::max(a, b); });
+}
+
+double Comm::allreduce_min(double value) const {
+  return allreduce(*this, value,
+                   [](double a, double b) { return std::min(a, b); });
+}
+
+Comm Comm::split(i32 color, i32 key) const {
+  CODS_REQUIRE(valid(), "invalid communicator");
+  struct Entry {
+    i32 color;
+    i32 key;
+    i32 old_rank;
+  };
+  const Entry mine{color, key, my_index_};
+  auto gathered = gather(
+      0, std::span(reinterpret_cast<const std::byte*>(&mine), sizeof(Entry)));
+
+  struct Assignment {
+    i64 comm_id;
+    i32 my_index;
+    i32 group_size;
+    // followed by group_size global ranks in the payload
+  };
+
+  std::vector<std::byte> my_assignment;
+  if (my_index_ == 0) {
+    std::vector<Entry> entries;
+    entries.reserve(gathered.size());
+    for (const auto& buf : gathered) {
+      Entry e;
+      std::memcpy(&e, buf.data(), sizeof(Entry));
+      entries.push_back(e);
+    }
+    std::map<i32, std::vector<Entry>> groups;
+    for (const Entry& e : entries) {
+      if (e.color >= 0) groups[e.color].push_back(e);
+    }
+    // Build each group's member list (global ranks) ordered by (key, rank).
+    std::vector<std::vector<std::byte>> assignments(
+        static_cast<size_t>(size()));
+    for (auto& [c, group] : groups) {
+      std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+        return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
+      });
+      const i64 comm_id = runtime_->alloc_comm_id();
+      std::vector<i32> globals;
+      globals.reserve(group.size());
+      for (const Entry& e : group) globals.push_back(global_rank(e.old_rank));
+      for (size_t i = 0; i < group.size(); ++i) {
+        Assignment a{comm_id, static_cast<i32>(i),
+                     static_cast<i32>(group.size())};
+        std::vector<std::byte> buf(sizeof(Assignment) +
+                                   globals.size() * sizeof(i32));
+        std::memcpy(buf.data(), &a, sizeof(Assignment));
+        std::memcpy(buf.data() + sizeof(Assignment), globals.data(),
+                    globals.size() * sizeof(i32));
+        assignments[static_cast<size_t>(group[i].old_rank)] = std::move(buf);
+      }
+    }
+    // Colorless ranks get an empty assignment.
+    for (i32 r = 0; r < size(); ++r) {
+      if (r == 0) {
+        my_assignment = assignments[0];
+      } else {
+        send(r, kTagSplit, assignments[static_cast<size_t>(r)]);
+      }
+    }
+  } else {
+    my_assignment = recv(0, kTagSplit).payload;
+  }
+
+  if (my_assignment.empty()) return Comm{};  // negative color
+  Assignment a;
+  std::memcpy(&a, my_assignment.data(), sizeof(Assignment));
+  auto members = std::make_shared<std::vector<i32>>(
+      static_cast<size_t>(a.group_size));
+  std::memcpy(members->data(), my_assignment.data() + sizeof(Assignment),
+              static_cast<size_t>(a.group_size) * sizeof(i32));
+  Comm out;
+  out.runtime_ = runtime_;
+  out.comm_id_ = a.comm_id;
+  out.my_index_ = a.my_index;
+  out.app_id_ = app_id_;
+  out.members_ = std::move(members);
+  return out;
+}
+
+void Runtime::run(const std::vector<CoreLoc>& placement,
+                  const std::function<void(RankCtx&)>& body) {
+  const i32 n = static_cast<i32>(placement.size());
+  CODS_REQUIRE(n >= 1, "need at least one rank");
+  for (const CoreLoc& loc : placement) {
+    CODS_REQUIRE(loc.node >= 0 && loc.node < cluster_->num_nodes() &&
+                     loc.core >= 0 && loc.core < cluster_->cores_per_node(),
+                 "placement outside the cluster");
+  }
+  placement_ = placement;
+  mailboxes_.clear();
+  for (i32 r = 0; r < n; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+
+  auto members = std::make_shared<std::vector<i32>>();
+  members->resize(static_cast<size_t>(n));
+  for (i32 r = 0; r < n; ++r) (*members)[static_cast<size_t>(r)] = r;
+  const i64 world_id = alloc_comm_id();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (i32 r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      RankCtx ctx;
+      ctx.global_rank = r;
+      ctx.loc = placement_[static_cast<size_t>(r)];
+      ctx.runtime = this;
+      ctx.world.runtime_ = this;
+      ctx.world.comm_id_ = world_id;
+      ctx.world.my_index_ = r;
+      ctx.world.members_ = members;
+      try {
+        body(ctx);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+Mailbox& Runtime::mailbox(i32 global_rank) {
+  CODS_REQUIRE(global_rank >= 0 &&
+                   global_rank < static_cast<i32>(mailboxes_.size()),
+               "global rank out of range");
+  return *mailboxes_[static_cast<size_t>(global_rank)];
+}
+
+CoreLoc Runtime::loc(i32 global_rank) const {
+  CODS_REQUIRE(global_rank >= 0 &&
+                   global_rank < static_cast<i32>(placement_.size()),
+               "global rank out of range");
+  return placement_[static_cast<size_t>(global_rank)];
+}
+
+}  // namespace cods

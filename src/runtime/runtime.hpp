@@ -1,0 +1,169 @@
+// vmpi — a threads-based message-passing runtime reproducing the paper's
+// execution model: every execution client is one process of a data-parallel
+// application, clients are "colored" by application id and split into
+// per-application communicators (MPI_Comm_split, paper §IV-C), then run a
+// pre-linked application subroutine.
+//
+// Ranks are std::threads; point-to-point messages go through per-rank
+// mailboxes; every send is byte-accounted against the platform model using
+// the sender/receiver core placement. This substitutes for MPI per
+// DESIGN.md §1 while keeping real data movement and real concurrency.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "platform/cost_model.hpp"
+#include "platform/metrics.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace cods {
+
+class Runtime;
+
+/// A communicator: an ordered group of global ranks. Value object; each
+/// rank holds its own copy (like an MPI_Comm handle).
+class Comm {
+ public:
+  Comm() = default;
+
+  i32 rank() const { return my_index_; }
+  i32 size() const { return static_cast<i32>(members_->size()); }
+  bool valid() const { return runtime_ != nullptr && my_index_ >= 0; }
+  i64 id() const { return comm_id_; }
+
+  /// Application id used for metric attribution of this communicator's
+  /// traffic (intra-application exchanges).
+  i32 app_id() const { return app_id_; }
+  void set_app_id(i32 app_id) { app_id_ = app_id; }
+
+  /// Global rank of a communicator rank.
+  i32 global_rank(i32 comm_rank) const;
+
+  void send(i32 dst, i32 tag, std::span<const std::byte> payload) const;
+  Message recv(i32 src, i32 tag) const;  ///< src may be kAnySource
+
+  /// Non-blocking receive handle. test() polls; wait() blocks.
+  class RecvRequest {
+   public:
+    /// True once a matching message arrived (and was claimed).
+    bool test();
+    /// Blocks until the message arrives and returns it.
+    Message wait();
+
+   private:
+    friend class Comm;
+    RecvRequest(const Comm* comm, i32 src, i32 tag)
+        : comm_(comm), src_(src), tag_(tag) {}
+    const Comm* comm_;
+    i32 src_;
+    i32 tag_;
+    std::optional<Message> message_;
+  };
+
+  /// Posts a non-blocking receive. (Sends are always buffered and
+  /// non-blocking in this runtime, so there is no isend counterpart.)
+  RecvRequest irecv(i32 src, i32 tag) const { return RecvRequest(this, src, tag); }
+
+  /// Combined send + receive with the same peer (safe against deadlock in
+  /// pairwise exchanges since sends are buffered).
+  Message sendrecv(i32 peer, i32 tag, std::span<const std::byte> payload) const {
+    send(peer, tag, payload);
+    return recv(peer, tag);
+  }
+
+  /// Typed convenience wrappers for trivially copyable values.
+  template <typename T>
+  void send_value(i32 dst, i32 tag, const T& value) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag,
+         std::span(reinterpret_cast<const std::byte*>(&value), sizeof(T)));
+  }
+  template <typename T>
+  T recv_value(i32 src, i32 tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Message m = recv(src, tag);
+    CODS_CHECK(m.payload.size() == sizeof(T), "typed recv size mismatch");
+    T value;
+    std::memcpy(&value, m.payload.data(), sizeof(T));
+    return value;
+  }
+
+  void barrier() const;
+  void bcast(i32 root, std::vector<std::byte>& data) const;
+  std::vector<std::vector<std::byte>> gather(
+      i32 root, std::span<const std::byte> contribution) const;
+
+  /// Root distributes chunks[r] to every rank r; returns this rank's chunk.
+  /// `chunks` is only read at the root (must have size() entries there).
+  std::vector<std::byte> scatter(
+      i32 root, const std::vector<std::vector<std::byte>>& chunks) const;
+
+  /// Every rank sends send[j] to rank j and receives one buffer from every
+  /// rank (result[i] came from rank i). The M x N workhorse collective.
+  std::vector<std::vector<std::byte>> alltoallv(
+      const std::vector<std::vector<std::byte>>& send) const;
+  i64 allreduce_sum(i64 value) const;
+  double allreduce_sum(double value) const;
+  i64 allreduce_max(i64 value) const;
+  double allreduce_max(double value) const;
+  double allreduce_min(double value) const;
+
+  /// Collective: partitions this communicator by `color` (>= 0); ranks with
+  /// the same color form a new communicator ordered by (key, old rank).
+  /// A negative color yields an invalid Comm (not a member of any group).
+  Comm split(i32 color, i32 key) const;
+
+ private:
+  friend class Runtime;
+
+  Runtime* runtime_ = nullptr;
+  i64 comm_id_ = -1;
+  i32 my_index_ = -1;
+  i32 app_id_ = 0;
+  std::shared_ptr<const std::vector<i32>> members_;  // global ranks
+
+  i64 comm_tag(i32 tag) const;
+};
+
+/// Per-rank context handed to the body function.
+struct RankCtx {
+  i32 global_rank = -1;
+  CoreLoc loc;
+  Comm world;
+  Runtime* runtime = nullptr;
+};
+
+/// The runtime: spawns ranks as threads and owns their mailboxes.
+class Runtime {
+ public:
+  Runtime(const Cluster& cluster, Metrics& metrics, CostParams params = {})
+      : cluster_(&cluster), metrics_(&metrics), model_(cluster, params) {}
+
+  const Cluster& cluster() const { return *cluster_; }
+  Metrics& metrics() { return *metrics_; }
+  const CostModel& cost_model() const { return model_; }
+
+  /// Runs one rank per entry of `placement`, each on its own thread, with a
+  /// world communicator spanning all of them. Blocks until all ranks
+  /// return; rethrows the first rank exception.
+  void run(const std::vector<CoreLoc>& placement,
+           const std::function<void(RankCtx&)>& body);
+
+  // --- internals used by Comm ---
+  Mailbox& mailbox(i32 global_rank);
+  CoreLoc loc(i32 global_rank) const;
+  i64 alloc_comm_id() { return next_comm_id_.fetch_add(1); }
+
+ private:
+  const Cluster* cluster_;
+  Metrics* metrics_;
+  CostModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<CoreLoc> placement_;
+  std::atomic<i64> next_comm_id_{1};
+};
+
+}  // namespace cods

@@ -1,0 +1,89 @@
+#include "workflow/advisor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "geometry/redistribution.hpp"
+
+namespace cods {
+
+MappingAdvice advise_mapping(ScenarioConfig config, double min_savings) {
+  CODS_REQUIRE(!config.couplings.empty(), "advice needs at least one coupling");
+  MappingAdvice advice;
+
+  config.strategy = MappingStrategy::kRoundRobin;
+  const ScenarioResult rr = run_modeled_scenario(config);
+  config.strategy = MappingStrategy::kDataCentric;
+  const ScenarioResult dc = run_modeled_scenario(config);
+
+  advice.rr_network_bytes = rr.total_inter_net() + rr.total_intra_net();
+  advice.dc_network_bytes = dc.total_inter_net() + dc.total_intra_net();
+  advice.network_savings =
+      advice.rr_network_bytes == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(advice.dc_network_bytes) /
+                      static_cast<double>(advice.rr_network_bytes);
+
+  u64 inter = 0;
+  u64 intra = 0;
+  double rr_time = 0.0;
+  double dc_time = 0.0;
+  for (const auto& [app, report] : rr.apps) {
+    inter += report.inter_total();
+    intra += report.intra_total();
+    rr_time = std::max(rr_time, report.retrieve_time);
+  }
+  for (const auto& [app, report] : dc.apps) {
+    dc_time = std::max(dc_time, report.retrieve_time);
+  }
+  advice.rr_retrieve_time = rr_time;
+  advice.dc_retrieve_time = dc_time;
+  advice.inter_intra_ratio =
+      intra == 0 ? std::numeric_limits<double>::infinity()
+                 : static_cast<double>(inter) / static_cast<double>(intra);
+
+  // Fig. 10 metric across all couplings.
+  for (const CouplingEdge& edge : config.couplings) {
+    const AppSpec* producer = nullptr;
+    const AppSpec* consumer = nullptr;
+    for (const AppSpec& app : config.apps) {
+      if (app.app_id == edge.producer) producer = &app;
+      if (app.app_id == edge.consumer) consumer = &app;
+    }
+    CODS_CHECK(producer != nullptr && consumer != nullptr,
+               "coupling references unknown app");
+    std::map<i32, i32> sources;
+    for (const TransferVolume& t :
+         redistribution_volumes(producer->dec, consumer->dec)) {
+      ++sources[t.dst_rank];
+    }
+    for (const auto& [rank, n] : sources) {
+      advice.max_fan_in = std::max(advice.max_fan_in, n);
+    }
+  }
+
+  if (advice.network_savings >= min_savings) {
+    advice.recommended = MappingStrategy::kDataCentric;
+    advice.rationale =
+        "data-centric mapping removes " +
+        std::to_string(static_cast<int>(advice.network_savings * 100)) +
+        "% of the network traffic";
+  } else {
+    advice.recommended = MappingStrategy::kRoundRobin;
+    if (advice.max_fan_in > config.cluster.cores_per_node) {
+      advice.rationale =
+          "mismatched distributions: a consumer task needs " +
+          std::to_string(advice.max_fan_in) +
+          " producers (> " + std::to_string(config.cluster.cores_per_node) +
+          " cores/node), so co-location cannot help";
+    } else if (advice.inter_intra_ratio < 1.0) {
+      advice.rationale =
+          "intra-application exchange dominates the coupling volume";
+    } else {
+      advice.rationale = "predicted savings below the threshold";
+    }
+  }
+  return advice;
+}
+
+}  // namespace cods

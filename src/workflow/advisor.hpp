@@ -1,0 +1,41 @@
+// Mapping advisor: predicts, from decompositions alone, whether data-centric
+// in-situ placement will pay off for a coupling — and by how much — before
+// any allocation is spent. Wraps the modeled-scenario evaluator (which
+// shares its code paths with the live engine, so predictions are
+// byte-exact) and applies the paper's own effectiveness criteria:
+// distribution-type match (Fig. 8/10) and the inter/intra data-size ratio
+// (§V-B closing remark).
+#pragma once
+
+#include "workflow/scenario.hpp"
+
+namespace cods {
+
+struct MappingAdvice {
+  MappingStrategy recommended = MappingStrategy::kDataCentric;
+
+  u64 rr_network_bytes = 0;  ///< coupled + halo network bytes, round-robin
+  u64 dc_network_bytes = 0;  ///< same under data-centric mapping
+  double network_savings = 0.0;  ///< 1 - dc/rr, in [0, 1]
+
+  double rr_retrieve_time = 0.0;
+  double dc_retrieve_time = 0.0;
+
+  /// Max producers any single consumer task must contact (Fig. 10 metric);
+  /// values far above cores-per-node imply co-location cannot help.
+  i32 max_fan_in = 0;
+
+  /// Ratio of coupled volume to total halo volume (§V-B): below ~1 the
+  /// benefit erodes.
+  double inter_intra_ratio = 0.0;
+
+  std::string rationale;  ///< one-line human-readable explanation
+};
+
+/// Evaluates both strategies on `config` (its `strategy` field is ignored)
+/// and recommends one. Thresholds: recommend data-centric when it saves at
+/// least `min_savings` of the network traffic (default 10%).
+MappingAdvice advise_mapping(ScenarioConfig config,
+                             double min_savings = 0.10);
+
+}  // namespace cods

@@ -1,0 +1,174 @@
+#include "workflow/dag.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cods {
+
+void DagSpec::add_app(i32 app_id) {
+  CODS_REQUIRE(!has_app(app_id), "duplicate app id");
+  apps_.push_back(app_id);
+}
+
+void DagSpec::add_dependency(i32 parent, i32 child) {
+  edges_.emplace_back(parent, child);
+}
+
+void DagSpec::add_bundle(std::vector<i32> apps) {
+  CODS_REQUIRE(!apps.empty(), "bundle must not be empty");
+  bundles_.push_back(std::move(apps));
+}
+
+bool DagSpec::has_app(i32 app_id) const {
+  return std::find(apps_.begin(), apps_.end(), app_id) != apps_.end();
+}
+
+std::vector<std::vector<i32>> DagSpec::bundles() const {
+  std::vector<std::vector<i32>> out = bundles_;
+  std::set<i32> bundled;
+  for (const auto& b : bundles_) bundled.insert(b.begin(), b.end());
+  for (i32 app : apps_) {
+    if (!bundled.contains(app)) out.push_back({app});
+  }
+  return out;
+}
+
+std::vector<i32> DagSpec::parents(i32 app_id) const {
+  std::vector<i32> out;
+  for (const auto& [parent, child] : edges_) {
+    if (child == app_id) out.push_back(parent);
+  }
+  return out;
+}
+
+void DagSpec::validate() const {
+  CODS_REQUIRE(!apps_.empty(), "workflow has no applications");
+  for (const auto& [parent, child] : edges_) {
+    CODS_REQUIRE(has_app(parent) && has_app(child),
+                 "dependency references unknown app id");
+    CODS_REQUIRE(parent != child, "self-dependency");
+  }
+  std::set<i32> bundled;
+  for (const auto& bundle : bundles_) {
+    for (i32 app : bundle) {
+      CODS_REQUIRE(has_app(app), "bundle references unknown app id");
+      CODS_REQUIRE(bundled.insert(app).second,
+                   "app appears in more than one bundle");
+    }
+  }
+  waves();  // throws on cycles
+}
+
+std::vector<std::vector<std::vector<i32>>> DagSpec::waves() const {
+  const auto all_bundles = bundles();
+  // Bundle-level dependency graph.
+  std::map<i32, size_t> bundle_of;
+  for (size_t b = 0; b < all_bundles.size(); ++b) {
+    for (i32 app : all_bundles[b]) bundle_of[app] = b;
+  }
+  std::vector<std::set<size_t>> deps(all_bundles.size());
+  for (const auto& [parent, child] : edges_) {
+    const size_t pb = bundle_of.at(parent);
+    const size_t cb = bundle_of.at(child);
+    if (pb != cb) deps[cb].insert(pb);
+  }
+  // Kahn's algorithm in waves.
+  std::vector<std::vector<std::vector<i32>>> result;
+  std::vector<bool> done(all_bundles.size(), false);
+  size_t remaining = all_bundles.size();
+  while (remaining > 0) {
+    std::vector<std::vector<i32>> wave;
+    std::vector<size_t> picked;
+    for (size_t b = 0; b < all_bundles.size(); ++b) {
+      if (done[b]) continue;
+      bool ready = true;
+      for (size_t d : deps[b]) {
+        if (!done[d]) ready = false;
+      }
+      if (ready) {
+        wave.push_back(all_bundles[b]);
+        picked.push_back(b);
+      }
+    }
+    CODS_CHECK(!wave.empty(), "workflow DAG contains a dependency cycle");
+    for (size_t b : picked) done[b] = true;
+    remaining -= picked.size();
+    result.push_back(std::move(wave));
+  }
+  return result;
+}
+
+DagSpec DagSpec::parse(const std::string& text) {
+  DagSpec dag;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank line
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+    if (keyword == "APP_ID") {
+      i32 id;
+      CODS_REQUIRE(static_cast<bool>(tokens >> id),
+                   "APP_ID needs an integer id" + where);
+      dag.add_app(id);
+    } else if (keyword == "PARENT_APPID") {
+      i32 parent;
+      i32 child;
+      std::string child_kw;
+      CODS_REQUIRE(static_cast<bool>(tokens >> parent >> child_kw >> child) &&
+                       child_kw == "CHILD_APPID",
+                   "expected PARENT_APPID <id> CHILD_APPID <id>" + where);
+      dag.add_dependency(parent, child);
+    } else if (keyword == "BUNDLE") {
+      std::vector<i32> apps;
+      i32 id;
+      while (tokens >> id) apps.push_back(id);
+      CODS_REQUIRE(!apps.empty(), "BUNDLE needs at least one app id" + where);
+      dag.add_bundle(std::move(apps));
+    } else {
+      fail("unknown workflow description keyword '" + keyword + "'" + where);
+    }
+  }
+  return dag;
+}
+
+DagSpec DagSpec::load(const std::string& path) {
+  std::ifstream in(path);
+  CODS_REQUIRE(in.good(), "cannot open workflow description: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void DagSpec::save(const std::string& path) const {
+  std::ofstream out(path);
+  CODS_REQUIRE(out.good(), "cannot write workflow description: " + path);
+  out << serialize();
+}
+
+std::string DagSpec::serialize() const {
+  std::ostringstream os;
+  for (i32 app : apps_) os << "APP_ID " << app << "\n";
+  for (const auto& [parent, child] : edges_) {
+    os << "PARENT_APPID " << parent << " CHILD_APPID " << child << "\n";
+  }
+  for (const auto& bundle : bundles_) {
+    os << "BUNDLE";
+    for (i32 app : bundle) os << " " << app;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cods

@@ -1,0 +1,240 @@
+#include "workflow/engine.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <numeric>
+#include <set>
+
+#include "common/log.hpp"
+
+namespace cods {
+
+WorkflowServer::WorkflowServer(const Cluster& cluster, Metrics& metrics,
+                               const Box& domain, CodsConfig config)
+    : cluster_(&cluster),
+      metrics_(&metrics),
+      space_(cluster, metrics, domain, config) {}
+
+void WorkflowServer::register_app(AppSpec spec, AppFn fn,
+                                  std::string consumes_var,
+                                  i32 consumes_version) {
+  CODS_REQUIRE(static_cast<bool>(fn), "application subroutine must be set");
+  CODS_REQUIRE(!apps_.contains(spec.app_id), "app id already registered");
+  // The app's coupled-data domain must fit the space's domain (the DHT's
+  // curve is sized from the latter).
+  const Box domain = space_.domain();
+  CODS_REQUIRE(spec.dec.ndim() == domain.ndim(),
+               "app decomposition dimensionality does not match the space");
+  for (int d = 0; d < domain.ndim(); ++d) {
+    CODS_REQUIRE(spec.dec.dim(d).extent <= domain.extent(d),
+                 "app domain exceeds the space domain in dimension " +
+                     std::to_string(d));
+  }
+  const i32 id = spec.app_id;
+  apps_.insert({id, RegisteredApp{std::move(spec), std::move(fn),
+                                  std::move(consumes_var), consumes_version}});
+}
+
+const WorkflowServer::RegisteredApp& WorkflowServer::app(i32 app_id) const {
+  const auto it = apps_.find(app_id);
+  CODS_CHECK(it != apps_.end(),
+             "workflow references unregistered app " + std::to_string(app_id));
+  return it->second;
+}
+
+std::vector<NodeBytes> WorkflowServer::dht_node_bytes(
+    const RegisteredApp& consumer) {
+  // Client-side mapping input: for each task, how many bytes of its
+  // required region are stored on each node (Data Lookup service, §IV-B).
+  std::vector<NodeBytes> out(static_cast<size_t>(consumer.spec.ntasks()));
+  for (i32 rank = 0; rank < consumer.spec.ntasks(); ++rank) {
+    NodeBytes& bytes = out[static_cast<size_t>(rank)];
+    for (const Box& box : consumer.spec.dec.owned_boxes(rank)) {
+      const LookupResult lookup = space_.dht().query(
+          consumer.consumes_var, consumer.consumes_version, box);
+      for (const DataLocation& loc : lookup.locations) {
+        const auto overlap = intersect(loc.box, box);
+        if (!overlap) continue;
+        bytes[loc.owner_loc.node] +=
+            overlap->volume() * consumer.spec.elem_size;
+      }
+    }
+  }
+  return out;
+}
+
+Placement WorkflowServer::map_wave(
+    const std::vector<std::vector<i32>>& wave, const WorkflowOptions& options,
+    WaveReport& report) {
+  std::vector<AppSpec> specs;
+  for (const auto& bundle : wave) {
+    for (i32 app_id : bundle) {
+      specs.push_back(app(app_id).spec);
+      report.apps.push_back(app_id);
+    }
+  }
+  report.strategy = options.strategy;
+
+  if (options.strategy == MappingStrategy::kRoundRobin) {
+    return round_robin_placement(*cluster_, specs);
+  }
+
+  const bool has_multi_app_bundle =
+      std::any_of(wave.begin(), wave.end(),
+                  [](const auto& bundle) { return bundle.size() > 1; });
+  if (has_multi_app_bundle) {
+    // Concurrently coupled bundle: server-side data-centric mapping.
+    CODS_REQUIRE(wave.size() == 1,
+                 "a wave mixing a multi-app bundle with other bundles is not "
+                 "supported; schedule them in separate waves");
+    const ServerMappingResult server =
+        server_data_centric_placement(*cluster_, specs, options.seed);
+    report.used_server_mapping = true;
+    report.comm_graph_cut_bytes = server.edge_cut_bytes;
+    return server.placement;
+  }
+
+  // Singleton bundles: client-side data-centric mapping for apps whose
+  // input data is already in the space; round-robin otherwise.
+  std::vector<AppSpec> lookup_apps;
+  std::vector<std::vector<NodeBytes>> per_app;
+  std::vector<AppSpec> fallback_apps;
+  for (const auto& bundle : wave) {
+    const RegisteredApp& reg = app(bundle.front());
+    bool has_data = false;
+    if (!reg.consumes_var.empty()) {
+      auto bytes = dht_node_bytes(reg);
+      for (const NodeBytes& nb : bytes) {
+        if (!nb.empty()) has_data = true;
+      }
+      if (has_data) {
+        lookup_apps.push_back(reg.spec);
+        per_app.push_back(std::move(bytes));
+      }
+    }
+    if (!has_data) fallback_apps.push_back(reg.spec);
+  }
+  Placement placement;
+  std::set<i32> used_nodes;
+  if (!lookup_apps.empty()) {
+    std::vector<i32> allowed(static_cast<size_t>(cluster_->num_nodes()));
+    std::iota(allowed.begin(), allowed.end(), 0);
+    const Placement client = client_data_centric_placement(
+        *cluster_, lookup_apps, per_app, allowed);
+    report.used_client_mapping = true;
+    for (const auto& [task, loc] : client.all()) {
+      placement.assign(task, loc);
+      used_nodes.insert(loc.node);
+    }
+  }
+  if (!fallback_apps.empty()) {
+    // Fill remaining cores after the client-mapped apps.
+    std::map<i32, i32> occupancy = placement.node_occupancy();
+    i32 node = 0;
+    i32 core_cursor = 0;
+    auto next_core = [&]() -> CoreLoc {
+      for (;;) {
+        CODS_CHECK(node < cluster_->num_nodes(), "out of cores for the wave");
+        const i32 taken = occupancy.contains(node) ? occupancy[node] : 0;
+        if (core_cursor < cluster_->cores_per_node() - taken) {
+          return CoreLoc{node, taken + core_cursor++};
+        }
+        ++node;
+        core_cursor = 0;
+      }
+    };
+    for (const AppSpec& spec : fallback_apps) {
+      for (i32 rank = 0; rank < spec.ntasks(); ++rank) {
+        placement.assign(TaskId{spec.app_id, rank}, next_core());
+      }
+    }
+  }
+  return placement;
+}
+
+void WorkflowServer::execute_wave(const Placement& placement,
+                                  const WorkflowOptions& options) {
+  // Deterministic task order defines global ranks.
+  std::vector<TaskId> tasks;
+  std::vector<CoreLoc> cores;
+  for (const auto& [task, loc] : placement.all()) {
+    tasks.push_back(task);
+    cores.push_back(loc);
+  }
+  Runtime runtime(*cluster_, *metrics_, options.cost);
+  runtime.run(cores, [&](RankCtx& ctx) {
+    const TaskId task = tasks[static_cast<size_t>(ctx.global_rank)];
+    const RegisteredApp& reg = app(task.app_id);
+    // Color by app id, order by task rank: the paper's dynamic grouping.
+    Comm comm = ctx.world.split(task.app_id, task.rank);
+    comm.set_app_id(task.app_id);
+    CODS_CHECK(comm.valid() && comm.rank() == task.rank,
+               "task rank does not match communicator rank");
+    CodsClient cods(space_,
+                    Endpoint{cluster_->global_core(ctx.loc), ctx.loc},
+                    task.app_id);
+    AppCtx app_ctx;
+    app_ctx.spec = &reg.spec;
+    app_ctx.task = task;
+    app_ctx.comm = comm;
+    app_ctx.cods = &cods;
+    app_ctx.cluster = cluster_;
+    reg.fn(app_ctx);
+  });
+}
+
+void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
+  dag.validate();
+  for (i32 app_id : dag.app_ids()) {
+    (void)app(app_id);  // every DAG app must be registered
+  }
+  reports_.clear();
+  placements_.clear();
+  for (const auto& wave : dag.waves()) {
+    WaveReport report;
+    const Placement placement = map_wave(wave, options, report);
+    CODS_CHECK(placement.valid(*cluster_), "wave placement is invalid");
+    // Record per-app placements.
+    for (const auto& bundle : wave) {
+      for (i32 app_id : bundle) {
+        Placement p;
+        for (i32 rank = 0; rank < app(app_id).spec.ntasks(); ++rank) {
+          p.assign(TaskId{app_id, rank},
+                   placement.loc(TaskId{app_id, rank}));
+        }
+        placements_[app_id] = std::move(p);
+      }
+    }
+    CODS_LOG_INFO << "wave with " << placement.size() << " tasks mapped via "
+                  << to_string(report.strategy);
+    execute_wave(placement, options);
+    reports_.push_back(std::move(report));
+  }
+}
+
+std::string WorkflowServer::traffic_report() const {
+  std::ostringstream os;
+  os << "app  " << std::setw(24) << "inter-app (shm/net)" << std::setw(26)
+     << "intra-app (shm/net)" << "\n";
+  for (const auto& [app_id, reg] : apps_) {
+    const ByteCounters inter =
+        metrics_->counters(app_id, TrafficClass::kInterApp);
+    const ByteCounters intra =
+        metrics_->counters(app_id, TrafficClass::kIntraApp);
+    os << std::setw(3) << app_id << "  " << std::setw(11)
+       << format_bytes(inter.shm_bytes) << " / " << std::setw(11)
+       << format_bytes(inter.net_bytes) << std::setw(12)
+       << format_bytes(intra.shm_bytes) << " / " << std::setw(11)
+       << format_bytes(intra.net_bytes) << "  (" << reg.spec.name << ")\n";
+  }
+  return os.str();
+}
+
+const Placement& WorkflowServer::placement(i32 app_id) const {
+  const auto it = placements_.find(app_id);
+  CODS_CHECK(it != placements_.end(), "app has not been placed");
+  return it->second;
+}
+
+}  // namespace cods

@@ -1,0 +1,97 @@
+// The workflow management server and task-execution engine (paper §III-A,
+// Fig. 4): registers applications ("statically compiled and linked MPI
+// subroutines"), parses/validates the DAG, maps every scheduling wave's
+// tasks onto processor cores with the selected strategy, then runs the
+// wave: execution clients are colored by application id, split into
+// per-application communicators and dispatched into the registered
+// subroutine (§IV-C).
+#pragma once
+
+#include "core/cods.hpp"
+#include "runtime/runtime.hpp"
+#include "workflow/mapping.hpp"
+
+namespace cods {
+
+/// Context handed to an application subroutine, one per computation task.
+struct AppCtx {
+  const AppSpec* spec = nullptr;
+  TaskId task;              ///< app id + rank within the app
+  Comm comm;                ///< per-application communicator
+  CodsClient* cods = nullptr;
+  const Cluster* cluster = nullptr;
+
+  /// The task's owned region(s) of the coupled domain.
+  std::vector<Box> my_boxes() const {
+    return spec->dec.owned_boxes(task.rank);
+  }
+};
+
+using AppFn = std::function<void(AppCtx&)>;
+
+struct WorkflowOptions {
+  MappingStrategy strategy = MappingStrategy::kDataCentric;
+  u64 seed = 1;
+  CostParams cost;
+};
+
+/// Record of how one scheduling wave was executed.
+struct WaveReport {
+  std::vector<i32> apps;
+  MappingStrategy strategy = MappingStrategy::kRoundRobin;
+  bool used_server_mapping = false;
+  bool used_client_mapping = false;
+  i64 comm_graph_cut_bytes = -1;
+};
+
+class WorkflowServer {
+ public:
+  WorkflowServer(const Cluster& cluster, Metrics& metrics, const Box& domain,
+                 CodsConfig config = {});
+
+  /// Registers an application: its spec, the subroutine to run, and —
+  /// for sequentially coupled consumers — the variable/version whose
+  /// stored locations drive client-side data-centric mapping.
+  void register_app(AppSpec spec, AppFn fn, std::string consumes_var = "",
+                    i32 consumes_version = 0);
+
+  /// Executes the whole workflow. Blocking; throws on the first task
+  /// failure or an invalid DAG.
+  void run(const DagSpec& dag, WorkflowOptions options = {});
+
+  CodsSpace& space() { return space_; }
+  const Cluster& cluster() const { return *cluster_; }
+
+  /// Placement the engine chose for an app in its wave.
+  const Placement& placement(i32 app_id) const;
+
+  const std::vector<WaveReport>& wave_reports() const { return reports_; }
+
+  /// Human-readable per-application traffic summary of the whole run
+  /// (inter/intra bytes split by transport), from the metrics registry.
+  std::string traffic_report() const;
+
+ private:
+  struct RegisteredApp {
+    AppSpec spec;
+    AppFn fn;
+    std::string consumes_var;
+    i32 consumes_version = 0;
+  };
+
+  const RegisteredApp& app(i32 app_id) const;
+  Placement map_wave(const std::vector<std::vector<i32>>& wave,
+                     const WorkflowOptions& options, WaveReport& report);
+  std::vector<NodeBytes> dht_node_bytes(const RegisteredApp& consumer);
+  void execute_wave(const Placement& placement,
+                    const WorkflowOptions& options);
+
+  const Cluster* cluster_;
+  Metrics* metrics_;
+  CodsSpace space_;
+  std::map<i32, RegisteredApp> apps_;
+  std::map<i32, Placement> placements_;
+  std::vector<WaveReport> reports_;
+};
+
+}  // namespace cods

@@ -1,0 +1,200 @@
+#include "workflow/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "geometry/redistribution.hpp"
+
+namespace cods {
+
+std::string to_string(MappingStrategy strategy) {
+  switch (strategy) {
+    case MappingStrategy::kRoundRobin: return "round-robin";
+    case MappingStrategy::kDataCentric: return "data-centric";
+  }
+  return "?";
+}
+
+void Placement::assign(const TaskId& task, const CoreLoc& loc) {
+  CODS_REQUIRE(loc.valid(), "invalid core location");
+  const auto [it, inserted] = assign_.insert({task, loc});
+  CODS_REQUIRE(inserted, "task already placed");
+}
+
+const CoreLoc& Placement::loc(const TaskId& task) const {
+  const auto it = assign_.find(task);
+  CODS_CHECK(it != assign_.end(), "task not placed");
+  return it->second;
+}
+
+bool Placement::has(const TaskId& task) const {
+  return assign_.contains(task);
+}
+
+std::map<i32, i32> Placement::node_occupancy() const {
+  std::map<i32, i32> occupancy;
+  for (const auto& [task, loc] : assign_) ++occupancy[loc.node];
+  return occupancy;
+}
+
+bool Placement::valid(const Cluster& cluster) const {
+  std::set<std::pair<i32, i32>> cores;
+  for (const auto& [task, loc] : assign_) {
+    if (loc.node < 0 || loc.node >= cluster.num_nodes()) return false;
+    if (loc.core < 0 || loc.core >= cluster.cores_per_node()) return false;
+    if (!cores.insert({loc.node, loc.core}).second) return false;
+  }
+  return true;
+}
+
+Placement round_robin_placement(const Cluster& cluster,
+                                const std::vector<AppSpec>& apps,
+                                i32 first_core) {
+  Placement placement;
+  i32 core = first_core;
+  for (const AppSpec& app : apps) {
+    for (i32 rank = 0; rank < app.ntasks(); ++rank) {
+      CODS_REQUIRE(core < cluster.total_cores(),
+                   "not enough cores for the bundle");
+      placement.assign(TaskId{app.app_id, rank}, cluster.core_loc(core++));
+    }
+  }
+  return placement;
+}
+
+Graph bundle_comm_graph(const std::vector<AppSpec>& apps) {
+  i32 total = 0;
+  std::map<i32, i32> base;  // app id -> first vertex
+  for (const AppSpec& app : apps) {
+    base[app.app_id] = total;
+    total += app.ntasks();
+  }
+  std::vector<std::tuple<i32, i32, i64>> edges;
+  for (size_t a = 0; a < apps.size(); ++a) {
+    for (size_t b = a + 1; b < apps.size(); ++b) {
+      const AppSpec& src = apps[a];
+      const AppSpec& dst = apps[b];
+      const u64 elem = std::max(src.elem_size, dst.elem_size);
+      for (const TransferVolume& t : redistribution_volumes(src.dec, dst.dec)) {
+        edges.emplace_back(base[src.app_id] + t.src_rank,
+                           base[dst.app_id] + t.dst_rank,
+                           static_cast<i64>(t.cells * elem));
+      }
+    }
+  }
+  return Graph::from_edges(total, edges);
+}
+
+ServerMappingResult server_data_centric_placement(
+    const Cluster& cluster, const std::vector<AppSpec>& apps, u64 seed,
+    std::vector<i32> nodes) {
+  const Graph graph = bundle_comm_graph(apps);
+  const i32 cores = cluster.cores_per_node();
+  const i32 nparts = (graph.nvtx + cores - 1) / cores;
+  if (nodes.empty()) {
+    nodes.resize(static_cast<size_t>(nparts));
+    std::iota(nodes.begin(), nodes.end(), 0);
+  }
+  CODS_REQUIRE(static_cast<i32>(nodes.size()) >= nparts,
+               "not enough nodes for the bundle");
+  for (i32 node : nodes) {
+    CODS_REQUIRE(node >= 0 && node < cluster.num_nodes(),
+                 "node id outside the cluster");
+  }
+
+  PartitionOptions options;
+  options.max_part_weight = cores;
+  options.seed = seed;
+  const PartitionResult partition = kway_partition(graph, nparts, options);
+
+  // Distribute each group's tasks over the node's cores round-robin
+  // (paper §IV-B).
+  ServerMappingResult result;
+  std::vector<i32> next_core(static_cast<size_t>(nparts), 0);
+  i32 vertex = 0;
+  for (const AppSpec& app : apps) {
+    for (i32 rank = 0; rank < app.ntasks(); ++rank, ++vertex) {
+      const i32 part = partition.part[static_cast<size_t>(vertex)];
+      const i32 core = next_core[static_cast<size_t>(part)]++;
+      CODS_CHECK(core < cores, "partition exceeded node capacity");
+      result.placement.assign(TaskId{app.app_id, rank},
+                              CoreLoc{nodes[static_cast<size_t>(part)], core});
+    }
+  }
+  result.edge_cut_bytes = partition.edge_cut;
+  std::set<i32> used;
+  for (const auto& [task, loc] : result.placement.all()) used.insert(loc.node);
+  result.nodes_used = static_cast<i32>(used.size());
+  return result;
+}
+
+std::vector<NodeBytes> consumer_node_bytes(const AppSpec& producer,
+                                           const Placement& producer_placement,
+                                           const AppSpec& consumer) {
+  std::vector<NodeBytes> out(static_cast<size_t>(consumer.ntasks()));
+  const u64 elem = consumer.elem_size;
+  for (const TransferVolume& t :
+       redistribution_volumes(producer.dec, consumer.dec)) {
+    const CoreLoc loc =
+        producer_placement.loc(TaskId{producer.app_id, t.src_rank});
+    out[static_cast<size_t>(t.dst_rank)][loc.node] += t.cells * elem;
+  }
+  return out;
+}
+
+Placement client_data_centric_placement(
+    const Cluster& cluster, const std::vector<AppSpec>& consumers,
+    const std::vector<std::vector<NodeBytes>>& per_app_node_bytes,
+    const std::vector<i32>& allowed_nodes) {
+  CODS_REQUIRE(consumers.size() == per_app_node_bytes.size(),
+               "per-app node bytes size mismatch");
+  CODS_REQUIRE(!allowed_nodes.empty(), "no nodes in the allocation");
+  std::map<i32, i32> used;  // node -> cores taken
+  for (i32 node : allowed_nodes) {
+    CODS_REQUIRE(node >= 0 && node < cluster.num_nodes(),
+                 "node id outside the cluster");
+    used[node] = 0;
+  }
+  const i32 cores = cluster.cores_per_node();
+  Placement placement;
+  for (size_t a = 0; a < consumers.size(); ++a) {
+    const AppSpec& app = consumers[a];
+    CODS_REQUIRE(static_cast<i32>(per_app_node_bytes[a].size()) ==
+                     app.ntasks(),
+                 "node bytes must cover every consumer task");
+    for (i32 rank = 0; rank < app.ntasks(); ++rank) {
+      const NodeBytes& bytes = per_app_node_bytes[a][static_cast<size_t>(rank)];
+      // Candidates sorted by local bytes descending.
+      std::vector<std::pair<u64, i32>> candidates;
+      for (const auto& [node, b] : bytes) {
+        if (used.contains(node)) candidates.emplace_back(b, node);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& x, const auto& y) {
+                  return x.first != y.first ? x.first > y.first
+                                            : x.second < y.second;
+                });
+      i32 chosen = -1;
+      for (const auto& [b, node] : candidates) {
+        if (used[node] < cores) {
+          chosen = node;
+          break;
+        }
+      }
+      if (chosen < 0) {
+        // No data-local node has room: least-loaded allowed node.
+        for (const auto& [node, count] : used) {
+          if (count >= cores) continue;
+          if (chosen < 0 || count < used[chosen]) chosen = node;
+        }
+      }
+      CODS_CHECK(chosen >= 0, "allocation has no free cores left");
+      placement.assign(TaskId{app.app_id, rank},
+                       CoreLoc{chosen, used[chosen]++});
+    }
+  }
+  return placement;
+}
+
+}  // namespace cods

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cods.hpp"
+
+namespace cods {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest()
+      : cluster_(ClusterSpec{.num_nodes = 4, .cores_per_node = 2}),
+        space_(cluster_, metrics_, Box{{0, 0}, {15, 15}}) {}
+
+  void put(CodsSpace& space, i32 node, const std::string& var, i32 version,
+           const Box& box, u64 seed) {
+    CodsClient client(space, Endpoint{node * 2, CoreLoc{node, 0}}, 1);
+    std::vector<std::byte> data(box_bytes(box, 8));
+    fill_pattern(data, box, 8, seed);
+    client.put_seq(var, version, box, data, 8);
+  }
+
+  Cluster cluster_;
+  Metrics metrics_;
+  CodsSpace space_;
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTripPreservesData) {
+  put(space_, 0, "t", 0, Box{{0, 0}, {7, 7}}, 5);
+  put(space_, 1, "t", 0, Box{{8, 0}, {15, 7}}, 5);
+  put(space_, 2, "u", 3, Box{{0, 8}, {15, 15}}, 9);
+
+  std::stringstream stream;
+  EXPECT_EQ(space_.save_checkpoint(stream), 3u);
+
+  // Restore into a fresh space on the same cluster.
+  Metrics metrics2;
+  CodsSpace restored(cluster_, metrics2, Box{{0, 0}, {15, 15}});
+  EXPECT_EQ(restored.load_checkpoint(stream), 3u);
+  EXPECT_EQ(restored.stored_bytes(), space_.stored_bytes());
+  EXPECT_EQ(restored.versions("t"), (std::vector<i32>{0}));
+  EXPECT_EQ(restored.latest_version("u"), 3);
+
+  // Content still verifies through a normal get.
+  CodsClient consumer(restored, Endpoint{6, CoreLoc{3, 0}}, 2);
+  const Box window{{2, 2}, {13, 5}};
+  std::vector<std::byte> out(box_bytes(window, 8));
+  consumer.get_seq("t", 0, window, out, 8);
+  EXPECT_EQ(verify_pattern(out, window, 8, 5), 0u);
+}
+
+TEST_F(CheckpointTest, FileRoundTrip) {
+  put(space_, 0, "v", 1, Box{{0, 0}, {7, 7}}, 3);
+  const std::string path = ::testing::TempDir() + "/space.ckp";
+  EXPECT_EQ(space_.save_checkpoint(path), 1u);
+  Metrics metrics2;
+  CodsSpace restored(cluster_, metrics2, Box{{0, 0}, {15, 15}});
+  EXPECT_EQ(restored.load_checkpoint(path), 1u);
+  CodsClient consumer(restored, Endpoint{2, CoreLoc{1, 0}}, 2);
+  std::vector<std::byte> out(box_bytes(Box{{0, 0}, {7, 7}}, 8));
+  consumer.get_seq("v", 1, Box{{0, 0}, {7, 7}}, out, 8);
+  EXPECT_EQ(verify_pattern(out, Box{{0, 0}, {7, 7}}, 8, 3), 0u);
+}
+
+TEST_F(CheckpointTest, EmptySpaceRoundTrip) {
+  std::stringstream stream;
+  EXPECT_EQ(space_.save_checkpoint(stream), 0u);
+  Metrics metrics2;
+  CodsSpace restored(cluster_, metrics2, Box{{0, 0}, {15, 15}});
+  EXPECT_EQ(restored.load_checkpoint(stream), 0u);
+  EXPECT_TRUE(restored.variables().empty());
+}
+
+TEST_F(CheckpointTest, ContStateNotCaptured) {
+  CodsClient producer(space_, Endpoint{0, CoreLoc{0, 0}}, 1);
+  std::vector<std::byte> data(box_bytes(Box{{0, 0}, {3, 3}}, 8));
+  producer.put_cont("stream", 0, Box{{0, 0}, {3, 3}}, data, 8);
+  std::stringstream stream;
+  EXPECT_EQ(space_.save_checkpoint(stream), 0u);
+}
+
+TEST_F(CheckpointTest, BadStreamsRejected) {
+  {
+    std::stringstream garbage("not a checkpoint at all");
+    Metrics metrics2;
+    CodsSpace fresh(cluster_, metrics2, Box{{0, 0}, {15, 15}});
+    EXPECT_THROW(fresh.load_checkpoint(garbage), Error);
+  }
+  {
+    // Truncated stream: valid header, missing body.
+    put(space_, 0, "v", 0, Box{{0, 0}, {7, 7}}, 1);
+    std::stringstream stream;
+    space_.save_checkpoint(stream);
+    std::string bytes = stream.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream truncated(bytes);
+    Metrics metrics2;
+    CodsSpace fresh(cluster_, metrics2, Box{{0, 0}, {15, 15}});
+    EXPECT_THROW(fresh.load_checkpoint(truncated), Error);
+  }
+  EXPECT_THROW(space_.load_checkpoint("/no/such/file.ckp"), Error);
+}
+
+TEST_F(CheckpointTest, NodeOutOfRangeRejected) {
+  put(space_, 3, "v", 0, Box{{0, 0}, {7, 7}}, 1);
+  std::stringstream stream;
+  space_.save_checkpoint(stream);
+  // Restore into a smaller cluster that lacks node 3.
+  Cluster small(ClusterSpec{.num_nodes = 2, .cores_per_node = 2});
+  Metrics metrics2;
+  CodsSpace fresh(small, metrics2, Box{{0, 0}, {15, 15}});
+  EXPECT_THROW(fresh.load_checkpoint(stream), Error);
+}
+
+}  // namespace
+}  // namespace cods

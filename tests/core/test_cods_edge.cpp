@@ -1,0 +1,132 @@
+// Edge cases across the CoDS surface that the main suites do not touch:
+// duplicate publications, concurrent-mode partial coverage, sequential
+// staging-mode scenarios, and DHT behaviour at domain corners.
+#include <gtest/gtest.h>
+
+#include "core/cods.hpp"
+#include "workflow/scenario.hpp"
+
+namespace cods {
+namespace {
+
+class CodsEdgeTest : public ::testing::Test {
+ protected:
+  CodsEdgeTest()
+      : cluster_(ClusterSpec{.num_nodes = 4, .cores_per_node = 4}),
+        space_(cluster_, metrics_, Box{{0, 0}, {15, 15}}) {}
+
+  std::vector<std::byte> pattern(const Box& box, u64 seed) {
+    std::vector<std::byte> data(box_bytes(box, 8));
+    fill_pattern(data, box, 8, seed);
+    return data;
+  }
+
+  Cluster cluster_;
+  Metrics metrics_;
+  CodsSpace space_;
+};
+
+TEST_F(CodsEdgeTest, DuplicateSeqPutRejected) {
+  CodsClient producer(space_, Endpoint{0, CoreLoc{0, 0}}, 1);
+  const Box box{{0, 0}, {3, 3}};
+  producer.put_seq("v", 0, box, pattern(box, 1), 8);
+  // Same (var, version, box) again: the window key collides — rejected.
+  EXPECT_THROW(producer.put_seq("v", 0, box, pattern(box, 1), 8), Error);
+  // Same region in a *different version* is fine.
+  EXPECT_NO_THROW(producer.put_seq("v", 1, box, pattern(box, 1), 8));
+}
+
+TEST_F(CodsEdgeTest, DuplicateContPutRejected) {
+  CodsClient producer(space_, Endpoint{0, CoreLoc{0, 0}}, 1);
+  const Box box{{0, 0}, {3, 3}};
+  producer.put_cont("c", 0, box, pattern(box, 1), 8);
+  EXPECT_THROW(producer.put_cont("c", 0, box, pattern(box, 1), 8), Error);
+}
+
+TEST_F(CodsEdgeTest, ContPartialCoverageKeepsWaiting) {
+  // A get whose region is only half covered must time out rather than
+  // return partial data.
+  CodsClient producer(space_, Endpoint{0, CoreLoc{0, 0}}, 1);
+  const Box half{{0, 0}, {7, 15}};
+  producer.put_cont("c", 0, half, pattern(half, 1), 8);
+  CodsClient consumer(space_, Endpoint{4, CoreLoc{1, 0}}, 2);
+  const Box whole{{0, 0}, {15, 15}};
+  std::vector<std::byte> out(box_bytes(whole, 8));
+  EXPECT_THROW(space_.wait_cont_coverage("c", 0, whole,
+                                         std::chrono::seconds(0)),
+               Error);
+  // The covered half is retrievable immediately.
+  std::vector<std::byte> part(box_bytes(half, 8));
+  EXPECT_NO_THROW(consumer.get_cont("c", 0, half, part, 8));
+  EXPECT_EQ(verify_pattern(part, half, 8, 1), 0u);
+}
+
+TEST_F(CodsEdgeTest, SingleCellGet) {
+  CodsClient producer(space_, Endpoint{0, CoreLoc{0, 0}}, 1);
+  const Box box{{0, 0}, {15, 15}};
+  producer.put_seq("v", 0, box, pattern(box, 7), 8);
+  CodsClient consumer(space_, Endpoint{12, CoreLoc{3, 0}}, 2);
+  const Box cell{{9, 13}, {9, 13}};
+  std::vector<std::byte> out(8);
+  const GetResult get = consumer.get_seq("v", 0, cell, out, 8);
+  EXPECT_EQ(get.bytes, 8u);
+  EXPECT_EQ(verify_pattern(out, cell, 8, 7), 0u);
+}
+
+TEST_F(CodsEdgeTest, DomainCornerRegions) {
+  CodsClient producer(space_, Endpoint{0, CoreLoc{0, 0}}, 1);
+  // Store each of the four corners separately and read them all back.
+  const std::vector<Box> corners = {
+      Box{{0, 0}, {1, 1}}, Box{{0, 14}, {1, 15}},
+      Box{{14, 0}, {15, 1}}, Box{{14, 14}, {15, 15}}};
+  for (const Box& corner : corners) {
+    producer.put_seq("corners", 0, corner, pattern(corner, 2), 8);
+  }
+  CodsClient consumer(space_, Endpoint{5, CoreLoc{1, 1}}, 2);
+  for (const Box& corner : corners) {
+    std::vector<std::byte> out(box_bytes(corner, 8));
+    consumer.get_seq("corners", 0, corner, out, 8);
+    EXPECT_EQ(verify_pattern(out, corner, 8, 2), 0u);
+  }
+}
+
+TEST_F(CodsEdgeTest, NonSquareDomain) {
+  Metrics metrics;
+  CodsSpace wide(cluster_, metrics, Box{{0, 0}, {3, 63}});  // 4 x 64
+  CodsClient producer(wide, Endpoint{0, CoreLoc{0, 0}}, 1);
+  const Box box{{0, 0}, {3, 63}};
+  std::vector<std::byte> data(box_bytes(box, 8));
+  fill_pattern(data, box, 8, 5);
+  producer.put_seq("v", 0, box, data, 8);
+  CodsClient consumer(wide, Endpoint{4, CoreLoc{1, 0}}, 2);
+  const Box strip{{1, 10}, {2, 50}};
+  std::vector<std::byte> out(box_bytes(strip, 8));
+  consumer.get_seq("v", 0, strip, out, 8);
+  EXPECT_EQ(verify_pattern(out, strip, 8, 5), 0u);
+}
+
+TEST(ScenarioEdge, SequentialStagingCombination) {
+  // Staging also composes with the sequential scenario: still two network
+  // movements per coupled byte.
+  AppSpec producer;
+  producer.app_id = 1;
+  producer.dec = blocked({32, 32}, {4, 4});
+  AppSpec consumer;
+  consumer.app_id = 2;
+  consumer.dec = blocked({32, 32}, {4, 2});
+  ScenarioConfig config;
+  config.cluster = ClusterSpec{.num_nodes = 8, .cores_per_node = 4};
+  config.apps = {producer, consumer};
+  config.couplings = {{1, 2}};
+  config.sequential = true;
+  config.sharing = SharingMode::kStagingArea;
+  config.staging_nodes = 2;
+  config.strategy = MappingStrategy::kRoundRobin;
+  const ScenarioResult r = run_modeled_scenario(config);
+  const u64 domain_bytes = 32 * 32 * 8;
+  EXPECT_EQ(r.apps.at(2).inter_net_bytes, domain_bytes);
+  EXPECT_EQ(r.apps.at(2).staging_net_bytes, domain_bytes);
+}
+
+}  // namespace
+}  // namespace cods

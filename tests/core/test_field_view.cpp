@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/field_view.hpp"
+
+namespace cods {
+namespace {
+
+class FieldViewTest : public ::testing::Test {
+ protected:
+  FieldViewTest()
+      : cluster_(ClusterSpec{.num_nodes = 2, .cores_per_node = 4}),
+        space_(cluster_, metrics_, Box{{0, 0}, {15, 15}}),
+        producer_(space_, Endpoint{0, CoreLoc{0, 0}}, 1),
+        consumer_(space_, Endpoint{4, CoreLoc{1, 0}}, 2) {}
+
+  Cluster cluster_;
+  Metrics metrics_;
+  CodsSpace space_;
+  CodsClient producer_;
+  CodsClient consumer_;
+};
+
+TEST_F(FieldViewTest, TypedSeqRoundTrip) {
+  FieldView<double> out_field(producer_, "t");
+  FieldView<double> in_field(consumer_, "t");
+  const Box box{{0, 0}, {7, 7}};
+  auto region = FieldView<double>::generate(box, [](const Point& p) {
+    return static_cast<double>(p[0] * 100 + p[1]);
+  });
+  out_field.put_seq(0, region);
+  auto [read, stats] = in_field.get_seq(0, box);
+  EXPECT_EQ(stats.bytes, box.volume() * sizeof(double));
+  for (i64 x = 0; x < 8; ++x) {
+    for (i64 y = 0; y < 8; ++y) {
+      EXPECT_DOUBLE_EQ(read.at(Point{x, y}), static_cast<double>(x * 100 + y));
+    }
+  }
+}
+
+TEST_F(FieldViewTest, TypedContRoundTrip) {
+  FieldView<float> out_field(producer_, "f");
+  FieldView<float> in_field(consumer_, "f");
+  const Box box{{0, 0}, {3, 3}};
+  auto region = FieldView<float>::generate(
+      box, [](const Point& p) { return static_cast<float>(p[0] - p[1]); });
+  out_field.put_cont(5, region);
+  auto [read, stats] = in_field.get_cont(5, box);
+  EXPECT_EQ(stats.sources, 1);
+  EXPECT_FLOAT_EQ(read.at(Point{3, 1}), 2.0f);
+}
+
+TEST_F(FieldViewTest, SubWindowRead) {
+  FieldView<i64> out_field(producer_, "ids");
+  FieldView<i64> in_field(consumer_, "ids");
+  const Box box{{0, 0}, {15, 15}};
+  out_field.put_seq(0, FieldView<i64>::generate(box, [](const Point& p) {
+    return p[0] * 16 + p[1];
+  }));
+  const Box window{{4, 4}, {11, 7}};
+  auto [read, stats] = in_field.get_seq(0, window);
+  EXPECT_EQ(read.box, window);
+  EXPECT_EQ(read.values.size(), window.volume());
+  EXPECT_EQ(read.at(Point{5, 6}), 5 * 16 + 6);
+}
+
+TEST_F(FieldViewTest, IntTypesWork) {
+  FieldView<u32> out_field(producer_, "u");
+  FieldView<u32> in_field(consumer_, "u");
+  const Box box{{0, 0}, {2, 2}};
+  auto region = FieldView<u32>::generate(
+      box, [](const Point& p) { return static_cast<u32>(7 * p[0] + p[1]); });
+  out_field.put_seq(1, region);
+  auto [read, stats] = in_field.get_seq(1, box);
+  EXPECT_EQ(read.values, region.values);
+}
+
+TEST_F(FieldViewTest, RegionAccessorsBoundsChecked) {
+  Region<double> region;
+  region.box = Box{{2, 2}, {4, 4}};
+  region.values.assign(9, 0.0);
+  region.at(Point{3, 3}) = 5.0;
+  EXPECT_DOUBLE_EQ(region.at(Point{3, 3}), 5.0);
+  EXPECT_THROW(region.at(Point{0, 0}), Error);  // outside the box
+}
+
+TEST_F(FieldViewTest, MalformedRegionRejected) {
+  FieldView<double> field(producer_, "x");
+  Region<double> bad;
+  bad.box = Box{{0, 0}, {3, 3}};
+  bad.values.assign(7, 0.0);  // wrong count
+  EXPECT_THROW(field.put_seq(0, bad), Error);
+}
+
+TEST_F(FieldViewTest, GenerateVisitsEveryCellOnce) {
+  const Box box{{1, 2}, {3, 5}};
+  int calls = 0;
+  auto region = FieldView<i32>::generate(box, [&](const Point&) {
+    return calls++;
+  });
+  EXPECT_EQ(static_cast<u64>(calls), box.volume());
+  // All values distinct (each cell assigned exactly once).
+  std::set<i32> unique(region.values.begin(), region.values.end());
+  EXPECT_EQ(unique.size(), region.values.size());
+}
+
+}  // namespace
+}  // namespace cods

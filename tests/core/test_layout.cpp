@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/layout.hpp"
+
+namespace cods {
+namespace {
+
+TEST(Layout, CellOffsetRowMajor) {
+  const Box box{{0, 0}, {3, 4}};  // 4 x 5
+  EXPECT_EQ(cell_offset(box, Point{0, 0}), 0u);
+  EXPECT_EQ(cell_offset(box, Point{0, 4}), 4u);
+  EXPECT_EQ(cell_offset(box, Point{1, 0}), 5u);
+  EXPECT_EQ(cell_offset(box, Point{3, 4}), 19u);
+}
+
+TEST(Layout, CellOffsetAnchoredBox) {
+  const Box box{{10, 20}, {12, 22}};  // 3 x 3 anchored away from origin
+  EXPECT_EQ(cell_offset(box, Point{10, 20}), 0u);
+  EXPECT_EQ(cell_offset(box, Point{11, 21}), 4u);
+  EXPECT_THROW(cell_offset(box, Point{9, 20}), Error);
+}
+
+TEST(Layout, BoxBytes) {
+  EXPECT_EQ(box_bytes(Box{{0, 0, 0}, {127, 127, 127}}, 8),
+            128ull * 128 * 128 * 8);
+}
+
+TEST(Layout, CopyFullBox) {
+  const Box box{{0, 0}, {2, 2}};
+  std::vector<std::byte> src(box_bytes(box, 2));
+  std::vector<std::byte> dst(box_bytes(box, 2));
+  fill_pattern(src, box, 2, 1);
+  copy_box_region(src, box, dst, box, box, 2);
+  EXPECT_EQ(verify_pattern(dst, box, 2, 1), 0u);
+  EXPECT_EQ(src, dst);
+}
+
+TEST(Layout, CopySubRegionBetweenDifferentAnchors) {
+  // Source buffer over [0..7]^2; destination over [2..5]^2; move [3..4]^2.
+  const Box src_box{{0, 0}, {7, 7}};
+  const Box dst_box{{2, 2}, {5, 5}};
+  const Box region{{3, 3}, {4, 4}};
+  std::vector<std::byte> src(box_bytes(src_box, 8));
+  std::vector<std::byte> dst(box_bytes(dst_box, 8), std::byte{0});
+  fill_pattern(src, src_box, 8, 7);
+  copy_box_region(src, src_box, dst, dst_box, region, 8);
+  // The copied region verifies against the same global pattern.
+  EXPECT_EQ(verify_pattern(dst, dst_box, 8, 7), dst_box.volume() - 4);
+  // Checking just the region: extract it into its own buffer.
+  std::vector<std::byte> probe(box_bytes(region, 8));
+  copy_box_region(dst, dst_box, probe, region, region, 8);
+  EXPECT_EQ(verify_pattern(probe, region, 8, 7), 0u);
+}
+
+TEST(Layout, Copy3DRegion) {
+  const Box src_box{{0, 0, 0}, {3, 3, 3}};
+  const Box dst_box{{1, 1, 1}, {2, 3, 3}};
+  const Box region{{1, 1, 1}, {2, 2, 3}};
+  std::vector<std::byte> src(box_bytes(src_box, 4));
+  std::vector<std::byte> dst(box_bytes(dst_box, 4), std::byte{0xee});
+  fill_pattern(src, src_box, 4, 3);
+  copy_box_region(src, src_box, dst, dst_box, region, 4);
+  std::vector<std::byte> probe(box_bytes(region, 4));
+  copy_box_region(dst, dst_box, probe, region, region, 4);
+  EXPECT_EQ(verify_pattern(probe, region, 4, 3), 0u);
+}
+
+TEST(Layout, Copy1D) {
+  const Box box{{0}, {9}};
+  const Box region{{3}, {6}};
+  std::vector<std::byte> src(box_bytes(box, 8));
+  std::vector<std::byte> dst(box_bytes(box, 8), std::byte{0});
+  fill_pattern(src, box, 8, 11);
+  copy_box_region(src, box, dst, box, region, 8);
+  std::vector<std::byte> probe(box_bytes(region, 8));
+  copy_box_region(dst, box, probe, region, region, 8);
+  EXPECT_EQ(verify_pattern(probe, region, 8, 11), 0u);
+}
+
+TEST(Layout, RegionOutsideBoxRejected) {
+  const Box box{{0, 0}, {3, 3}};
+  std::vector<std::byte> buf(box_bytes(box, 1));
+  EXPECT_THROW(
+      copy_box_region(buf, box, buf, box, Box{{0, 0}, {4, 3}}, 1), Error);
+}
+
+TEST(Layout, BufferTooSmallRejected) {
+  const Box box{{0, 0}, {3, 3}};
+  std::vector<std::byte> small(3);
+  std::vector<std::byte> ok(box_bytes(box, 1));
+  EXPECT_THROW(copy_box_region(small, box, ok, box, box, 1), Error);
+  EXPECT_THROW(copy_box_region(ok, box, small, box, box, 1), Error);
+  EXPECT_THROW(fill_pattern(small, box, 1, 0), Error);
+}
+
+TEST(Layout, PatternDetectsCorruption) {
+  const Box box{{0, 0}, {3, 3}};
+  std::vector<std::byte> buf(box_bytes(box, 8));
+  fill_pattern(buf, box, 8, 5);
+  EXPECT_EQ(verify_pattern(buf, box, 8, 5), 0u);
+  buf[17] ^= std::byte{0xff};
+  EXPECT_EQ(verify_pattern(buf, box, 8, 5), 1u);
+  // Wrong seed mismatches everywhere.
+  EXPECT_GT(verify_pattern(buf, box, 8, 6), 10u);
+}
+
+TEST(Layout, PatternIsAnchorIndependent) {
+  // The same global cell must produce the same bytes in two buffers with
+  // different anchors — the property end-to-end verification relies on.
+  const Box a{{0, 0}, {5, 5}};
+  const Box b{{2, 2}, {7, 7}};
+  std::vector<std::byte> buf_a(box_bytes(a, 8));
+  std::vector<std::byte> buf_b(box_bytes(b, 8));
+  fill_pattern(buf_a, a, 8, 9);
+  fill_pattern(buf_b, b, 8, 9);
+  const Box common{{2, 2}, {5, 5}};
+  std::vector<std::byte> pa(box_bytes(common, 8));
+  std::vector<std::byte> pb(box_bytes(common, 8));
+  copy_box_region(buf_a, a, pa, common, common, 8);
+  copy_box_region(buf_b, b, pb, common, common, 8);
+  EXPECT_EQ(pa, pb);
+}
+
+}  // namespace
+}  // namespace cods

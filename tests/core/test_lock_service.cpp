@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/lock_service.hpp"
+
+namespace cods {
+namespace {
+
+const Endpoint kA{0, CoreLoc{0, 0}};
+const Endpoint kB{1, CoreLoc{0, 1}};
+const Endpoint kC{2, CoreLoc{1, 0}};
+
+TEST(LockService, ReadersShare) {
+  LockService locks;
+  locks.lock_read("v", kA);
+  locks.lock_read("v", kB);
+  EXPECT_EQ(locks.readers("v"), 2);
+  locks.unlock_read("v", kA);
+  locks.unlock_read("v", kB);
+  EXPECT_EQ(locks.readers("v"), 0);
+}
+
+TEST(LockService, WriterExcludesReaders) {
+  LockService locks;
+  locks.lock_write("v", kA);
+  EXPECT_TRUE(locks.write_locked("v"));
+  EXPECT_FALSE(locks.try_lock_read("v", kB));
+  EXPECT_FALSE(locks.try_lock_write("v", kB));
+  locks.unlock_write("v", kA);
+  EXPECT_TRUE(locks.try_lock_read("v", kB));
+  locks.unlock_read("v", kB);
+}
+
+TEST(LockService, ReaderExcludesWriter) {
+  LockService locks;
+  locks.lock_read("v", kA);
+  EXPECT_FALSE(locks.try_lock_write("v", kB));
+  locks.unlock_read("v", kA);
+  EXPECT_TRUE(locks.try_lock_write("v", kB));
+  locks.unlock_write("v", kB);
+}
+
+TEST(LockService, IndependentNames) {
+  LockService locks;
+  locks.lock_write("a", kA);
+  EXPECT_TRUE(locks.try_lock_write("b", kB));
+  locks.unlock_write("a", kA);
+  locks.unlock_write("b", kB);
+}
+
+TEST(LockService, WriterBlocksUntilReadersDrain) {
+  LockService locks;
+  locks.lock_read("v", kA);
+  std::atomic<bool> acquired{false};
+  std::thread writer([&] {
+    locks.lock_write("v", kB);
+    acquired = true;
+    locks.unlock_write("v", kB);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  locks.unlock_read("v", kA);
+  writer.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(LockService, WriterPreferenceBlocksNewReaders) {
+  LockService locks;
+  locks.lock_read("v", kA);
+  std::thread writer([&] { WriteLock guard(locks, "v", kB); });
+  // Give the writer time to queue; a new reader must now be refused.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(locks.try_lock_read("v", kC));
+  locks.unlock_read("v", kA);
+  writer.join();
+  EXPECT_TRUE(locks.try_lock_read("v", kC));
+  locks.unlock_read("v", kC);
+}
+
+TEST(LockService, MisuseRejected) {
+  LockService locks;
+  EXPECT_THROW(locks.unlock_read("v", kA), Error);
+  EXPECT_THROW(locks.unlock_write("v", kA), Error);
+  locks.lock_write("v", kA);
+  EXPECT_THROW(locks.unlock_write("v", kB), Error);  // not the holder
+  locks.unlock_write("v", kA);
+}
+
+TEST(LockService, TimeoutThrows) {
+  LockService locks;
+  locks.lock_write("v", kA);
+  EXPECT_THROW(locks.lock_write("v", kB, std::chrono::seconds(0)), Error);
+  EXPECT_THROW(locks.lock_read("v", kB, std::chrono::seconds(0)), Error);
+  locks.unlock_write("v", kA);
+}
+
+TEST(LockService, RaiiGuards) {
+  LockService locks;
+  {
+    WriteLock guard(locks, "v", kA);
+    EXPECT_TRUE(locks.write_locked("v"));
+  }
+  EXPECT_FALSE(locks.write_locked("v"));
+  {
+    ReadLock guard(locks, "v", kA);
+    EXPECT_EQ(locks.readers("v"), 1);
+  }
+  EXPECT_EQ(locks.readers("v"), 0);
+}
+
+TEST(LockService, AccountsControlTraffic) {
+  Cluster cluster(ClusterSpec{.num_nodes = 2, .cores_per_node = 2});
+  Metrics metrics;
+  HybridDart dart(cluster, metrics);
+  LockService locks(&dart);
+  locks.lock_write("v", kA);
+  locks.unlock_write("v", kA);
+  EXPECT_GT(metrics.counters(0, TrafficClass::kControl).transfers, 0u);
+}
+
+TEST(LockService, StressManyReadersAndWriters) {
+  LockService locks;
+  std::atomic<i32> inside_writers{0};
+  std::atomic<i32> inside_readers{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const Endpoint me{t, CoreLoc{0, t}};
+      for (int i = 0; i < 200; ++i) {
+        if ((t + i) % 4 == 0) {
+          WriteLock guard(locks, "shared", me);
+          if (++inside_writers != 1 || inside_readers != 0) violation = true;
+          --inside_writers;
+        } else {
+          ReadLock guard(locks, "shared", me);
+          if (++inside_readers < 1 || inside_writers != 0) violation = true;
+          --inside_readers;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,130 @@
+// Tests for the CoDS space's coordination and metadata features: the
+// version board (latest/wait), the catalog, and sliding-window retirement.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/cods.hpp"
+
+namespace cods {
+namespace {
+
+class SpaceMetaTest : public ::testing::Test {
+ protected:
+  SpaceMetaTest()
+      : cluster_(ClusterSpec{.num_nodes = 2, .cores_per_node = 4}),
+        space_(cluster_, metrics_, Box{{0, 0}, {15, 15}}),
+        client_(space_, Endpoint{0, CoreLoc{0, 0}}, 1) {}
+
+  void put(const std::string& var, i32 version,
+           const Box& box = Box{{0, 0}, {7, 7}}, bool sequential = true) {
+    std::vector<std::byte> data(box_bytes(box, 8));
+    if (sequential) {
+      client_.put_seq(var, version, box, data, 8);
+    } else {
+      client_.put_cont(var, version, box, data, 8);
+    }
+  }
+
+  Cluster cluster_;
+  Metrics metrics_;
+  CodsSpace space_;
+  CodsClient client_;
+};
+
+TEST_F(SpaceMetaTest, LatestVersionTracksPuts) {
+  EXPECT_EQ(space_.latest_version("v"), -1);
+  put("v", 0);
+  EXPECT_EQ(space_.latest_version("v"), 0);
+  put("v", 3);
+  EXPECT_EQ(space_.latest_version("v"), 3);
+  put("v", 1);  // older put does not move the board backwards
+  EXPECT_EQ(space_.latest_version("v"), 3);
+}
+
+TEST_F(SpaceMetaTest, ContPutsUpdateBoardToo) {
+  put("c", 2, Box{{0, 0}, {3, 3}}, /*sequential=*/false);
+  EXPECT_EQ(space_.latest_version("c"), 2);
+}
+
+TEST_F(SpaceMetaTest, WaitVersionReturnsImmediatelyWhenSatisfied) {
+  put("v", 5);
+  EXPECT_NO_THROW(space_.wait_version("v", 5, std::chrono::seconds(1)));
+  EXPECT_NO_THROW(space_.wait_version("v", 0, std::chrono::seconds(1)));
+}
+
+TEST_F(SpaceMetaTest, WaitVersionBlocksUntilPut) {
+  std::thread waiter([&] {
+    space_.wait_version("late", 1, std::chrono::seconds(10));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  put("late", 1);
+  waiter.join();  // must not hang or throw
+  SUCCEED();
+}
+
+TEST_F(SpaceMetaTest, WaitVersionTimesOut) {
+  EXPECT_THROW(space_.wait_version("never", 0, std::chrono::seconds(0)),
+               Error);
+}
+
+TEST_F(SpaceMetaTest, VariablesAndVersionsCatalog) {
+  EXPECT_TRUE(space_.variables().empty());
+  put("a", 0);
+  put("a", 2);
+  put("b", 1, Box{{0, 0}, {3, 3}}, /*sequential=*/false);
+  EXPECT_EQ(space_.variables(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(space_.versions("a"), (std::vector<i32>{0, 2}));
+  EXPECT_EQ(space_.versions("b"), (std::vector<i32>{1}));
+  EXPECT_TRUE(space_.versions("zzz").empty());
+}
+
+TEST_F(SpaceMetaTest, CatalogListsRegionsWithOwners) {
+  put("v", 0, Box{{0, 0}, {7, 7}});
+  put("v", 0, Box{{8, 0}, {15, 7}});
+  const auto entries = space_.catalog("v", 0);
+  ASSERT_EQ(entries.size(), 2u);
+  u64 cells = 0;
+  for (const DataLocation& loc : entries) {
+    cells += loc.box.volume();
+    EXPECT_EQ(loc.owner_client, space_.storage_client(0));  // stored locally
+    EXPECT_EQ(loc.owner_loc.node, 0);
+  }
+  EXPECT_EQ(cells, 128u);
+  EXPECT_TRUE(space_.catalog("v", 9).empty());
+}
+
+TEST_F(SpaceMetaTest, CatalogIncludesContRecords) {
+  put("s", 1, Box{{0, 0}, {3, 3}}, /*sequential=*/false);
+  const auto entries = space_.catalog("s", 1);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].owner_client, 0);  // the producer client itself
+}
+
+TEST_F(SpaceMetaTest, RetireOlderThanKeepsWindow) {
+  for (i32 v = 0; v < 6; ++v) put("iter", v);
+  EXPECT_EQ(space_.versions("iter").size(), 6u);
+  const i32 retired = space_.retire_older_than("iter", 2);
+  EXPECT_EQ(retired, 4);
+  EXPECT_EQ(space_.versions("iter"), (std::vector<i32>{4, 5}));
+  // The board still remembers the latest version.
+  EXPECT_EQ(space_.latest_version("iter"), 5);
+}
+
+TEST_F(SpaceMetaTest, RetireOlderThanNoopCases) {
+  EXPECT_EQ(space_.retire_older_than("ghost", 1), 0);
+  put("v", 0);
+  EXPECT_EQ(space_.retire_older_than("v", 1), 0);  // only the latest exists
+  EXPECT_EQ(space_.retire_older_than("v", 5), 0);
+  EXPECT_THROW(space_.retire_older_than("v", 0), Error);
+}
+
+TEST_F(SpaceMetaTest, RetireOlderThanFreesMemory) {
+  for (i32 v = 0; v < 4; ++v) put("big", v);
+  const u64 before = space_.stored_bytes();
+  space_.retire_older_than("big", 1);
+  EXPECT_EQ(space_.stored_bytes(), before / 4);
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/box.hpp"
+
+namespace cods {
+namespace {
+
+TEST(Point, ConstructionAndAccess) {
+  Point p{1, 2, 3};
+  EXPECT_EQ(p.nd, 3);
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[2], 3);
+  p[1] = 7;
+  EXPECT_EQ(p[1], 7);
+}
+
+TEST(Point, Equality) {
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+  EXPECT_NE((Point{1, 2}), (Point{1, 3}));
+  EXPECT_NE((Point{1, 2}), (Point{1, 2, 0}));  // different dimensionality
+}
+
+TEST(Point, ZerosAndToString) {
+  const Point z = Point::zeros(3);
+  EXPECT_EQ(z, (Point{0, 0, 0}));
+  EXPECT_EQ((Point{1, 2}).to_string(), "(1,2)");
+}
+
+TEST(Box, VolumeAndExtent) {
+  Box b{{0, 0, 0}, {9, 9, 19}};
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.extent(0), 10);
+  EXPECT_EQ(b.extent(2), 20);
+  EXPECT_EQ(b.volume(), 2000u);
+}
+
+TEST(Box, SingleCell) {
+  Box b{{5, 5}, {5, 5}};
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.volume(), 1u);
+}
+
+TEST(Box, InvalidBoxHasZeroVolume) {
+  Box b{{3, 0}, {2, 5}};
+  EXPECT_FALSE(b.valid());
+  EXPECT_EQ(b.volume(), 0u);
+}
+
+TEST(Box, Contains) {
+  Box b{{0, 0}, {9, 9}};
+  EXPECT_TRUE(b.contains(Point{0, 0}));
+  EXPECT_TRUE(b.contains(Point{9, 9}));
+  EXPECT_FALSE(b.contains(Point{10, 0}));
+  EXPECT_TRUE(b.contains(Box{{1, 1}, {8, 8}}));
+  EXPECT_FALSE(b.contains(Box{{1, 1}, {10, 8}}));
+}
+
+TEST(Box, IntersectBasic) {
+  Box a{{0, 0}, {5, 5}};
+  Box b{{3, 3}, {9, 9}};
+  auto c = intersect(a, b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, (Box{{3, 3}, {5, 5}}));
+}
+
+TEST(Box, IntersectDisjoint) {
+  EXPECT_FALSE(intersect(Box{{0, 0}, {2, 2}}, Box{{3, 3}, {5, 5}}).has_value());
+  // Touching at a shared boundary cell counts as overlap (inclusive bounds).
+  auto touch = intersect(Box{{0, 0}, {2, 2}}, Box{{2, 2}, {5, 5}});
+  ASSERT_TRUE(touch.has_value());
+  EXPECT_EQ(touch->volume(), 1u);
+}
+
+TEST(Box, IntersectCommutes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    Box a{{rng.range(0, 10), rng.range(0, 10)},
+          {rng.range(10, 20), rng.range(10, 20)}};
+    Box b{{rng.range(0, 10), rng.range(0, 10)},
+          {rng.range(10, 20), rng.range(10, 20)}};
+    auto ab = intersect(a, b);
+    auto ba = intersect(b, a);
+    ASSERT_EQ(ab.has_value(), ba.has_value());
+    if (ab) {
+      EXPECT_EQ(*ab, *ba);
+    }
+  }
+}
+
+TEST(Box, SubtractDisjointReturnsOriginal) {
+  Box a{{0, 0}, {4, 4}};
+  auto rest = subtract(a, Box{{10, 10}, {12, 12}});
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], a);
+}
+
+TEST(Box, SubtractCoveringReturnsEmpty) {
+  EXPECT_TRUE(subtract(Box{{2, 2}, {3, 3}}, Box{{0, 0}, {9, 9}}).empty());
+}
+
+TEST(Box, SubtractPiecesAreExactComplement) {
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    Box a{{rng.range(0, 6), rng.range(0, 6), rng.range(0, 6)},
+          {rng.range(6, 14), rng.range(6, 14), rng.range(6, 14)}};
+    Box b{{rng.range(0, 10), rng.range(0, 10), rng.range(0, 10)},
+          {rng.range(5, 16), rng.range(5, 16), rng.range(5, 16)}};
+    auto pieces = subtract(a, b);
+    // Pieces plus the intersection must exactly cover a.
+    auto common = intersect(a, b);
+    std::vector<Box> cover = pieces;
+    if (common) cover.push_back(*common);
+    EXPECT_TRUE(exactly_covers(a, cover))
+        << "a=" << a.to_string() << " b=" << b.to_string();
+    for (const Box& p : pieces) EXPECT_FALSE(intersect(p, b).has_value());
+  }
+}
+
+TEST(Box, ExactlyCoversRejectsOverlapAndGaps) {
+  Box whole{{0, 0}, {3, 3}};
+  // Gap.
+  EXPECT_FALSE(exactly_covers(whole, {Box{{0, 0}, {3, 2}}}));
+  // Overlap.
+  EXPECT_FALSE(exactly_covers(
+      whole, {Box{{0, 0}, {3, 2}}, Box{{0, 2}, {3, 3}}}));
+  // Exact split.
+  EXPECT_TRUE(exactly_covers(
+      whole, {Box{{0, 0}, {3, 1}}, Box{{0, 2}, {3, 3}}}));
+}
+
+TEST(Box, ToString) {
+  EXPECT_EQ((Box{{0, 0}, {1, 2}}).to_string(), "<(0,0);(1,2)>");
+}
+
+}  // namespace
+}  // namespace cods

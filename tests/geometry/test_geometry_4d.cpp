@@ -1,0 +1,98 @@
+// Higher-dimensional property sweeps: the geometry substrate is written
+// for arbitrary dimensionality up to kMaxDims; these tests pin that down
+// in 4-D, where indexing mistakes that cancel out in 2-D/3-D surface.
+#include <gtest/gtest.h>
+
+#include "core/layout.hpp"
+#include "geometry/halo.hpp"
+#include "geometry/redistribution.hpp"
+
+namespace cods {
+namespace {
+
+TEST(Geometry4D, DecompositionCoversDomain) {
+  for (Dist dist : {Dist::kBlocked, Dist::kCyclic, Dist::kBlockCyclic}) {
+    Decomposition dec({6, 4, 4, 6}, {2, 2, 1, 3}, dist, 2);
+    std::vector<Box> all;
+    for (i32 rank = 0; rank < dec.ntasks(); ++rank) {
+      auto boxes = dec.owned_boxes(rank);
+      all.insert(all.end(), boxes.begin(), boxes.end());
+    }
+    EXPECT_TRUE(exactly_covers(dec.domain_box(), all)) << to_string(dist);
+  }
+}
+
+TEST(Geometry4D, RedistributionConserves) {
+  Decomposition src({6, 4, 4, 6}, {3, 2, 2, 1}, Dist::kBlocked);
+  Decomposition dst({6, 4, 4, 6}, {2, 1, 2, 2}, Dist::kCyclic);
+  EXPECT_EQ(total_cells(redistribution_volumes(src, dst)),
+            src.domain_cells());
+}
+
+TEST(Geometry4D, RankGridRoundTrip) {
+  Decomposition dec({8, 8, 8, 8}, {2, 3, 2, 2}, Dist::kBlocked);
+  EXPECT_EQ(dec.ntasks(), 24);
+  for (i32 rank = 0; rank < dec.ntasks(); ++rank) {
+    EXPECT_EQ(dec.grid_to_rank(dec.rank_to_grid(rank)), rank);
+  }
+}
+
+TEST(Geometry4D, HaloHasUpToEightNeighbours) {
+  Decomposition dec({8, 8, 8, 8}, {2, 2, 2, 2}, Dist::kBlocked);
+  const auto volumes = halo_volumes(dec, 1);
+  std::map<i32, int> degree;
+  for (const auto& t : volumes) ++degree[t.src_rank];
+  for (const auto& [rank, d] : degree) {
+    EXPECT_EQ(d, 4);  // corner task of a 2^4 grid: one neighbour per dim
+  }
+  // Face volume: 1 layer x 4^3 cross-section.
+  EXPECT_EQ(volumes.front().cells, 64u);
+}
+
+TEST(Geometry4D, LayoutRoundTrip) {
+  const Box box{{0, 0, 0, 0}, {3, 2, 4, 3}};
+  const Box region{{1, 1, 1, 1}, {2, 2, 3, 2}};
+  std::vector<std::byte> src(box_bytes(box, 8));
+  std::vector<std::byte> dst(box_bytes(box, 8), std::byte{0});
+  fill_pattern(src, box, 8, 21);
+  copy_box_region(src, box, dst, box, region, 8);
+  std::vector<std::byte> probe(box_bytes(region, 8));
+  copy_box_region(dst, box, probe, region, region, 8);
+  EXPECT_EQ(verify_pattern(probe, region, 8, 21), 0u);
+}
+
+TEST(Geometry4D, CellOffsetLastDimContiguous) {
+  const Box box{{0, 0, 0, 0}, {2, 2, 2, 9}};
+  EXPECT_EQ(cell_offset(box, Point{0, 0, 0, 5}) -
+                cell_offset(box, Point{0, 0, 0, 4}),
+            1u);
+  EXPECT_EQ(cell_offset(box, Point{0, 0, 1, 0}) -
+                cell_offset(box, Point{0, 0, 0, 0}),
+            10u);
+}
+
+TEST(Geometry4D, OverlapBoxesDisjointAndConserving) {
+  Decomposition src({6, 6, 4, 4}, {2, 2, 2, 1}, Dist::kBlockCyclic, 2);
+  Decomposition dst({6, 6, 4, 4}, {1, 2, 2, 2}, Dist::kBlocked);
+  for (const auto& t : redistribution_volumes(src, dst)) {
+    const auto boxes = overlap_boxes(src, t.src_rank, dst, t.dst_rank);
+    u64 cells = 0;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      cells += boxes[i].volume();
+      for (size_t j = i + 1; j < boxes.size(); ++j) {
+        EXPECT_FALSE(boxes[i].intersects(boxes[j]));
+      }
+    }
+    EXPECT_EQ(cells, t.cells);
+  }
+}
+
+TEST(Geometry4D, FifthDimensionRejected) {
+  EXPECT_THROW(Decomposition({2, 2, 2, 2, 2}, {1, 1, 1, 1, 1},
+                             Dist::kBlocked),
+               Error);
+  EXPECT_THROW((Point{1, 2, 3, 4, 5}), Error);
+}
+
+}  // namespace
+}  // namespace cods

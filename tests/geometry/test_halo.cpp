@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geometry/halo.hpp"
+
+namespace cods {
+namespace {
+
+std::map<std::pair<i32, i32>, u64> as_map(
+    const std::vector<TransferVolume>& volumes) {
+  std::map<std::pair<i32, i32>, u64> m;
+  for (const auto& t : volumes) m[{t.src_rank, t.dst_rank}] += t.cells;
+  return m;
+}
+
+TEST(Halo, OneDimensionalChain) {
+  // 4 tasks on 16 cells: interior tasks have two neighbours, ends one.
+  Decomposition dec({16}, {4}, Dist::kBlocked);
+  const auto m = as_map(halo_volumes(dec, 1));
+  EXPECT_EQ(m.size(), 6u);  // 3 undirected links, both directions
+  EXPECT_EQ(m.at({0, 1}), 1u);
+  EXPECT_EQ(m.at({1, 0}), 1u);
+  EXPECT_EQ(m.count({0, 2}), 0u);
+  EXPECT_EQ(m.count({0, 3}), 0u);
+}
+
+TEST(Halo, TwoDimensionalGridFaceAreas) {
+  // 2x2 tasks over 8x6: each task is 4x3; x-faces carry 3 cells per layer,
+  // y-faces carry 4.
+  Decomposition dec({8, 6}, {2, 2}, Dist::kBlocked);
+  const auto m = as_map(halo_volumes(dec, 1));
+  // Rank layout row-major: (0,0)=0 (0,1)=1 (1,0)=2 (1,1)=3.
+  EXPECT_EQ(m.at({0, 2}), 3u);  // x-neighbour: face 3 cells
+  EXPECT_EQ(m.at({0, 1}), 4u);  // y-neighbour: face 4 cells
+  EXPECT_EQ(m.size(), 8u);      // 4 undirected links
+}
+
+TEST(Halo, GhostWidthScalesVolume) {
+  Decomposition dec({16, 16}, {2, 2}, Dist::kBlocked);
+  const auto g1 = as_map(halo_volumes(dec, 1));
+  const auto g2 = as_map(halo_volumes(dec, 2));
+  for (const auto& [key, v] : g1) {
+    EXPECT_EQ(g2.at(key), 2 * v);
+  }
+}
+
+TEST(Halo, GhostWidthClampedToLocalExtent) {
+  // Each task owns 2 cells per dim; ghost width 5 must clamp to 2 layers.
+  Decomposition dec({4}, {2}, Dist::kBlocked);
+  const auto m = as_map(halo_volumes(dec, 5));
+  EXPECT_EQ(m.at({0, 1}), 2u);
+}
+
+TEST(Halo, ZeroGhostIsEmpty) {
+  Decomposition dec({8, 8}, {2, 2}, Dist::kBlocked);
+  EXPECT_TRUE(halo_volumes(dec, 0).empty());
+}
+
+TEST(Halo, SymmetricCellCounts3D) {
+  Decomposition dec({12, 12, 12}, {3, 2, 2}, Dist::kBlocked);
+  const auto m = as_map(halo_volumes(dec, 1));
+  for (const auto& [key, v] : m) {
+    // Equal-size blocked partitions exchange symmetric volumes.
+    EXPECT_EQ(m.at({key.second, key.first}), v);
+  }
+}
+
+TEST(Halo, RequiresBlocked) {
+  Decomposition dec({8}, {2}, Dist::kCyclic);
+  EXPECT_THROW(halo_volumes(dec, 1), Error);
+  EXPECT_NO_THROW(halo_volumes(blocked_view(dec), 1));
+}
+
+TEST(Halo, BlockedViewPreservesShape) {
+  Decomposition dec({8, 6}, {2, 3}, Dist::kBlockCyclic, 2);
+  const Decomposition view = blocked_view(dec);
+  EXPECT_EQ(view.ntasks(), dec.ntasks());
+  EXPECT_EQ(view.dim(0).extent, 8);
+  EXPECT_EQ(view.dim(1).nprocs, 3);
+  EXPECT_EQ(view.dim(0).dist, Dist::kBlocked);
+}
+
+TEST(Halo, EmptyRaggedTasksSkipped) {
+  // 5 cells over 4 procs blocked: blocks of 2 -> 2,2,1,0. Rank 3 owns
+  // nothing and must not appear.
+  Decomposition dec({5}, {4}, Dist::kBlocked);
+  const auto m = as_map(halo_volumes(dec, 1));
+  for (const auto& [key, v] : m) {
+    EXPECT_NE(key.first, 3);
+    EXPECT_NE(key.second, 3);
+  }
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geometry/redistribution.hpp"
+
+namespace cods {
+namespace {
+
+struct RedistCase {
+  Dist src_dist;
+  Dist dst_dist;
+  i64 block = 2;
+};
+
+class RedistConservation
+    : public ::testing::TestWithParam<std::tuple<RedistCase, int>> {};
+
+TEST_P(RedistConservation, VolumesSumToDomain) {
+  const auto& [c, nd] = GetParam();
+  std::vector<i64> extents;
+  std::vector<i32> sprocs;
+  std::vector<i32> dprocs;
+  for (int d = 0; d < nd; ++d) {
+    extents.push_back(d == 0 ? 24 : 12);
+    sprocs.push_back(d == 0 ? 4 : 2);
+    dprocs.push_back(d == 0 ? 3 : 2);
+  }
+  Decomposition src(extents, sprocs, c.src_dist, c.block);
+  Decomposition dst(extents, dprocs, c.dst_dist, c.block);
+  const auto volumes = redistribution_volumes(src, dst);
+  // Every domain cell is owned by exactly one src task and one dst task, so
+  // the pairwise overlaps must sum to the domain size.
+  EXPECT_EQ(total_cells(volumes), src.domain_cells());
+  for (const auto& t : volumes) {
+    EXPECT_GT(t.cells, 0u);
+    EXPECT_GE(t.src_rank, 0);
+    EXPECT_LT(t.src_rank, src.ntasks());
+    EXPECT_GE(t.dst_rank, 0);
+    EXPECT_LT(t.dst_rank, dst.ntasks());
+  }
+  // No duplicate (src, dst) pairs.
+  std::map<std::pair<i32, i32>, int> seen;
+  for (const auto& t : volumes) ++seen[{t.src_rank, t.dst_rank}];
+  for (const auto& [key, n] : seen) EXPECT_EQ(n, 1);
+}
+
+TEST_P(RedistConservation, VolumesMatchOverlapBoxes) {
+  const auto& [c, nd] = GetParam();
+  std::vector<i64> extents(static_cast<size_t>(nd), 12);
+  std::vector<i32> sprocs(static_cast<size_t>(nd), 2);
+  std::vector<i32> dprocs(static_cast<size_t>(nd), 3);
+  Decomposition src(extents, sprocs, c.src_dist, c.block);
+  Decomposition dst(extents, dprocs, c.dst_dist, c.block);
+  for (const auto& t : redistribution_volumes(src, dst)) {
+    u64 box_cells = 0;
+    for (const Box& b : overlap_boxes(src, t.src_rank, dst, t.dst_rank)) {
+      box_cells += b.volume();
+    }
+    EXPECT_EQ(box_cells, t.cells);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistPairs, RedistConservation,
+    ::testing::Combine(
+        ::testing::Values(RedistCase{Dist::kBlocked, Dist::kBlocked},
+                          RedistCase{Dist::kBlocked, Dist::kCyclic},
+                          RedistCase{Dist::kCyclic, Dist::kBlocked},
+                          RedistCase{Dist::kCyclic, Dist::kCyclic},
+                          RedistCase{Dist::kBlocked, Dist::kBlockCyclic, 3},
+                          RedistCase{Dist::kBlockCyclic, Dist::kBlocked, 2},
+                          RedistCase{Dist::kBlockCyclic, Dist::kBlockCyclic, 2},
+                          RedistCase{Dist::kCyclic, Dist::kBlockCyclic, 4}),
+        ::testing::Values(1, 2, 3)));
+
+TEST(Redistribution, IdenticalDecompositionsAreDiagonal) {
+  Decomposition dec({16, 16}, {4, 2}, Dist::kBlocked);
+  const auto volumes = redistribution_volumes(dec, dec);
+  EXPECT_EQ(volumes.size(), static_cast<size_t>(dec.ntasks()));
+  for (const auto& t : volumes) {
+    EXPECT_EQ(t.src_rank, t.dst_rank);
+    EXPECT_EQ(t.cells, dec.owned_cells(t.src_rank));
+  }
+}
+
+TEST(Redistribution, MxNBlockedCounts) {
+  // 1-D: 4 producers, 2 consumers, blocked 16 cells. Each consumer gets two
+  // producer blocks whole.
+  Decomposition src({16}, {4}, Dist::kBlocked);
+  Decomposition dst({16}, {2}, Dist::kBlocked);
+  const auto volumes = redistribution_volumes(src, dst);
+  ASSERT_EQ(volumes.size(), 4u);
+  for (const auto& t : volumes) {
+    EXPECT_EQ(t.cells, 4u);
+    EXPECT_EQ(t.dst_rank, t.src_rank / 2);
+  }
+}
+
+TEST(Redistribution, MismatchedDistributionsFanOut) {
+  // Fig. 10 effect: blocked producer vs cyclic consumer => every consumer
+  // needs a piece of every producer.
+  Decomposition src({64}, {4}, Dist::kBlocked);
+  Decomposition dst({64}, {8}, Dist::kCyclic);
+  const auto volumes = redistribution_volumes(src, dst);
+  EXPECT_EQ(volumes.size(), 32u);  // full bipartite 4 x 8
+}
+
+TEST(Redistribution, RegionRestriction) {
+  Decomposition src({16}, {4}, Dist::kBlocked);
+  Decomposition dst({16}, {2}, Dist::kBlocked);
+  const Box lower_half{{0}, {7}};
+  const auto volumes = redistribution_volumes(src, dst, lower_half);
+  EXPECT_EQ(total_cells(volumes), 8u);
+  for (const auto& t : volumes) {
+    EXPECT_LT(t.src_rank, 2);  // only producers owning the lower half
+    EXPECT_EQ(t.dst_rank, 0);
+  }
+}
+
+TEST(Redistribution, OverlapBoxesAreDisjoint) {
+  Decomposition src({12, 12}, {3, 2}, Dist::kCyclic);
+  Decomposition dst({12, 12}, {2, 3}, Dist::kBlocked);
+  for (const auto& t : redistribution_volumes(src, dst)) {
+    const auto boxes = overlap_boxes(src, t.src_rank, dst, t.dst_rank);
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      for (size_t j = i + 1; j < boxes.size(); ++j) {
+        EXPECT_FALSE(boxes[i].intersects(boxes[j]));
+      }
+    }
+  }
+}
+
+TEST(IntersectSegments, Basic) {
+  const std::vector<Segment> a = {{0, 4}, {10, 14}};
+  const std::vector<Segment> b = {{3, 11}};
+  const auto c = intersect_segments(a, b);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], (Segment{3, 4}));
+  EXPECT_EQ(c[1], (Segment{10, 11}));
+}
+
+TEST(IntersectSegments, EmptyInputs) {
+  EXPECT_TRUE(intersect_segments({}, {{0, 5}}).empty());
+  EXPECT_TRUE(intersect_segments({{0, 5}}, {}).empty());
+  EXPECT_TRUE(intersect_segments({{0, 2}}, {{3, 5}}).empty());
+}
+
+TEST(Redistribution, DimensionMismatchThrows) {
+  Decomposition a({8}, {2}, Dist::kBlocked);
+  Decomposition b({8, 8}, {2, 2}, Dist::kBlocked);
+  EXPECT_THROW(redistribution_volumes(a, b), Error);
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,122 @@
+// Cross-mode consistency: the modeled scenario evaluator and a live
+// workflow run share the mapping and schedule code paths, so for the same
+// configuration the *byte accounting* must agree exactly. This is the
+// property that lets the paper-scale benchmarks stand in for live runs
+// (DESIGN.md §5).
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "workflow/scenario.hpp"
+
+namespace cods {
+namespace {
+
+AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs) {
+  AppSpec app;
+  app.app_id = id;
+  app.name = "app" + std::to_string(id);
+  app.dec = blocked(std::move(extents), std::move(procs));
+  return app;
+}
+
+struct Config {
+  ClusterSpec cluster{.num_nodes = 8, .cores_per_node = 4};
+  AppSpec producer = make_app(1, {24, 24}, {4, 3});  // 12 tasks
+  AppSpec sap2 = make_app(2, {24, 24}, {4, 1});      // 4 tasks
+  AppSpec sap3 = make_app(3, {24, 24}, {2, 2});      // 4 tasks
+};
+
+class LiveVsModeled : public ::testing::TestWithParam<MappingStrategy> {};
+
+TEST_P(LiveVsModeled, SequentialInterAppBytesMatch) {
+  const Config config;
+  const MappingStrategy strategy = GetParam();
+
+  // --- modeled run ---
+  ScenarioConfig modeled;
+  modeled.cluster = config.cluster;
+  modeled.apps = {config.producer, config.sap2, config.sap3};
+  modeled.couplings = {{1, 2}, {1, 3}};
+  modeled.sequential = true;
+  modeled.strategy = strategy;
+  const ScenarioResult expected = run_modeled_scenario(modeled);
+
+  // --- live run ---
+  Cluster cluster(config.cluster);
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {23, 23}});
+  server.register_app(config.producer,
+                      make_pattern_producer({{"v"}, 1, true, 1}));
+  auto bad = std::make_shared<std::atomic<u64>>(0);
+  server.register_app(
+      config.sap2,
+      make_pattern_consumer({{"v"}, 1, true, 1, bad, nullptr}), "v");
+  server.register_app(
+      config.sap3,
+      make_pattern_consumer({{"v"}, 1, true, 1, bad, nullptr}), "v");
+  DagSpec dag;
+  for (i32 a : {1, 2, 3}) dag.add_app(a);
+  dag.add_dependency(1, 2);
+  dag.add_dependency(1, 3);
+  WorkflowOptions options;
+  options.strategy = strategy;
+  server.run(dag, options);
+  EXPECT_EQ(bad->load(), 0u);
+
+  // Byte-exact agreement per consumer app.
+  for (i32 app : {2, 3}) {
+    const ByteCounters live = metrics.counters(app, TrafficClass::kInterApp);
+    const AppReport& model = expected.apps.at(app);
+    EXPECT_EQ(live.net_bytes, model.inter_net_bytes)
+        << "app " << app << " " << to_string(strategy);
+    EXPECT_EQ(live.shm_bytes, model.inter_shm_bytes)
+        << "app " << app << " " << to_string(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, LiveVsModeled,
+                         ::testing::Values(MappingStrategy::kRoundRobin,
+                                           MappingStrategy::kDataCentric));
+
+TEST(LiveVsModeledConcurrent, InterAppBytesMatch) {
+  // Concurrent bundle: server-side mapping drives both modes with the same
+  // partitioner seed, so placements coincide.
+  const ClusterSpec cluster_spec{.num_nodes = 6, .cores_per_node = 4};
+  const AppSpec producer = make_app(1, {24, 24}, {4, 4});  // 16 tasks
+  const AppSpec consumer = make_app(2, {24, 24}, {2, 2});  // 4 tasks
+
+  ScenarioConfig modeled;
+  modeled.cluster = cluster_spec;
+  modeled.apps = {producer, consumer};
+  modeled.couplings = {{1, 2}};
+  modeled.sequential = false;
+  modeled.strategy = MappingStrategy::kDataCentric;
+  modeled.seed = 1;
+  const ScenarioResult expected = run_modeled_scenario(modeled);
+
+  Cluster cluster(cluster_spec);
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {23, 23}});
+  server.register_app(producer,
+                      make_pattern_producer({{"v"}, 1, false, 1}));
+  auto bad = std::make_shared<std::atomic<u64>>(0);
+  server.register_app(
+      consumer, make_pattern_consumer({{"v"}, 1, false, 1, bad, nullptr}));
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_bundle({1, 2});
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kDataCentric;
+  options.seed = 1;
+  server.run(dag, options);
+  EXPECT_EQ(bad->load(), 0u);
+
+  const ByteCounters live = metrics.counters(2, TrafficClass::kInterApp);
+  const AppReport& model = expected.apps.at(2);
+  EXPECT_EQ(live.net_bytes, model.inter_net_bytes);
+  EXPECT_EQ(live.shm_bytes, model.inter_shm_bytes);
+}
+
+}  // namespace
+}  // namespace cods

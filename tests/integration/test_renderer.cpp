@@ -1,0 +1,95 @@
+// Tests for the in-situ PGM renderer application.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "apps/synthetic.hpp"
+
+namespace cods {
+namespace {
+
+AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs) {
+  AppSpec app;
+  app.app_id = id;
+  app.name = "app" + std::to_string(id);
+  app.dec = blocked(std::move(extents), std::move(procs));
+  return app;
+}
+
+struct Frame {
+  i64 width = 0;
+  i64 height = 0;
+  std::vector<unsigned char> pixels;
+};
+
+Frame read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string magic;
+  Frame frame;
+  int maxval;
+  in >> magic >> frame.width >> frame.height >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(maxval, 255);
+  in.get();  // the single whitespace after the header
+  frame.pixels.resize(static_cast<size_t>(frame.width * frame.height));
+  in.read(reinterpret_cast<char*>(frame.pixels.data()),
+          static_cast<std::streamsize>(frame.pixels.size()));
+  EXPECT_TRUE(in.good());
+  return frame;
+}
+
+TEST(Renderer, ProducesValidFramesWithExpectedContent) {
+  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
+  const i32 frames = 2;
+  auto written = std::make_shared<std::vector<std::string>>();
+  const std::string prefix = ::testing::TempDir() + "/render_";
+  server.register_app(make_app(1, {16, 16}, {2, 2}),
+                      make_stencil_simulation({"t", frames, 0.1}));
+  server.register_app(
+      make_app(2, {16, 16}, {2, 2}),
+      make_insitu_renderer({"t", frames, 0.0, 1.0, prefix, written}));
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_bundle({1, 2});
+  server.run(dag);
+
+  ASSERT_EQ(written->size(), static_cast<size_t>(frames));
+  for (const std::string& path : *written) {
+    const Frame frame = read_pgm(path);
+    EXPECT_EQ(frame.width, 16);
+    EXPECT_EQ(frame.height, 16);
+    // The sine-bump field: dark at the domain boundary, bright in the
+    // centre.
+    const auto at = [&](i64 y, i64 x) {
+      return frame.pixels[static_cast<size_t>(y * 16 + x)];
+    };
+    EXPECT_LT(at(0, 0), 80);
+    EXPECT_GT(at(8, 8), 150);
+    // Symmetric initial condition stays symmetric under diffusion.
+    EXPECT_NEAR(at(8, 3), at(8, 12), 2);
+  }
+}
+
+TEST(Renderer, Rejects3DFields) {
+  Cluster cluster(ClusterSpec{.num_nodes = 2, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0, 0}, {7, 7, 7}});
+  server.register_app(make_app(1, {8, 8, 8}, {2, 1, 1}),
+                      make_stencil_simulation({"t", 1, 0.05}));
+  server.register_app(make_app(2, {8, 8, 8}, {2, 1, 1}),
+                      make_insitu_renderer({"t", 1, 0.0, 1.0,
+                                            ::testing::TempDir() + "/x_",
+                                            nullptr}));
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_bundle({1, 2});
+  EXPECT_THROW(server.run(dag), Error);
+}
+
+}  // namespace
+}  // namespace cods

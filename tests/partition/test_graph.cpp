@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "partition/graph.hpp"
+
+namespace cods {
+namespace {
+
+TEST(Graph, FromEdgesBuildsSymmetricCsr) {
+  const Graph g = Graph::from_edges(4, {{0, 1, 5}, {1, 2, 3}, {2, 3, 1}});
+  g.validate();
+  EXPECT_EQ(g.nvtx, 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.total_edge_weight(), 9);
+}
+
+TEST(Graph, ParallelEdgesMerge) {
+  const Graph g = Graph::from_edges(2, {{0, 1, 5}, {1, 0, 3}, {0, 1, 2}});
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.total_edge_weight(), 10);
+}
+
+TEST(Graph, SelfLoopsAndZeroWeightsDropped) {
+  const Graph g = Graph::from_edges(3, {{0, 0, 5}, {0, 1, 0}, {1, 2, 4}});
+  EXPECT_EQ(g.degree(0), 0);
+  EXPECT_EQ(g.total_edge_weight(), 4);
+}
+
+TEST(Graph, VertexWeightsDefaultToOne) {
+  const Graph g = Graph::from_edges(3, {});
+  EXPECT_EQ(g.total_vertex_weight(), 3);
+}
+
+TEST(Graph, CustomVertexWeights) {
+  const Graph g = Graph::from_edges(3, {}, {2, 3, 4});
+  EXPECT_EQ(g.total_vertex_weight(), 9);
+}
+
+TEST(Graph, EdgeCut) {
+  const Graph g =
+      Graph::from_edges(4, {{0, 1, 5}, {1, 2, 3}, {2, 3, 7}, {0, 3, 2}});
+  const std::vector<i32> same = {0, 0, 0, 0};
+  EXPECT_EQ(g.edge_cut(same), 0);
+  const std::vector<i32> split = {0, 0, 1, 1};
+  EXPECT_EQ(g.edge_cut(split), 5);  // edges (1,2)=3 and (0,3)=2 cross
+  const std::vector<i32> alternating = {0, 1, 0, 1};
+  EXPECT_EQ(g.edge_cut(alternating), 17);
+}
+
+TEST(Graph, FromEdgesRejectsBadInput) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2, 1}}), Error);
+  EXPECT_THROW(Graph::from_edges(2, {{-1, 0, 1}}), Error);
+  EXPECT_THROW(Graph::from_edges(2, {{0, 1, -5}}), Error);
+  EXPECT_THROW(Graph::from_edges(2, {}, {1, 2, 3}), Error);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  g.validate();
+  EXPECT_EQ(g.edge_cut(std::vector<i32>{}), 0);
+}
+
+}  // namespace
+}  // namespace cods

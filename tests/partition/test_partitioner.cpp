@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "partition/partitioner.hpp"
+
+namespace cods {
+namespace {
+
+/// Grid graph: w x h lattice with unit edge weights — known good partitions
+/// are contiguous tiles.
+Graph grid_graph(i32 w, i32 h, i64 edge_weight = 1) {
+  std::vector<std::tuple<i32, i32, i64>> edges;
+  for (i32 y = 0; y < h; ++y) {
+    for (i32 x = 0; x < w; ++x) {
+      const i32 v = y * w + x;
+      if (x + 1 < w) edges.emplace_back(v, v + 1, edge_weight);
+      if (y + 1 < h) edges.emplace_back(v, v + w, edge_weight);
+    }
+  }
+  return Graph::from_edges(w * h, edges);
+}
+
+/// Random partition respecting capacity: the baseline any real partitioner
+/// must beat on structured graphs.
+std::vector<i32> random_partition(const Graph& g, i32 nparts, i64 cap,
+                                  u64 seed) {
+  Rng rng(seed);
+  std::vector<i32> part(static_cast<size_t>(g.nvtx));
+  std::vector<i64> weight(static_cast<size_t>(nparts), 0);
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    i32 p;
+    do {
+      p = static_cast<i32>(rng.below(static_cast<u64>(nparts)));
+    } while (weight[static_cast<size_t>(p)] + g.vwgt[static_cast<size_t>(v)] >
+             cap);
+    part[static_cast<size_t>(v)] = p;
+    weight[static_cast<size_t>(p)] += g.vwgt[static_cast<size_t>(v)];
+  }
+  return part;
+}
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const Graph g = grid_graph(4, 4);
+  const auto result = kway_partition(g, 1);
+  EXPECT_EQ(result.edge_cut, 0);
+  for (i32 p : result.part) EXPECT_EQ(p, 0);
+}
+
+TEST(Partitioner, RespectsHardCapacity) {
+  const Graph g = grid_graph(8, 8);
+  PartitionOptions opt;
+  opt.max_part_weight = 8;
+  const auto result = kway_partition(g, 8, opt);
+  EXPECT_TRUE(partition_valid(g, result.part, 8, 8));
+  EXPECT_LE(result.max_weight, 8);
+}
+
+TEST(Partitioner, ExactCapacityFeasible) {
+  // 64 vertices, 8 parts, capacity exactly 8: zero slack.
+  const Graph g = grid_graph(8, 8);
+  PartitionOptions opt;
+  opt.max_part_weight = 8;
+  const auto result = kway_partition(g, 8, opt);
+  std::vector<i64> w(8, 0);
+  for (i32 v = 0; v < g.nvtx; ++v) ++w[static_cast<size_t>(result.part[static_cast<size_t>(v)])];
+  for (i64 x : w) EXPECT_EQ(x, 8);
+}
+
+TEST(Partitioner, InfeasibleThrows) {
+  const Graph g = grid_graph(4, 4);
+  PartitionOptions opt;
+  opt.max_part_weight = 3;
+  EXPECT_THROW(kway_partition(g, 4, opt), Error);  // 16 > 4*3
+}
+
+TEST(Partitioner, OversizedVertexThrows) {
+  const Graph g = Graph::from_edges(2, {{0, 1, 1}}, {5, 1});
+  PartitionOptions opt;
+  opt.max_part_weight = 4;
+  EXPECT_THROW(kway_partition(g, 2, opt), Error);
+}
+
+TEST(Partitioner, BeatsRandomOnGrids) {
+  const Graph g = grid_graph(16, 16);
+  PartitionOptions opt;
+  opt.max_part_weight = 32;
+  const auto result = kway_partition(g, 8, opt);
+  const auto random = random_partition(g, 8, 32, 7);
+  EXPECT_LT(result.edge_cut, g.edge_cut(random) / 2)
+      << "multilevel cut " << result.edge_cut << " vs random "
+      << g.edge_cut(random);
+}
+
+TEST(Partitioner, PerfectBipartitionOfTwoCliques) {
+  // Two 4-cliques joined by one light edge: the optimal bipartition cuts
+  // exactly that edge.
+  std::vector<std::tuple<i32, i32, i64>> edges;
+  for (i32 a = 0; a < 4; ++a)
+    for (i32 b = a + 1; b < 4; ++b) {
+      edges.emplace_back(a, b, 10);
+      edges.emplace_back(4 + a, 4 + b, 10);
+    }
+  edges.emplace_back(0, 4, 1);
+  const Graph g = Graph::from_edges(8, edges);
+  PartitionOptions opt;
+  opt.max_part_weight = 4;
+  const auto result = kway_partition(g, 2, opt);
+  EXPECT_EQ(result.edge_cut, 1);
+}
+
+TEST(Partitioner, Deterministic) {
+  const Graph g = grid_graph(12, 12);
+  PartitionOptions opt;
+  opt.seed = 42;
+  opt.max_part_weight = 18;
+  const auto a = kway_partition(g, 8, opt);
+  const auto b = kway_partition(g, 8, opt);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.edge_cut, b.edge_cut);
+}
+
+TEST(Partitioner, EdgeCutFieldMatchesGraph) {
+  const Graph g = grid_graph(10, 10);
+  PartitionOptions opt;
+  opt.max_part_weight = 25;
+  const auto result = kway_partition(g, 4, opt);
+  EXPECT_EQ(result.edge_cut, g.edge_cut(result.part));
+}
+
+class PartitionerSweep
+    : public ::testing::TestWithParam<std::tuple<i32, i32, u64>> {};
+
+TEST_P(PartitionerSweep, AlwaysValidUnderCapacity) {
+  const auto& [side, nparts, seed] = GetParam();
+  const Graph g = grid_graph(side, side);
+  const i64 cap = (static_cast<i64>(side) * side + nparts - 1) / nparts;
+  PartitionOptions opt;
+  opt.max_part_weight = cap;
+  opt.seed = seed;
+  const auto result = kway_partition(g, nparts, opt);
+  EXPECT_TRUE(partition_valid(g, result.part, nparts, cap));
+  EXPECT_GE(result.edge_cut, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionerSweep,
+    ::testing::Combine(::testing::Values(4, 7, 12, 20),
+                       ::testing::Values(2, 3, 8, 12),
+                       ::testing::Values(1u, 99u)));
+
+TEST(Partitioner, DisconnectedComponents) {
+  // Two disjoint paths; partitioner must still produce a valid result.
+  const Graph g =
+      Graph::from_edges(6, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}});
+  PartitionOptions opt;
+  opt.max_part_weight = 3;
+  const auto result = kway_partition(g, 2, opt);
+  EXPECT_TRUE(partition_valid(g, result.part, 2, 3));
+  EXPECT_EQ(result.edge_cut, 0);  // natural split along components
+}
+
+TEST(Partitioner, WeightedVerticesRespectCapacity) {
+  std::vector<i64> vw = {3, 3, 2, 2, 1, 1};
+  const Graph g = Graph::from_edges(
+      6, {{0, 1, 4}, {1, 2, 4}, {2, 3, 4}, {3, 4, 4}, {4, 5, 4}}, vw);
+  PartitionOptions opt;
+  opt.max_part_weight = 6;
+  const auto result = kway_partition(g, 2, opt);
+  EXPECT_TRUE(partition_valid(g, result.part, 2, 6));
+}
+
+TEST(Partitioner, BipartiteCouplingGraphGroupsProducerWithConsumers) {
+  // The server-side mapping shape (paper Fig. 7): 12 producer tasks each
+  // coupled to one of 4 consumer tasks. With capacity 4 and 4 parts, the
+  // ideal mapping puts each consumer with its 3 producers -> zero cut.
+  std::vector<std::tuple<i32, i32, i64>> edges;
+  for (i32 p = 0; p < 12; ++p) edges.emplace_back(p, 12 + p / 3, 100);
+  const Graph g = Graph::from_edges(16, edges);
+  PartitionOptions opt;
+  opt.max_part_weight = 4;
+  const auto result = kway_partition(g, 4, opt);
+  EXPECT_EQ(result.edge_cut, 0);
+}
+
+}  // namespace
+}  // namespace cods

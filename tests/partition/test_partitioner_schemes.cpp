@@ -1,0 +1,143 @@
+// Tests for the partitioner's recursive-bisection scheme and heterogeneous
+// per-part capacities.
+#include <gtest/gtest.h>
+
+#include "partition/partitioner.hpp"
+
+namespace cods {
+namespace {
+
+Graph grid_graph(i32 w, i32 h) {
+  std::vector<std::tuple<i32, i32, i64>> edges;
+  for (i32 y = 0; y < h; ++y) {
+    for (i32 x = 0; x < w; ++x) {
+      const i32 v = y * w + x;
+      if (x + 1 < w) edges.emplace_back(v, v + 1, 1);
+      if (y + 1 < h) edges.emplace_back(v, v + w, 1);
+    }
+  }
+  return Graph::from_edges(w * h, edges);
+}
+
+TEST(RecursiveBisection, ValidAndBalanced) {
+  const Graph g = grid_graph(16, 16);
+  PartitionOptions opt;
+  opt.max_part_weight = 32;
+  opt.scheme = PartitionScheme::kRecursiveBisection;
+  const auto result = kway_partition(g, 8, opt);
+  EXPECT_TRUE(partition_valid(g, result.part, 8, 32));
+  EXPECT_EQ(result.edge_cut, g.edge_cut(result.part));
+}
+
+TEST(RecursiveBisection, OddPartCounts) {
+  const Graph g = grid_graph(9, 7);  // 63 vertices
+  for (i32 nparts : {3, 5, 7}) {
+    PartitionOptions opt;
+    opt.scheme = PartitionScheme::kRecursiveBisection;
+    opt.max_part_weight = (63 + nparts - 1) / nparts + 2;  // slight slack
+    const auto result = kway_partition(g, nparts, opt);
+    EXPECT_TRUE(partition_valid(g, result.part, nparts, opt.max_part_weight))
+        << "nparts=" << nparts;
+  }
+}
+
+TEST(RecursiveBisection, QualityComparableToDirectKway) {
+  const Graph g = grid_graph(20, 20);
+  PartitionOptions direct;
+  direct.max_part_weight = 50;
+  PartitionOptions rb = direct;
+  rb.scheme = PartitionScheme::kRecursiveBisection;
+  const auto d = kway_partition(g, 8, direct);
+  const auto r = kway_partition(g, 8, rb);
+  // Both are real partitioners: within 3x of each other on a grid.
+  EXPECT_LT(r.edge_cut, 3 * d.edge_cut + 10);
+  EXPECT_LT(d.edge_cut, 3 * r.edge_cut + 10);
+}
+
+TEST(RecursiveBisection, Deterministic) {
+  const Graph g = grid_graph(10, 10);
+  PartitionOptions opt;
+  opt.max_part_weight = 25;
+  opt.scheme = PartitionScheme::kRecursiveBisection;
+  opt.seed = 5;
+  const auto a = kway_partition(g, 4, opt);
+  const auto b = kway_partition(g, 4, opt);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(HeterogeneousCapacities, RespectedByDirectKway) {
+  const Graph g = grid_graph(8, 8);  // 64 unit vertices
+  PartitionOptions opt;
+  opt.part_capacities = {40, 12, 12};  // one big node, two small ones
+  const auto result = kway_partition(g, 3, opt);
+  std::vector<i64> w(3, 0);
+  for (i32 v = 0; v < g.nvtx; ++v) ++w[static_cast<size_t>(result.part[static_cast<size_t>(v)])];
+  EXPECT_LE(w[0], 40);
+  EXPECT_LE(w[1], 12);
+  EXPECT_LE(w[2], 12);
+}
+
+TEST(HeterogeneousCapacities, RespectedByRecursiveBisection) {
+  const Graph g = grid_graph(8, 8);
+  PartitionOptions opt;
+  opt.part_capacities = {16, 16, 16, 8, 8};
+  opt.scheme = PartitionScheme::kRecursiveBisection;
+  const auto result = kway_partition(g, 5, opt);
+  std::vector<i64> w(5, 0);
+  for (i32 v = 0; v < g.nvtx; ++v) ++w[static_cast<size_t>(result.part[static_cast<size_t>(v)])];
+  for (size_t p = 0; p < 5; ++p) {
+    EXPECT_LE(w[p], opt.part_capacities[p]) << "part " << p;
+  }
+}
+
+TEST(HeterogeneousCapacities, TightFitFeasible) {
+  const Graph g = grid_graph(6, 6);  // 36 vertices
+  PartitionOptions opt;
+  opt.part_capacities = {20, 10, 6};  // exactly 36 total
+  const auto result = kway_partition(g, 3, opt);
+  std::vector<i64> w(3, 0);
+  for (i32 v = 0; v < g.nvtx; ++v) ++w[static_cast<size_t>(result.part[static_cast<size_t>(v)])];
+  EXPECT_EQ(w[0] + w[1] + w[2], 36);
+  EXPECT_LE(w[0], 20);
+  EXPECT_LE(w[1], 10);
+  EXPECT_LE(w[2], 6);
+}
+
+TEST(HeterogeneousCapacities, BadSpecsRejected) {
+  const Graph g = grid_graph(4, 4);
+  {
+    PartitionOptions opt;
+    opt.part_capacities = {8, 8};  // size != nparts
+    EXPECT_THROW(kway_partition(g, 3, opt), Error);
+  }
+  {
+    PartitionOptions opt;
+    opt.part_capacities = {8, 0};
+    EXPECT_THROW(kway_partition(g, 2, opt), Error);
+  }
+  {
+    PartitionOptions opt;
+    opt.part_capacities = {8, 4};  // total 12 < 16 vertices
+    EXPECT_THROW(kway_partition(g, 2, opt), Error);
+  }
+}
+
+TEST(HeterogeneousCapacities, WeightedVerticesAgainstMixedCaps) {
+  // Chain of weighted vertices: 5,4,3,2,1,1 against caps {9, 7}.
+  const Graph g = Graph::from_edges(
+      6, {{0, 1, 2}, {1, 2, 2}, {2, 3, 2}, {3, 4, 2}, {4, 5, 2}},
+      {5, 4, 3, 2, 1, 1});
+  PartitionOptions opt;
+  opt.part_capacities = {9, 7};
+  const auto result = kway_partition(g, 2, opt);
+  std::vector<i64> w(2, 0);
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    w[static_cast<size_t>(result.part[static_cast<size_t>(v)])] +=
+        g.vwgt[static_cast<size_t>(v)];
+  }
+  EXPECT_LE(w[0], 9);
+  EXPECT_LE(w[1], 7);
+}
+
+}  // namespace
+}  // namespace cods

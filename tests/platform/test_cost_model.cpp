@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+#include "platform/cost_model.hpp"
+
+namespace cods {
+namespace {
+
+using namespace cods::literals;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{ClusterSpec{.num_nodes = 8, .cores_per_node = 12}};
+  CostModel model_{cluster_};
+};
+
+TEST_F(CostModelTest, SharedMemoryFasterThanNetwork) {
+  const Flow shm{{0, 0}, {0, 5}, 16_MiB};
+  const Flow net{{0, 0}, {1, 0}, 16_MiB};
+  EXPECT_LT(model_.flow_time(shm), model_.flow_time(net));
+}
+
+TEST_F(CostModelTest, ZeroBytesIsFree) {
+  EXPECT_EQ(model_.flow_time(Flow{{0, 0}, {1, 0}, 0}), 0.0);
+  EXPECT_EQ(model_.batch_time({}), 0.0);
+}
+
+TEST_F(CostModelTest, TimeGrowsWithBytes) {
+  const Flow small{{0, 0}, {1, 0}, 1_MiB};
+  const Flow large{{0, 0}, {1, 0}, 64_MiB};
+  EXPECT_LT(model_.flow_time(small), model_.flow_time(large));
+}
+
+TEST_F(CostModelTest, TimeGrowsWithHops) {
+  Cluster line(ClusterSpec{
+      .num_nodes = 8, .cores_per_node = 1, .torus = {8, 1, 1}});
+  CostModel model(line);
+  const Flow near{{0, 0}, {1, 0}, 1_MiB};
+  const Flow far{{0, 0}, {4, 0}, 1_MiB};
+  EXPECT_LT(model.flow_time(near), model.flow_time(far));
+}
+
+TEST_F(CostModelTest, BatchAtLeastAsSlowAsWorstFlow) {
+  std::vector<Flow> flows;
+  for (i32 n = 1; n < 8; ++n) flows.push_back(Flow{{0, 0}, {n, 0}, 8_MiB});
+  double worst = 0;
+  for (const Flow& f : flows) worst = std::max(worst, model_.flow_time(f));
+  EXPECT_GE(model_.batch_time(flows) + 1e-12, worst);
+}
+
+TEST_F(CostModelTest, NicContentionSerializesFanIn) {
+  // 7 nodes all sending to node 0 contend on node 0's ejection NIC:
+  // batch time approaches 7x a single flow's bandwidth term.
+  std::vector<Flow> fan_in;
+  for (i32 n = 1; n < 8; ++n) fan_in.push_back(Flow{{n, 0}, {0, 0}, 32_MiB});
+  const double single = model_.batch_time({fan_in[0]});
+  const double all = model_.batch_time(fan_in);
+  EXPECT_GT(all, 4 * single);
+}
+
+TEST_F(CostModelTest, DisjointPairsDoNotContend) {
+  // 0->1 and 2->3 share no NIC; batch equals the slower of the two
+  // (modulo the common latency term).
+  Cluster line(ClusterSpec{
+      .num_nodes = 4, .cores_per_node = 1, .torus = {4, 1, 1}});
+  CostModel model(line);
+  const std::vector<Flow> pair = {{{0, 0}, {1, 0}, 8_MiB},
+                                  {{2, 0}, {3, 0}, 8_MiB}};
+  const double one = model.batch_time({pair[0]});
+  const double both = model.batch_time(pair);
+  EXPECT_NEAR(both, one, one * 0.05);
+}
+
+TEST_F(CostModelTest, ShmBatchSharesMemoryBus) {
+  std::vector<Flow> intra;
+  for (i32 c = 1; c <= 4; ++c) intra.push_back(Flow{{0, 0}, {0, c}, 16_MiB});
+  const double one = model_.batch_time({intra[0]});
+  const double four = model_.batch_time(intra);
+  EXPECT_GT(four, 3 * one);
+  EXPECT_LT(four, 5 * one);
+}
+
+TEST_F(CostModelTest, RpcRoundTripScalesWithCount) {
+  const double one = model_.rpc_time({0, 0}, {1, 0}, 1);
+  const double ten = model_.rpc_time({0, 0}, {1, 0}, 10);
+  EXPECT_NEAR(ten, 10 * one, 1e-12);
+  EXPECT_EQ(model_.rpc_time({0, 0}, {1, 0}, 0), 0.0);
+}
+
+TEST_F(CostModelTest, IntraNodeRpcCheaperThanRemote) {
+  EXPECT_LT(model_.rpc_time({0, 0}, {0, 1}), model_.rpc_time({0, 0}, {3, 0}));
+}
+
+}  // namespace
+}  // namespace cods

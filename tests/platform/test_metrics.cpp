@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "platform/metrics.hpp"
+
+namespace cods {
+namespace {
+
+TEST(Metrics, RecordsByAppAndClass) {
+  Metrics m;
+  m.record(1, TrafficClass::kInterApp, 100, /*via_network=*/true);
+  m.record(1, TrafficClass::kInterApp, 50, /*via_network=*/false);
+  m.record(1, TrafficClass::kIntraApp, 7, true);
+  m.record(2, TrafficClass::kInterApp, 9, true);
+
+  const auto inter1 = m.counters(1, TrafficClass::kInterApp);
+  EXPECT_EQ(inter1.net_bytes, 100u);
+  EXPECT_EQ(inter1.shm_bytes, 50u);
+  EXPECT_EQ(inter1.transfers, 2u);
+  EXPECT_EQ(inter1.total(), 150u);
+
+  EXPECT_EQ(m.counters(1, TrafficClass::kIntraApp).net_bytes, 7u);
+  EXPECT_EQ(m.counters(2, TrafficClass::kInterApp).net_bytes, 9u);
+  EXPECT_EQ(m.counters(3, TrafficClass::kInterApp).total(), 0u);
+}
+
+TEST(Metrics, Totals) {
+  Metrics m;
+  m.record(1, TrafficClass::kInterApp, 10, true);
+  m.record(2, TrafficClass::kInterApp, 20, false);
+  m.record(1, TrafficClass::kIntraApp, 40, true);
+  const auto inter = m.total(TrafficClass::kInterApp);
+  EXPECT_EQ(inter.net_bytes, 10u);
+  EXPECT_EQ(inter.shm_bytes, 20u);
+  EXPECT_EQ(m.total_net_bytes(), 50u);
+}
+
+TEST(Metrics, Times) {
+  Metrics m;
+  m.add_time(1, "retrieve", 0.5);
+  m.add_time(1, "retrieve", 0.25);
+  m.add_time(1, "insert", 0.1);
+  EXPECT_DOUBLE_EQ(m.time(1, "retrieve"), 0.75);
+  EXPECT_DOUBLE_EQ(m.time(1, "insert"), 0.1);
+  EXPECT_DOUBLE_EQ(m.time(2, "retrieve"), 0.0);
+}
+
+TEST(Metrics, Reset) {
+  Metrics m;
+  m.record(1, TrafficClass::kInterApp, 10, true);
+  m.add_time(1, "x", 1.0);
+  m.reset();
+  EXPECT_EQ(m.total_net_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(m.time(1, "x"), 0.0);
+}
+
+TEST(Metrics, ThreadSafeAccumulation) {
+  Metrics m;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&m] {
+      for (int i = 0; i < 1000; ++i) {
+        m.record(1, TrafficClass::kInterApp, 1, true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.counters(1, TrafficClass::kInterApp).net_bytes, 8000u);
+}
+
+TEST(Metrics, ReportMentionsApps) {
+  Metrics m;
+  m.record(7, TrafficClass::kInterApp, 2048, true);
+  m.add_time(7, "retrieve", 0.001);
+  const std::string report = m.report();
+  EXPECT_NE(report.find("app 7"), std::string::npos);
+  EXPECT_NE(report.find("inter-app"), std::string::npos);
+  EXPECT_NE(report.find("2.00 KiB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dart/dart.hpp"
+#include "platform/transfer_log.hpp"
+
+namespace cods {
+namespace {
+
+TransferRecord make_record(i32 src_node, i32 dst_node, u64 bytes,
+                           bool net, i32 app = 1) {
+  TransferRecord r;
+  r.src = CoreLoc{src_node, 0};
+  r.dst = CoreLoc{dst_node, 0};
+  r.bytes = bytes;
+  r.via_network = net;
+  r.app_id = app;
+  r.model_time = 1e-4;
+  return r;
+}
+
+TEST(TransferLog, RecordsAndSnapshots) {
+  TransferLog log;
+  log.record(make_record(0, 1, 100, true));
+  log.record(make_record(0, 0, 50, false));
+  EXPECT_EQ(log.size(), 2u);
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].bytes, 100u);
+  EXPECT_TRUE(records[0].via_network);
+  EXPECT_FALSE(records[1].via_network);
+}
+
+TEST(TransferLog, CapacityBoundsAndDropCount) {
+  TransferLog log(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) log.record(make_record(0, 1, 1, true));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+}
+
+TEST(TransferLog, ClearResets) {
+  TransferLog log(1);
+  log.record(make_record(0, 1, 1, true));
+  log.record(make_record(0, 1, 1, true));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(TransferLog, SummaryGroupsByAppClassTransport) {
+  TransferLog log;
+  log.record(make_record(0, 1, 100, true, 1));
+  log.record(make_record(0, 1, 200, true, 1));
+  log.record(make_record(0, 0, 10, false, 2));
+  const std::string summary = log.summary();
+  EXPECT_NE(summary.find("app 1 inter-app net: 2 transfers, 300 B"),
+            std::string::npos);
+  EXPECT_NE(summary.find("app 2 inter-app shm: 1 transfers, 10 B"),
+            std::string::npos);
+}
+
+TEST(TransferLog, ChromeTraceIsWellFormedJson) {
+  TransferLog log;
+  log.record(make_record(0, 1, 4096, true));
+  log.record(make_record(2, 1, 8192, true));
+  const std::string json = log.to_chrome_trace();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+  // Two events on node 1's timeline: the second starts after the first.
+  const size_t first_ts = json.find("\"ts\":0");
+  EXPECT_NE(first_ts, std::string::npos);
+}
+
+TEST(TransferLog, ThreadSafeRecording) {
+  TransferLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) log.record(make_record(0, 1, 1, true));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.size(), 2000u);
+}
+
+TEST(TransferLog, AttachedToDartCapturesTransfers) {
+  Cluster cluster(ClusterSpec{.num_nodes = 2, .cores_per_node = 2});
+  Metrics metrics;
+  HybridDart dart(cluster, metrics);
+  TransferLog log;
+  dart.set_transfer_log(&log);
+
+  std::vector<std::byte> window(64);
+  dart.expose(1, 7, window);
+  std::vector<std::byte> dst(32);
+  dart.get(Endpoint{0, {0, 0}}, 3, TrafficClass::kInterApp,
+           Endpoint{1, {1, 0}}, 7, 0, dst);
+  ASSERT_EQ(log.size(), 1u);
+  const auto records = log.snapshot();
+  EXPECT_EQ(records[0].bytes, 32u);
+  EXPECT_TRUE(records[0].via_network);
+  EXPECT_EQ(records[0].app_id, 3);
+  EXPECT_GT(records[0].model_time, 0.0);
+
+  // Detach: no further records.
+  dart.set_transfer_log(nullptr);
+  dart.get(Endpoint{0, {0, 0}}, 3, TrafficClass::kInterApp,
+           Endpoint{1, {1, 0}}, 7, 0, dst);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cods

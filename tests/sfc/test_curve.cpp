@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "sfc/curve.hpp"
+
+namespace cods {
+namespace {
+
+class CurveParam
+    : public ::testing::TestWithParam<std::tuple<CurveKind, int, int>> {
+ protected:
+  SfcCurve curve() const {
+    const auto& [kind, nd, bits] = GetParam();
+    return SfcCurve(kind, nd, bits);
+  }
+};
+
+TEST_P(CurveParam, EncodeDecodeBijective) {
+  const SfcCurve c = curve();
+  if (c.size() > (1u << 16)) GTEST_SKIP() << "grid too large for full sweep";
+  std::set<u64> seen;
+  // Enumerate every grid point; indices must be a permutation of [0, size).
+  std::vector<i64> coord(static_cast<size_t>(c.ndim()), 0);
+  for (;;) {
+    Point p = Point::zeros(c.ndim());
+    for (int d = 0; d < c.ndim(); ++d) p[d] = coord[static_cast<size_t>(d)];
+    const u64 index = c.encode(p);
+    EXPECT_LT(index, c.size());
+    EXPECT_TRUE(seen.insert(index).second) << "duplicate index " << index;
+    EXPECT_EQ(c.decode(index), p);
+    int d = c.ndim() - 1;
+    for (; d >= 0; --d) {
+      if (++coord[static_cast<size_t>(d)] < c.side()) break;
+      coord[static_cast<size_t>(d)] = 0;
+    }
+    if (d < 0) break;
+  }
+  EXPECT_EQ(seen.size(), c.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CurveParam,
+    ::testing::Combine(::testing::Values(CurveKind::kHilbert,
+                                         CurveKind::kMorton),
+                       ::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Hilbert, ConsecutiveIndicesAreGridNeighbours) {
+  // The defining Hilbert property Morton lacks: consecutive curve indices
+  // differ by exactly one step in exactly one dimension.
+  for (int nd : {2, 3}) {
+    SfcCurve c(CurveKind::kHilbert, nd, 3);
+    Point prev = c.decode(0);
+    for (u64 i = 1; i < c.size(); ++i) {
+      const Point cur = c.decode(i);
+      i64 manhattan = 0;
+      for (int d = 0; d < nd; ++d) manhattan += std::abs(cur[d] - prev[d]);
+      ASSERT_EQ(manhattan, 1) << "at index " << i;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Morton, IsBitInterleave) {
+  SfcCurve c(CurveKind::kMorton, 2, 4);
+  // In our MSB-first interleave over (x0, x1), x0 contributes the higher bit
+  // of each pair: index = sum over bits of (x0_b << (2b+1)) | (x1_b << 2b).
+  EXPECT_EQ(c.encode(Point{0, 1}), 1u);
+  EXPECT_EQ(c.encode(Point{1, 0}), 2u);
+  EXPECT_EQ(c.encode(Point{1, 1}), 3u);
+  EXPECT_EQ(c.encode(Point{2, 0}), 8u);
+}
+
+TEST(Hilbert, Canonical2x2) {
+  // 2x2 Hilbert curve starting at origin visits 4 cells in a U shape;
+  // endpoints of the curve are grid neighbours of start for bits=1.
+  SfcCurve c(CurveKind::kHilbert, 2, 1);
+  const Point start = c.decode(0);
+  const Point end = c.decode(3);
+  i64 manhattan = 0;
+  for (int d = 0; d < 2; ++d) manhattan += std::abs(end[d] - start[d]);
+  EXPECT_EQ(manhattan, 1);
+}
+
+TEST(Curve, BitsForExtent) {
+  EXPECT_EQ(SfcCurve::bits_for_extent(1), 1);
+  EXPECT_EQ(SfcCurve::bits_for_extent(2), 1);
+  EXPECT_EQ(SfcCurve::bits_for_extent(3), 2);
+  EXPECT_EQ(SfcCurve::bits_for_extent(1024), 10);
+  EXPECT_EQ(SfcCurve::bits_for_extent(1025), 11);
+}
+
+TEST(Curve, RejectsBadConfig) {
+  EXPECT_THROW(SfcCurve(CurveKind::kHilbert, 0, 4), Error);
+  EXPECT_THROW(SfcCurve(CurveKind::kHilbert, 3, 30), Error);  // 90 bits
+  SfcCurve c(CurveKind::kHilbert, 2, 2);
+  EXPECT_THROW(c.encode(Point{4, 0}), Error);   // out of grid
+  EXPECT_THROW(c.encode(Point{0, 0, 0}), Error);  // wrong dimension
+  EXPECT_THROW(c.decode(16), Error);
+}
+
+class SpanParam
+    : public ::testing::TestWithParam<std::tuple<CurveKind, int>> {};
+
+TEST_P(SpanParam, SpansCoverExactlyTheBox) {
+  const auto& [kind, nd] = GetParam();
+  SfcCurve c(kind, nd, 3);
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    Box q;
+    q.lb = Point::zeros(nd);
+    q.ub = Point::zeros(nd);
+    for (int d = 0; d < nd; ++d) {
+      const i64 a = rng.range(0, c.side() - 1);
+      const i64 b = rng.range(0, c.side() - 1);
+      q.lb[d] = std::min(a, b);
+      q.ub[d] = std::max(a, b);
+    }
+    const auto spans = box_spans(c, q);
+    // Exact coverage: total span cells == box volume, and every span index
+    // decodes into the box.
+    EXPECT_EQ(span_cells(spans), q.volume());
+    for (const auto& s : spans) {
+      EXPECT_TRUE(q.contains(c.decode(s.lo)));
+      EXPECT_TRUE(q.contains(c.decode(s.hi)));
+    }
+    // Sorted and non-adjacent.
+    for (size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GT(spans[i].lo, spans[i - 1].hi + 1);
+    }
+  }
+}
+
+TEST_P(SpanParam, FullDomainIsOneSpan) {
+  const auto& [kind, nd] = GetParam();
+  SfcCurve c(kind, nd, 4);
+  Box whole;
+  whole.lb = Point::zeros(nd);
+  whole.ub = Point::zeros(nd);
+  for (int d = 0; d < nd; ++d) whole.ub[d] = c.side() - 1;
+  const auto spans = box_spans(c, whole);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (IndexSpan{0, c.size() - 1}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpanParam,
+    ::testing::Combine(::testing::Values(CurveKind::kHilbert,
+                                         CurveKind::kMorton),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Spans, CoarseGranularityOvercovers) {
+  SfcCurve c(CurveKind::kHilbert, 2, 4);
+  const Box q{{1, 1}, {6, 6}};
+  const auto exact = box_spans(c, q);
+  const auto coarse = box_spans(c, q, /*min_side_log2=*/2);
+  EXPECT_GE(span_cells(coarse), q.volume());
+  EXPECT_LE(coarse.size(), exact.size());
+  // Over-coverage must still be aligned 4x4 subcubes: multiples of 16 cells.
+  u64 covered = span_cells(coarse);
+  EXPECT_EQ(covered % 16, 0u);
+}
+
+TEST(Spans, HilbertLocalityBeatsMortonOnAverage) {
+  // The design rationale for Hilbert indexing (DESIGN.md ablation 2):
+  // box queries decompose into fewer spans than with Morton order.
+  SfcCurve h(CurveKind::kHilbert, 2, 6);
+  SfcCurve m(CurveKind::kMorton, 2, 6);
+  Rng rng(99);
+  u64 hilbert_spans = 0;
+  u64 morton_spans = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Box q;
+    q.lb = Point::zeros(2);
+    q.ub = Point::zeros(2);
+    for (int d = 0; d < 2; ++d) {
+      const i64 a = rng.range(0, 40);
+      q.lb[d] = a;
+      q.ub[d] = a + rng.range(4, 20);
+    }
+    hilbert_spans += box_spans(h, q).size();
+    morton_spans += box_spans(m, q).size();
+  }
+  EXPECT_LT(hilbert_spans, morton_spans);
+}
+
+TEST(Spans, SingleCell) {
+  SfcCurve c(CurveKind::kHilbert, 3, 4);
+  const Box q{{5, 7, 2}, {5, 7, 2}};
+  const auto spans = box_spans(c, q);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].lo, spans[0].hi);
+  EXPECT_EQ(c.decode(spans[0].lo), (Point{5, 7, 2}));
+}
+
+}  // namespace
+}  // namespace cods

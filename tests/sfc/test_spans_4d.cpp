@@ -1,0 +1,93 @@
+// Higher-dimensional and granularity sweeps for the box->span machinery
+// that routes DHT queries.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sfc/curve.hpp"
+
+namespace cods {
+namespace {
+
+class SpanGranularity
+    : public ::testing::TestWithParam<std::tuple<CurveKind, int, int>> {};
+
+TEST_P(SpanGranularity, CoarserNeverMoreSpansAlwaysCovers) {
+  const auto& [kind, nd, gran] = GetParam();
+  const SfcCurve curve(kind, nd, 4);
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    Box q;
+    q.lb = Point::zeros(nd);
+    q.ub = Point::zeros(nd);
+    for (int d = 0; d < nd; ++d) {
+      const i64 a = rng.range(0, curve.side() - 1);
+      const i64 b = rng.range(0, curve.side() - 1);
+      q.lb[d] = std::min(a, b);
+      q.ub[d] = std::max(a, b);
+    }
+    const auto exact = box_spans(curve, q);
+    const auto coarse = box_spans(curve, q, gran);
+    EXPECT_LE(coarse.size(), exact.size());
+    EXPECT_GE(span_cells(coarse), q.volume());
+    // Over-coverage only: every exact span is inside some coarse span.
+    for (const IndexSpan& s : exact) {
+      bool contained = false;
+      for (const IndexSpan& c : coarse) {
+        if (s.lo >= c.lo && s.hi <= c.hi) contained = true;
+      }
+      EXPECT_TRUE(contained);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpanGranularity,
+    ::testing::Combine(::testing::Values(CurveKind::kHilbert,
+                                         CurveKind::kMorton),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Spans4D, ExactCoverageInFourDims) {
+  const SfcCurve curve(CurveKind::kHilbert, 4, 3);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Box q;
+    q.lb = Point::zeros(4);
+    q.ub = Point::zeros(4);
+    for (int d = 0; d < 4; ++d) {
+      const i64 a = rng.range(0, 7);
+      const i64 b = rng.range(0, 7);
+      q.lb[d] = std::min(a, b);
+      q.ub[d] = std::max(a, b);
+    }
+    const auto spans = box_spans(curve, q);
+    EXPECT_EQ(span_cells(spans), q.volume());
+    for (const IndexSpan& s : spans) {
+      EXPECT_TRUE(q.contains(curve.decode(s.lo)));
+      EXPECT_TRUE(q.contains(curve.decode(s.hi)));
+    }
+  }
+}
+
+TEST(Spans4D, HilbertAdjacencyHoldsInFourDims) {
+  const SfcCurve curve(CurveKind::kHilbert, 4, 2);
+  Point prev = curve.decode(0);
+  for (u64 i = 1; i < curve.size(); ++i) {
+    const Point cur = curve.decode(i);
+    i64 manhattan = 0;
+    for (int d = 0; d < 4; ++d) manhattan += std::abs(cur[d] - prev[d]);
+    ASSERT_EQ(manhattan, 1) << "at index " << i;
+    prev = cur;
+  }
+}
+
+TEST(Spans4D, GranularityBeyondBitsRejected) {
+  const SfcCurve curve(CurveKind::kHilbert, 2, 3);
+  const Box q{{0, 0}, {3, 3}};
+  EXPECT_THROW(box_spans(curve, q, 4), Error);
+  EXPECT_THROW(box_spans(curve, q, -1), Error);
+  EXPECT_NO_THROW(box_spans(curve, q, 3));
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "workflow/advisor.hpp"
+
+namespace cods {
+namespace {
+
+AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs,
+                 Dist dist = Dist::kBlocked) {
+  AppSpec app;
+  app.app_id = id;
+  app.dec = Decomposition(std::move(extents), std::move(procs), dist);
+  return app;
+}
+
+ScenarioConfig base_config(Dist consumer_dist) {
+  ScenarioConfig config;
+  config.cluster = ClusterSpec{.num_nodes = 16, .cores_per_node = 4};
+  config.apps = {make_app(1, {32, 32}, {8, 4}),
+                 make_app(2, {32, 32}, {4, 2}, consumer_dist)};
+  config.couplings = {{1, 2}};
+  config.ghost_width = 1;  // keep halos small relative to the coupling
+  return config;
+}
+
+TEST(Advisor, RecommendsDataCentricForMatchedDistributions) {
+  const MappingAdvice advice = advise_mapping(base_config(Dist::kBlocked));
+  EXPECT_EQ(advice.recommended, MappingStrategy::kDataCentric);
+  EXPECT_GT(advice.network_savings, 0.25);
+  EXPECT_LE(advice.max_fan_in, 4);
+  EXPECT_LT(advice.dc_retrieve_time, advice.rr_retrieve_time);
+  EXPECT_NE(advice.rationale.find("data-centric"), std::string::npos);
+}
+
+TEST(Advisor, RecommendsRoundRobinForMismatchedDistributions) {
+  const MappingAdvice advice = advise_mapping(base_config(Dist::kCyclic));
+  EXPECT_EQ(advice.recommended, MappingStrategy::kRoundRobin);
+  // Every consumer task needs every producer task (Fig. 10).
+  EXPECT_EQ(advice.max_fan_in, 32);
+  EXPECT_NE(advice.rationale.find("producers"), std::string::npos);
+}
+
+TEST(Advisor, HaloDominatedWorkloadGetsRoundRobin) {
+  ScenarioConfig config = base_config(Dist::kBlocked);
+  config.ghost_width = 64;  // enormous halos dwarf the coupled volume
+  const MappingAdvice advice = advise_mapping(config, /*min_savings=*/0.30);
+  EXPECT_LT(advice.inter_intra_ratio, 1.0);
+  if (advice.recommended == MappingStrategy::kRoundRobin) {
+    EXPECT_FALSE(advice.rationale.empty());
+  }
+}
+
+TEST(Advisor, SavingsNumbersAreConsistent) {
+  const MappingAdvice advice = advise_mapping(base_config(Dist::kBlocked));
+  EXPECT_LE(advice.dc_network_bytes, advice.rr_network_bytes);
+  EXPECT_NEAR(advice.network_savings,
+              1.0 - static_cast<double>(advice.dc_network_bytes) /
+                        static_cast<double>(advice.rr_network_bytes),
+              1e-12);
+}
+
+TEST(Advisor, ThresholdControlsRecommendation) {
+  // With an impossible threshold even a good case falls back to RR.
+  const MappingAdvice advice =
+      advise_mapping(base_config(Dist::kBlocked), /*min_savings=*/1.01);
+  EXPECT_EQ(advice.recommended, MappingStrategy::kRoundRobin);
+}
+
+TEST(Advisor, RequiresCouplings) {
+  ScenarioConfig config = base_config(Dist::kBlocked);
+  config.couplings.clear();
+  EXPECT_THROW(advise_mapping(config), Error);
+}
+
+}  // namespace
+}  // namespace cods

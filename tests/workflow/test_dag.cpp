@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "workflow/dag.hpp"
+
+namespace cods {
+namespace {
+
+// The two workflow files from the paper's Listing 1.
+constexpr const char* kOnlineProcessing = R"(
+# Online Data Processing Workflow
+# Simulation code has appid=1
+# Bundle is specified by IDs of its applications
+APP_ID 1
+APP_ID 2
+
+BUNDLE 1 2
+)";
+
+constexpr const char* kClimateModeling = R"(
+# Climate Modeling Workflow
+# Atmosphere model has appid=1
+# Land model has appid=2, Sea-ice model has appid=3
+APP_ID 1
+APP_ID 2
+APP_ID 3
+PARENT_APPID 1 CHILD_APPID 2
+PARENT_APPID 1 CHILD_APPID 3
+BUNDLE 1
+BUNDLE 2
+BUNDLE 3
+)";
+
+TEST(Dag, ParsesOnlineProcessingListing) {
+  const DagSpec dag = DagSpec::parse(kOnlineProcessing);
+  dag.validate();
+  EXPECT_EQ(dag.app_ids(), (std::vector<i32>{1, 2}));
+  EXPECT_TRUE(dag.edges().empty());
+  const auto bundles = dag.bundles();
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0], (std::vector<i32>{1, 2}));
+}
+
+TEST(Dag, ParsesClimateModelingListing) {
+  const DagSpec dag = DagSpec::parse(kClimateModeling);
+  dag.validate();
+  EXPECT_EQ(dag.app_ids(), (std::vector<i32>{1, 2, 3}));
+  ASSERT_EQ(dag.edges().size(), 2u);
+  EXPECT_EQ(dag.parents(2), (std::vector<i32>{1}));
+  EXPECT_EQ(dag.parents(3), (std::vector<i32>{1}));
+  EXPECT_TRUE(dag.parents(1).empty());
+}
+
+TEST(Dag, ClimateWavesRunLandAndSeaIceConcurrently) {
+  const DagSpec dag = DagSpec::parse(kClimateModeling);
+  const auto waves = dag.waves();
+  ASSERT_EQ(waves.size(), 2u);
+  // Wave 1: atmosphere alone. Wave 2: land and sea-ice together.
+  ASSERT_EQ(waves[0].size(), 1u);
+  EXPECT_EQ(waves[0][0], (std::vector<i32>{1}));
+  ASSERT_EQ(waves[1].size(), 2u);
+}
+
+TEST(Dag, OnlineProcessingIsOneWave) {
+  const DagSpec dag = DagSpec::parse(kOnlineProcessing);
+  const auto waves = dag.waves();
+  ASSERT_EQ(waves.size(), 1u);
+  ASSERT_EQ(waves[0].size(), 1u);
+  EXPECT_EQ(waves[0][0].size(), 2u);
+}
+
+TEST(Dag, UnbundledAppsBecomeSingletons) {
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_bundle({1});
+  const auto bundles = dag.bundles();
+  ASSERT_EQ(bundles.size(), 2u);
+  EXPECT_EQ(bundles[1], (std::vector<i32>{2}));
+}
+
+TEST(Dag, SerializeRoundTrip) {
+  const DagSpec dag = DagSpec::parse(kClimateModeling);
+  const DagSpec again = DagSpec::parse(dag.serialize());
+  EXPECT_EQ(again.app_ids(), dag.app_ids());
+  EXPECT_EQ(again.edges(), dag.edges());
+  EXPECT_EQ(again.bundles(), dag.bundles());
+}
+
+TEST(Dag, DiamondDependency) {
+  DagSpec dag;
+  for (i32 app : {1, 2, 3, 4}) dag.add_app(app);
+  dag.add_dependency(1, 2);
+  dag.add_dependency(1, 3);
+  dag.add_dependency(2, 4);
+  dag.add_dependency(3, 4);
+  dag.validate();
+  const auto waves = dag.waves();
+  ASSERT_EQ(waves.size(), 3u);
+  EXPECT_EQ(waves[0][0], (std::vector<i32>{1}));
+  EXPECT_EQ(waves[1].size(), 2u);
+  EXPECT_EQ(waves[2][0], (std::vector<i32>{4}));
+}
+
+TEST(Dag, CycleDetected) {
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+  dag.add_dependency(2, 1);
+  EXPECT_THROW(dag.validate(), Error);
+}
+
+TEST(Dag, BundleMergesDependencies) {
+  // A dependency into a bundle delays the whole bundle.
+  DagSpec dag;
+  for (i32 app : {1, 2, 3}) dag.add_app(app);
+  dag.add_dependency(1, 2);
+  dag.add_bundle({2, 3});
+  const auto waves = dag.waves();
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[1][0], (std::vector<i32>{2, 3}));
+}
+
+TEST(Dag, IntraBundleEdgeIgnoredForScheduling) {
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+  dag.add_bundle({1, 2});
+  const auto waves = dag.waves();
+  EXPECT_EQ(waves.size(), 1u);
+}
+
+TEST(Dag, ValidationErrors) {
+  {
+    DagSpec dag;
+    EXPECT_THROW(dag.validate(), Error);  // empty
+  }
+  {
+    DagSpec dag;
+    dag.add_app(1);
+    EXPECT_THROW(dag.add_app(1), Error);  // duplicate
+  }
+  {
+    DagSpec dag;
+    dag.add_app(1);
+    dag.add_dependency(1, 9);
+    EXPECT_THROW(dag.validate(), Error);  // unknown child
+  }
+  {
+    DagSpec dag;
+    dag.add_app(1);
+    dag.add_dependency(1, 1);
+    EXPECT_THROW(dag.validate(), Error);  // self edge
+  }
+  {
+    DagSpec dag;
+    dag.add_app(1);
+    dag.add_app(2);
+    dag.add_bundle({1});
+    dag.add_bundle({1, 2});
+    EXPECT_THROW(dag.validate(), Error);  // app in two bundles
+  }
+}
+
+TEST(Dag, ParseErrors) {
+  EXPECT_THROW(DagSpec::parse("APP_ID"), Error);
+  EXPECT_THROW(DagSpec::parse("FROBNICATE 1"), Error);
+  EXPECT_THROW(DagSpec::parse("PARENT_APPID 1 CHILD 2"), Error);
+  EXPECT_THROW(DagSpec::parse("BUNDLE"), Error);
+  EXPECT_THROW(DagSpec::parse("APP_ID 1\nAPP_ID 1"), Error);
+}
+
+TEST(Dag, ParseIgnoresCommentsAndBlankLines) {
+  const DagSpec dag = DagSpec::parse("\n# hi\nAPP_ID 5 # trailing\n\n");
+  EXPECT_EQ(dag.app_ids(), (std::vector<i32>{5}));
+}
+
+
+TEST(Dag, LoadSaveRoundTripThroughDisk) {
+  const DagSpec dag = DagSpec::parse(kClimateModeling);
+  const std::string path = ::testing::TempDir() + "/workflow.dag";
+  dag.save(path);
+  const DagSpec loaded = DagSpec::load(path);
+  EXPECT_EQ(loaded.app_ids(), dag.app_ids());
+  EXPECT_EQ(loaded.edges(), dag.edges());
+  EXPECT_EQ(loaded.bundles(), dag.bundles());
+}
+
+TEST(Dag, LoadMissingFileThrows) {
+  EXPECT_THROW(DagSpec::load("/nonexistent/path/wf.dag"), Error);
+}
+
+}  // namespace
+}  // namespace cods

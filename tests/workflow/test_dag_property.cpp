@@ -1,0 +1,103 @@
+// Property tests over random DAGs: the wave schedule must respect every
+// dependency, cover every bundle exactly once, and be as parallel as the
+// dependencies allow.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "workflow/dag.hpp"
+
+namespace cods {
+namespace {
+
+DagSpec random_dag(Rng& rng, i32 napps) {
+  DagSpec dag;
+  for (i32 app = 1; app <= napps; ++app) dag.add_app(app);
+  // Random forward edges only (guarantees acyclicity).
+  for (i32 child = 2; child <= napps; ++child) {
+    const i32 nparents = static_cast<i32>(rng.below(3));
+    std::set<i32> parents;
+    for (i32 k = 0; k < nparents; ++k) {
+      parents.insert(static_cast<i32>(rng.range(1, child - 1)));
+    }
+    for (i32 parent : parents) dag.add_dependency(parent, child);
+  }
+  // Random bundles of consecutive apps (disjoint).
+  i32 cursor = 1;
+  while (cursor <= napps) {
+    const i32 size =
+        std::min<i32>(napps - cursor + 1, static_cast<i32>(rng.range(1, 3)));
+    if (size > 1 && rng.below(2) == 0) {
+      std::vector<i32> bundle;
+      for (i32 k = 0; k < size; ++k) bundle.push_back(cursor + k);
+      dag.add_bundle(std::move(bundle));
+    }
+    cursor += size;
+  }
+  return dag;
+}
+
+class DagProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DagProperty, WavesRespectDependenciesAndCoverEverything) {
+  Rng rng(GetParam());
+  const i32 napps = static_cast<i32>(rng.range(1, 12));
+  const DagSpec dag = random_dag(rng, napps);
+  dag.validate();
+
+  const auto waves = dag.waves();
+  // Wave index of every app.
+  std::map<i32, size_t> wave_of;
+  size_t bundle_count = 0;
+  for (size_t w = 0; w < waves.size(); ++w) {
+    for (const auto& bundle : waves[w]) {
+      ++bundle_count;
+      for (i32 app : bundle) {
+        EXPECT_TRUE(wave_of.insert({app, w}).second)
+            << "app " << app << " scheduled twice";
+      }
+    }
+  }
+  // Coverage: every app appears exactly once.
+  EXPECT_EQ(wave_of.size(), static_cast<size_t>(napps));
+  EXPECT_EQ(bundle_count, dag.bundles().size());
+  // Dependencies: a child's wave is strictly after each parent's wave —
+  // unless they share a bundle (intra-bundle edges coordinate at runtime).
+  std::map<i32, size_t> bundle_of;
+  const auto all_bundles = dag.bundles();
+  for (size_t b = 0; b < all_bundles.size(); ++b) {
+    for (i32 app : all_bundles[b]) bundle_of[app] = b;
+  }
+  for (const auto& [parent, child] : dag.edges()) {
+    if (bundle_of.at(parent) == bundle_of.at(child)) continue;
+    EXPECT_LT(wave_of.at(parent), wave_of.at(child))
+        << parent << "->" << child;
+  }
+  // Maximal parallelism: every bundle in wave w>0 has at least one
+  // dependency on wave w-1 (otherwise it should have run earlier).
+  for (size_t w = 1; w < waves.size(); ++w) {
+    for (const auto& bundle : waves[w]) {
+      bool justified = false;
+      for (i32 app : bundle) {
+        for (i32 parent : dag.parents(app)) {
+          if (bundle_of.at(parent) != bundle_of.at(app) &&
+              wave_of.at(parent) == w - 1) {
+            justified = true;
+          }
+        }
+      }
+      EXPECT_TRUE(justified)
+          << "a bundle in wave " << w << " could have run earlier";
+    }
+  }
+  // Serialization round trip preserves the schedule.
+  const DagSpec again = DagSpec::parse(dag.serialize());
+  EXPECT_EQ(again.waves(), waves);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagProperty, ::testing::Range<u64>(1, 25));
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "workflow/engine.hpp"
+
+namespace cods {
+namespace {
+
+AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
+                 std::vector<i32> procs) {
+  AppSpec app;
+  app.app_id = id;
+  app.name = std::move(name);
+  app.dec = blocked(std::move(extents), std::move(procs));
+  return app;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : cluster_(ClusterSpec{.num_nodes = 4, .cores_per_node = 4}),
+        server_(cluster_, metrics_, Box{{0, 0}, {15, 15}}) {}
+
+  Cluster cluster_;
+  Metrics metrics_;
+  WorkflowServer server_;
+};
+
+TEST_F(EngineTest, ConcurrentBundleEndToEnd) {
+  // The online data-processing workflow: producer and consumer bundled,
+  // coupled through put_cont/get_cont, verified cell by cell.
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server_.register_app(
+      make_app(1, "sim", {16, 16}, {4, 2}),
+      make_pattern_producer({{"field"}, 2, /*sequential=*/false, 7}));
+  server_.register_app(
+      make_app(2, "analysis", {16, 16}, {2, 2}),
+      make_pattern_consumer(
+          {{"field"}, 2, /*sequential=*/false, 7, mismatches, nullptr}));
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_bundle({1, 2});
+  server_.run(dag);
+  EXPECT_EQ(mismatches->load(), 0u);
+  ASSERT_EQ(server_.wave_reports().size(), 1u);
+  EXPECT_TRUE(server_.wave_reports()[0].used_server_mapping);
+}
+
+TEST_F(EngineTest, SequentialWorkflowEndToEnd) {
+  // The climate workflow: producer stores, two consumers retrieve in the
+  // next wave with client-side data-centric placement.
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server_.register_app(
+      make_app(1, "atm", {16, 16}, {4, 2}),
+      make_pattern_producer({{"t_sfc"}, 1, /*sequential=*/true, 3}));
+  server_.register_app(
+      make_app(2, "land", {16, 16}, {2, 2}),
+      make_pattern_consumer({{"t_sfc"}, 1, true, 3, mismatches, nullptr}),
+      /*consumes_var=*/"t_sfc");
+  server_.register_app(
+      make_app(3, "seaice", {16, 16}, {2, 2}),
+      make_pattern_consumer({{"t_sfc"}, 1, true, 3, mismatches, nullptr}),
+      /*consumes_var=*/"t_sfc");
+  DagSpec dag;
+  for (i32 app : {1, 2, 3}) dag.add_app(app);
+  dag.add_dependency(1, 2);
+  dag.add_dependency(1, 3);
+  server_.run(dag);
+  EXPECT_EQ(mismatches->load(), 0u);
+  ASSERT_EQ(server_.wave_reports().size(), 2u);
+  EXPECT_TRUE(server_.wave_reports()[1].used_client_mapping);
+}
+
+TEST_F(EngineTest, ClientMappingRetrievesLocally) {
+  server_.register_app(
+      make_app(1, "producer", {16, 16}, {4, 4}),
+      make_pattern_producer({{"v"}, 1, true, 1}));
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server_.register_app(
+      make_app(2, "consumer", {16, 16}, {4, 4}),
+      make_pattern_consumer({{"v"}, 1, true, 1, mismatches, nullptr}), "v");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kDataCentric;
+  server_.run(dag, options);
+  EXPECT_EQ(mismatches->load(), 0u);
+  // Same decomposition for producer and consumer: every consumer task can
+  // sit on its data's node, so retrieval is 100% shared memory.
+  EXPECT_EQ(metrics_.counters(2, TrafficClass::kInterApp).net_bytes, 0u);
+  EXPECT_GT(metrics_.counters(2, TrafficClass::kInterApp).shm_bytes, 0u);
+}
+
+TEST_F(EngineTest, RoundRobinBaselineGoesOverNetwork) {
+  server_.register_app(make_app(1, "producer", {16, 16}, {4, 2}),
+                       make_pattern_producer({{"v"}, 1, true, 1}));
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server_.register_app(
+      make_app(2, "consumer", {16, 16}, {2, 2}),
+      make_pattern_consumer({{"v"}, 1, true, 1, mismatches, nullptr}), "v");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kRoundRobin;
+  server_.run(dag, options);
+  EXPECT_EQ(mismatches->load(), 0u);
+  // RR consumer placement ignores data locality; with 8 producer tasks on
+  // nodes 0-1 and 4 consumer tasks on node 0, some bytes must cross nodes.
+  EXPECT_GT(metrics_.counters(2, TrafficClass::kInterApp).net_bytes, 0u);
+}
+
+TEST_F(EngineTest, StencilWorkflowProducesSaneMoments) {
+  // Full coupled run: heat-diffusion simulation + concurrent moments
+  // analysis, exercising halo exchange, put_cont/get_cont and collectives.
+  const i32 iters = 3;
+  auto moments = std::make_shared<std::vector<Moments>>(iters);
+  server_.register_app(make_app(1, "heat", {16, 16}, {2, 2}),
+                       make_stencil_simulation({"temperature", iters, 0.1}));
+  server_.register_app(make_app(2, "stats", {16, 16}, {2, 1}),
+                       make_moments_analysis({"temperature", iters, moments}));
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_bundle({1, 2});
+  server_.run(dag);
+  // Diffusion with zero boundary: max decreases monotonically, mean stays
+  // positive, min stays non-negative.
+  double prev_max = 1.0;
+  for (const Moments& m : *moments) {
+    EXPECT_GT(m.max, 0.0);
+    EXPECT_LT(m.max, prev_max);
+    EXPECT_GE(m.min, 0.0);
+    EXPECT_GT(m.mean, 0.0);
+    EXPECT_LE(m.mean, m.max);
+    prev_max = m.max;
+  }
+}
+
+TEST_F(EngineTest, IterativeCouplingHitsScheduleCache) {
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  auto cache_hits = std::make_shared<std::atomic<u64>>(0);
+  const i32 versions = 4;
+  server_.register_app(
+      make_app(1, "sim", {16, 16}, {2, 2}),
+      make_pattern_producer({{"f"}, versions, /*sequential=*/false, 2}));
+  server_.register_app(
+      make_app(2, "viz", {16, 16}, {2, 2}),
+      make_pattern_consumer(
+          {{"f"}, versions, false, 2, mismatches, cache_hits}));
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_bundle({1, 2});
+  server_.run(dag);
+  EXPECT_EQ(mismatches->load(), 0u);
+  // 4 consumer tasks x 3 repeat iterations reuse the cached schedule.
+  EXPECT_EQ(cache_hits->load(), 4u * (versions - 1));
+}
+
+TEST_F(EngineTest, UnregisteredAppRejected) {
+  DagSpec dag;
+  dag.add_app(42);
+  EXPECT_THROW(server_.run(dag), Error);
+}
+
+TEST_F(EngineTest, DuplicateRegistrationRejected) {
+  server_.register_app(make_app(1, "a", {8, 8}, {2, 2}),
+                       make_pattern_producer({}));
+  EXPECT_THROW(server_.register_app(make_app(1, "b", {8, 8}, {2, 2}),
+                                    make_pattern_producer({})),
+               Error);
+}
+
+TEST_F(EngineTest, PlacementRecordedPerApp) {
+  server_.register_app(make_app(1, "p", {8, 8}, {2, 2}),
+                       make_pattern_producer({{"v"}, 1, true, 1}));
+  DagSpec dag;
+  dag.add_app(1);
+  server_.run(dag);
+  const Placement& p = server_.placement(1);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.valid(cluster_));
+  EXPECT_THROW(server_.placement(2), Error);
+}
+
+}  // namespace
+}  // namespace cods

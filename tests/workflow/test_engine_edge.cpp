@@ -1,0 +1,190 @@
+// Engine edge cases and reporting: mixed waves, fallback mapping when the
+// space is empty, capacity exhaustion, the traffic report, and staging of
+// multiple sequential waves through one space.
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+
+namespace cods {
+namespace {
+
+AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs) {
+  AppSpec app;
+  app.app_id = id;
+  app.name = "app" + std::to_string(id);
+  app.dec = blocked(std::move(extents), std::move(procs));
+  return app;
+}
+
+class EngineEdgeTest : public ::testing::Test {
+ protected:
+  EngineEdgeTest()
+      : cluster_(ClusterSpec{.num_nodes = 4, .cores_per_node = 4}),
+        server_(cluster_, metrics_, Box{{0, 0}, {15, 15}}) {}
+
+  Cluster cluster_;
+  Metrics metrics_;
+  WorkflowServer server_;
+};
+
+TEST_F(EngineEdgeTest, MixedWaveWithMultiAppBundleRejectedUnderDataCentric) {
+  server_.register_app(make_app(1, {8, 8}, {2, 2}),
+                       make_pattern_producer({{"a"}, 1, false, 1}));
+  server_.register_app(make_app(2, {8, 8}, {2, 2}),
+                       make_pattern_consumer({{"a"}, 1, false, 1,
+                                              nullptr, nullptr}));
+  server_.register_app(make_app(3, {8, 8}, {2, 1}),
+                       make_pattern_producer({{"b"}, 1, true, 1}));
+  DagSpec dag;
+  for (i32 a : {1, 2, 3}) dag.add_app(a);
+  dag.add_bundle({1, 2});  // wave 1 contains this bundle AND singleton 3
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kDataCentric;
+  EXPECT_THROW(server_.run(dag, options), Error);
+}
+
+TEST_F(EngineEdgeTest, MixedWaveFineUnderRoundRobin) {
+  auto bad = std::make_shared<std::atomic<u64>>(0);
+  server_.register_app(make_app(1, {8, 8}, {2, 2}),
+                       make_pattern_producer({{"a"}, 1, false, 1}));
+  server_.register_app(make_app(2, {8, 8}, {2, 2}),
+                       make_pattern_consumer({{"a"}, 1, false, 1, bad,
+                                              nullptr}));
+  server_.register_app(make_app(3, {8, 8}, {2, 1}),
+                       make_pattern_producer({{"b"}, 1, true, 1}));
+  DagSpec dag;
+  for (i32 a : {1, 2, 3}) dag.add_app(a);
+  dag.add_bundle({1, 2});
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kRoundRobin;
+  server_.run(dag, options);
+  EXPECT_EQ(bad->load(), 0u);
+}
+
+TEST_F(EngineEdgeTest, ConsumerWithoutDataFallsBackGracefully) {
+  // consumes_var set but nothing stored: the app still runs (fallback
+  // placement) — it produces rather than consumes.
+  server_.register_app(make_app(1, {8, 8}, {2, 2}),
+                       make_pattern_producer({{"x"}, 1, true, 1}),
+                       /*consumes_var=*/"ghost_var");
+  DagSpec dag;
+  dag.add_app(1);
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kDataCentric;
+  server_.run(dag, options);
+  EXPECT_EQ(server_.placement(1).size(), 4u);
+  EXPECT_FALSE(server_.wave_reports()[0].used_client_mapping);
+}
+
+TEST_F(EngineEdgeTest, WaveLargerThanMachineRejected) {
+  server_.register_app(make_app(1, {16, 16}, {8, 4}),  // 32 tasks, 16 cores
+                       make_pattern_producer({{"x"}, 1, true, 1}));
+  DagSpec dag;
+  dag.add_app(1);
+  EXPECT_THROW(server_.run(dag), Error);
+}
+
+TEST_F(EngineEdgeTest, TrafficReportListsApps) {
+  auto bad = std::make_shared<std::atomic<u64>>(0);
+  server_.register_app(make_app(1, {8, 8}, {2, 2}),
+                       make_pattern_producer({{"v"}, 1, true, 1}));
+  server_.register_app(
+      make_app(2, {8, 8}, {2, 2}),
+      make_pattern_consumer({{"v"}, 1, true, 1, bad, nullptr}), "v");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+  server_.run(dag);
+  const std::string report = server_.traffic_report();
+  EXPECT_NE(report.find("app1"), std::string::npos);
+  EXPECT_NE(report.find("app2"), std::string::npos);
+  EXPECT_NE(report.find("inter-app"), std::string::npos);
+}
+
+TEST_F(EngineEdgeTest, ThreeWaveChainReusesSpace) {
+  // 1 -> 2 -> 3: wave 2 consumes "a" and produces "b"; wave 3 consumes "b".
+  auto bad = std::make_shared<std::atomic<u64>>(0);
+  server_.register_app(make_app(1, {8, 8}, {2, 2}),
+                       make_pattern_producer({{"a"}, 1, true, 5}));
+  server_.register_app(
+      make_app(2, {8, 8}, {2, 2}),
+      [bad](AppCtx& ctx) {
+        for (const Box& box : ctx.my_boxes()) {
+          std::vector<std::byte> buf(box_bytes(box, 8));
+          ctx.cods->get_seq("a", 0, box, buf, 8);
+          bad->fetch_add(verify_pattern(buf, box, 8, 5));
+          // Re-publish under a new name for the third stage.
+          ctx.cods->put_seq("b", 0, box, buf, 8);
+        }
+      },
+      "a");
+  server_.register_app(
+      make_app(3, {8, 8}, {4, 1}),
+      make_pattern_consumer({{"b"}, 1, true, 5, bad, nullptr}), "b");
+  DagSpec dag;
+  for (i32 a : {1, 2, 3}) dag.add_app(a);
+  dag.add_dependency(1, 2);
+  dag.add_dependency(2, 3);
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kDataCentric;
+  server_.run(dag, options);
+  EXPECT_EQ(bad->load(), 0u);
+  EXPECT_EQ(server_.wave_reports().size(), 3u);
+  EXPECT_TRUE(server_.wave_reports()[1].used_client_mapping);
+  EXPECT_TRUE(server_.wave_reports()[2].used_client_mapping);
+}
+
+TEST_F(EngineEdgeTest, AppDomainMustFitSpaceDomain) {
+  // Space domain is 16x16; a 32-wide app or a 3-D app must be rejected at
+  // registration (before the DHT's curve could be overrun).
+  EXPECT_THROW(server_.register_app(make_app(1, {32, 16}, {2, 2}),
+                                    make_pattern_producer({})),
+               Error);
+  AppSpec threed;
+  threed.app_id = 2;
+  threed.dec = blocked({8, 8, 8}, {2, 2, 1});
+  EXPECT_THROW(server_.register_app(threed, make_pattern_producer({})),
+               Error);
+  // A smaller sub-domain app is fine.
+  EXPECT_NO_THROW(server_.register_app(make_app(3, {8, 8}, {2, 2}),
+                                       make_pattern_producer({})));
+}
+
+TEST_F(EngineEdgeTest, RerunRequiresRetiringOldVersions) {
+  auto bad = std::make_shared<std::atomic<u64>>(0);
+  server_.register_app(make_app(1, {8, 8}, {2, 2}),
+                       make_pattern_producer({{"v"}, 1, true, 1}));
+  server_.register_app(
+      make_app(2, {8, 8}, {2, 2}),
+      make_pattern_consumer({{"v"}, 1, true, 1, bad, nullptr}), "v");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+  server_.run(dag);
+  // Re-running the same campaign against the same versions collides with
+  // the still-cached objects...
+  EXPECT_THROW(server_.run(dag), Error);
+  // ...but after retiring the old iteration the workflow runs again.
+  server_.space().retire("v", 0);
+  EXPECT_NO_THROW(server_.run(dag));
+  EXPECT_EQ(bad->load(), 0u);
+}
+
+TEST_F(EngineEdgeTest, SingleTaskWorkflow) {
+  bool ran = false;
+  AppSpec solo = make_app(1, {4, 4}, {1, 1});
+  server_.register_app(solo, [&ran](AppCtx& ctx) {
+    EXPECT_EQ(ctx.comm.size(), 1);
+    EXPECT_EQ(ctx.task.rank, 0);
+    ran = true;
+  });
+  DagSpec dag;
+  dag.add_app(1);
+  server_.run(dag);
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace cods
