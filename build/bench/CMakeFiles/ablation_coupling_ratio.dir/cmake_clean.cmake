@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coupling_ratio.dir/ablation_coupling_ratio.cpp.o"
+  "CMakeFiles/ablation_coupling_ratio.dir/ablation_coupling_ratio.cpp.o.d"
+  "ablation_coupling_ratio"
+  "ablation_coupling_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coupling_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

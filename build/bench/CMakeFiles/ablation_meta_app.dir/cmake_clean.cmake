@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_meta_app.dir/ablation_meta_app.cpp.o"
+  "CMakeFiles/ablation_meta_app.dir/ablation_meta_app.cpp.o.d"
+  "ablation_meta_app"
+  "ablation_meta_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_meta_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

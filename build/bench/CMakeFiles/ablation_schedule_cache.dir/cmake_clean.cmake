@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_schedule_cache.dir/ablation_schedule_cache.cpp.o"
+  "CMakeFiles/ablation_schedule_cache.dir/ablation_schedule_cache.cpp.o.d"
+  "ablation_schedule_cache"
+  "ablation_schedule_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schedule_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sfc.dir/ablation_sfc.cpp.o"
+  "CMakeFiles/ablation_sfc.dir/ablation_sfc.cpp.o.d"
+  "ablation_sfc"
+  "ablation_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

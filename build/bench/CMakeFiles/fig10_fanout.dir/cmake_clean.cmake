@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fanout.dir/fig10_fanout.cpp.o"
+  "CMakeFiles/fig10_fanout.dir/fig10_fanout.cpp.o.d"
+  "fig10_fanout"
+  "fig10_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_concurrent_intra.dir/fig12_concurrent_intra.cpp.o"
+  "CMakeFiles/fig12_concurrent_intra.dir/fig12_concurrent_intra.cpp.o.d"
+  "fig12_concurrent_intra"
+  "fig12_concurrent_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_concurrent_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

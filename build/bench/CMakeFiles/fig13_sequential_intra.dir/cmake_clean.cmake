@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sequential_intra.dir/fig13_sequential_intra.cpp.o"
+  "CMakeFiles/fig13_sequential_intra.dir/fig13_sequential_intra.cpp.o.d"
+  "fig13_sequential_intra"
+  "fig13_sequential_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sequential_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

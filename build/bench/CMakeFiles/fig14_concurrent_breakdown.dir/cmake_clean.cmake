@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_concurrent_breakdown.dir/fig14_concurrent_breakdown.cpp.o"
+  "CMakeFiles/fig14_concurrent_breakdown.dir/fig14_concurrent_breakdown.cpp.o.d"
+  "fig14_concurrent_breakdown"
+  "fig14_concurrent_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_concurrent_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

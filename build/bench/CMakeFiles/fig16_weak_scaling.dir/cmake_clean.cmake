@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_weak_scaling.dir/fig16_weak_scaling.cpp.o"
+  "CMakeFiles/fig16_weak_scaling.dir/fig16_weak_scaling.cpp.o.d"
+  "fig16_weak_scaling"
+  "fig16_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_modeling.dir/climate_modeling.cpp.o"
+  "CMakeFiles/climate_modeling.dir/climate_modeling.cpp.o.d"
+  "climate_modeling"
+  "climate_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_pipeline.dir/fusion_pipeline.cpp.o"
+  "CMakeFiles/fusion_pipeline.dir/fusion_pipeline.cpp.o.d"
+  "fusion_pipeline"
+  "fusion_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_viz.dir/insitu_viz.cpp.o"
+  "CMakeFiles/insitu_viz.dir/insitu_viz.cpp.o.d"
+  "insitu_viz"
+  "insitu_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

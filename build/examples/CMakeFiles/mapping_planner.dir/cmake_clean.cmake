@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_planner.dir/mapping_planner.cpp.o"
+  "CMakeFiles/mapping_planner.dir/mapping_planner.cpp.o.d"
+  "mapping_planner"
+  "mapping_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

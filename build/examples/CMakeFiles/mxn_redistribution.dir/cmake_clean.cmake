@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxn_redistribution.dir/mxn_redistribution.cpp.o"
+  "CMakeFiles/mxn_redistribution.dir/mxn_redistribution.cpp.o.d"
+  "mxn_redistribution"
+  "mxn_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxn_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

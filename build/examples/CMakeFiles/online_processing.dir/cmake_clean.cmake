@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_processing.dir/online_processing.cpp.o"
+  "CMakeFiles/online_processing.dir/online_processing.cpp.o.d"
+  "online_processing"
+  "online_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

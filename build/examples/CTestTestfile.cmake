@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_online_processing "/root/repo/build/examples/online_processing")
+set_tests_properties(example_online_processing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_climate_modeling "/root/repo/build/examples/climate_modeling")
+set_tests_properties(example_climate_modeling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mxn_redistribution "/root/repo/build/examples/mxn_redistribution")
+set_tests_properties(example_mxn_redistribution PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mapping_planner "/root/repo/build/examples/mapping_planner" "--domain" "64,64" "--producer" "4,4" "--consumer" "2,2" "--cores" "4")
+set_tests_properties(example_mapping_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_insitu_viz "/root/repo/build/examples/insitu_viz" "/root/repo/build/examples/frame_")
+set_tests_properties(example_insitu_viz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dag_tool "/root/repo/build/examples/dag_tool" "--demo")
+set_tests_properties(example_dag_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fusion_pipeline "/root/repo/build/examples/fusion_pipeline")
+set_tests_properties(example_fusion_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/cods_apps.dir/synthetic.cpp.o.d"
+  "libcods_apps.a"
+  "libcods_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_common.dir/common.cpp.o"
+  "CMakeFiles/cods_common.dir/common.cpp.o.d"
+  "libcods_common.a"
+  "libcods_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/cods_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/cods_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/cods.cpp" "src/core/CMakeFiles/cods_core.dir/cods.cpp.o" "gcc" "src/core/CMakeFiles/cods_core.dir/cods.cpp.o.d"
+  "/root/repo/src/core/dht.cpp" "src/core/CMakeFiles/cods_core.dir/dht.cpp.o" "gcc" "src/core/CMakeFiles/cods_core.dir/dht.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/core/CMakeFiles/cods_core.dir/layout.cpp.o" "gcc" "src/core/CMakeFiles/cods_core.dir/layout.cpp.o.d"
+  "/root/repo/src/core/lock_service.cpp" "src/core/CMakeFiles/cods_core.dir/lock_service.cpp.o" "gcc" "src/core/CMakeFiles/cods_core.dir/lock_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dart/CMakeFiles/cods_dart.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/cods_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cods_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cods_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cods_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/cods_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/cods_core.dir/cods.cpp.o"
+  "CMakeFiles/cods_core.dir/cods.cpp.o.d"
+  "CMakeFiles/cods_core.dir/dht.cpp.o"
+  "CMakeFiles/cods_core.dir/dht.cpp.o.d"
+  "CMakeFiles/cods_core.dir/layout.cpp.o"
+  "CMakeFiles/cods_core.dir/layout.cpp.o.d"
+  "CMakeFiles/cods_core.dir/lock_service.cpp.o"
+  "CMakeFiles/cods_core.dir/lock_service.cpp.o.d"
+  "libcods_core.a"
+  "libcods_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_dart.dir/dart.cpp.o"
+  "CMakeFiles/cods_dart.dir/dart.cpp.o.d"
+  "libcods_dart.a"
+  "libcods_dart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_dart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

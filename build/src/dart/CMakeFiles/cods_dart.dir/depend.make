@@ -1,0 +1,2 @@
+# Empty dependencies file for cods_dart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/box.cpp" "src/geometry/CMakeFiles/cods_geometry.dir/box.cpp.o" "gcc" "src/geometry/CMakeFiles/cods_geometry.dir/box.cpp.o.d"
+  "/root/repo/src/geometry/decomposition.cpp" "src/geometry/CMakeFiles/cods_geometry.dir/decomposition.cpp.o" "gcc" "src/geometry/CMakeFiles/cods_geometry.dir/decomposition.cpp.o.d"
+  "/root/repo/src/geometry/halo.cpp" "src/geometry/CMakeFiles/cods_geometry.dir/halo.cpp.o" "gcc" "src/geometry/CMakeFiles/cods_geometry.dir/halo.cpp.o.d"
+  "/root/repo/src/geometry/redistribution.cpp" "src/geometry/CMakeFiles/cods_geometry.dir/redistribution.cpp.o" "gcc" "src/geometry/CMakeFiles/cods_geometry.dir/redistribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cods_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_geometry.dir/box.cpp.o"
+  "CMakeFiles/cods_geometry.dir/box.cpp.o.d"
+  "CMakeFiles/cods_geometry.dir/decomposition.cpp.o"
+  "CMakeFiles/cods_geometry.dir/decomposition.cpp.o.d"
+  "CMakeFiles/cods_geometry.dir/halo.cpp.o"
+  "CMakeFiles/cods_geometry.dir/halo.cpp.o.d"
+  "CMakeFiles/cods_geometry.dir/redistribution.cpp.o"
+  "CMakeFiles/cods_geometry.dir/redistribution.cpp.o.d"
+  "libcods_geometry.a"
+  "libcods_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

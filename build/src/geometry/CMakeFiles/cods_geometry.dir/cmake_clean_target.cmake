@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcods_geometry.a"
+)

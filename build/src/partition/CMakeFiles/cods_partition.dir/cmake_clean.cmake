@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_partition.dir/graph.cpp.o"
+  "CMakeFiles/cods_partition.dir/graph.cpp.o.d"
+  "CMakeFiles/cods_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/cods_partition.dir/partitioner.cpp.o.d"
+  "libcods_partition.a"
+  "libcods_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

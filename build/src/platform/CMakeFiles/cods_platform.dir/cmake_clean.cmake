@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_platform.dir/cluster.cpp.o"
+  "CMakeFiles/cods_platform.dir/cluster.cpp.o.d"
+  "CMakeFiles/cods_platform.dir/cost_model.cpp.o"
+  "CMakeFiles/cods_platform.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cods_platform.dir/metrics.cpp.o"
+  "CMakeFiles/cods_platform.dir/metrics.cpp.o.d"
+  "CMakeFiles/cods_platform.dir/transfer_log.cpp.o"
+  "CMakeFiles/cods_platform.dir/transfer_log.cpp.o.d"
+  "libcods_platform.a"
+  "libcods_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_runtime.dir/redistribute.cpp.o"
+  "CMakeFiles/cods_runtime.dir/redistribute.cpp.o.d"
+  "CMakeFiles/cods_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/cods_runtime.dir/runtime.cpp.o.d"
+  "libcods_runtime.a"
+  "libcods_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_sfc.dir/curve.cpp.o"
+  "CMakeFiles/cods_sfc.dir/curve.cpp.o.d"
+  "libcods_sfc.a"
+  "libcods_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cods_workflow.dir/advisor.cpp.o"
+  "CMakeFiles/cods_workflow.dir/advisor.cpp.o.d"
+  "CMakeFiles/cods_workflow.dir/dag.cpp.o"
+  "CMakeFiles/cods_workflow.dir/dag.cpp.o.d"
+  "CMakeFiles/cods_workflow.dir/engine.cpp.o"
+  "CMakeFiles/cods_workflow.dir/engine.cpp.o.d"
+  "CMakeFiles/cods_workflow.dir/mapping.cpp.o"
+  "CMakeFiles/cods_workflow.dir/mapping.cpp.o.d"
+  "CMakeFiles/cods_workflow.dir/scenario.cpp.o"
+  "CMakeFiles/cods_workflow.dir/scenario.cpp.o.d"
+  "libcods_workflow.a"
+  "libcods_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cods_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geometry/test_box.cpp" "tests/CMakeFiles/test_box.dir/geometry/test_box.cpp.o" "gcc" "tests/CMakeFiles/test_box.dir/geometry/test_box.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cods_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cods_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/cods_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cods_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/cods_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/dart/CMakeFiles/cods_dart.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cods_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cods_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/cods_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cods_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cods.dir/core/test_cods.cpp.o"
+  "CMakeFiles/test_cods.dir/core/test_cods.cpp.o.d"
+  "test_cods"
+  "test_cods.pdb"
+  "test_cods[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cods_edge.dir/core/test_cods_edge.cpp.o"
+  "CMakeFiles/test_cods_edge.dir/core/test_cods_edge.cpp.o.d"
+  "test_cods_edge"
+  "test_cods_edge.pdb"
+  "test_cods_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cods_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

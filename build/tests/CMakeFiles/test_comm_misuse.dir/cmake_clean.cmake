@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_misuse.dir/runtime/test_comm_misuse.cpp.o"
+  "CMakeFiles/test_comm_misuse.dir/runtime/test_comm_misuse.cpp.o.d"
+  "test_comm_misuse"
+  "test_comm_misuse.pdb"
+  "test_comm_misuse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_misuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_property.dir/workflow/test_dag_property.cpp.o"
+  "CMakeFiles/test_dag_property.dir/workflow/test_dag_property.cpp.o.d"
+  "test_dag_property"
+  "test_dag_property.pdb"
+  "test_dag_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dart.dir/dart/test_dart.cpp.o"
+  "CMakeFiles/test_dart.dir/dart/test_dart.cpp.o.d"
+  "test_dart"
+  "test_dart.pdb"
+  "test_dart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elem_sizes.dir/core/test_elem_sizes.cpp.o"
+  "CMakeFiles/test_elem_sizes.dir/core/test_elem_sizes.cpp.o.d"
+  "test_elem_sizes"
+  "test_elem_sizes.pdb"
+  "test_elem_sizes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elem_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

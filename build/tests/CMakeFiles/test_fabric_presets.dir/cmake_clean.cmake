@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric_presets.dir/platform/test_fabric_presets.cpp.o"
+  "CMakeFiles/test_fabric_presets.dir/platform/test_fabric_presets.cpp.o.d"
+  "test_fabric_presets"
+  "test_fabric_presets.pdb"
+  "test_fabric_presets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field_view.dir/core/test_field_view.cpp.o"
+  "CMakeFiles/test_field_view.dir/core/test_field_view.cpp.o.d"
+  "test_field_view"
+  "test_field_view.pdb"
+  "test_field_view[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_4d.dir/geometry/test_geometry_4d.cpp.o"
+  "CMakeFiles/test_geometry_4d.dir/geometry/test_geometry_4d.cpp.o.d"
+  "test_geometry_4d"
+  "test_geometry_4d.pdb"
+  "test_geometry_4d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_4d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halo_through_space.dir/integration/test_halo_through_space.cpp.o"
+  "CMakeFiles/test_halo_through_space.dir/integration/test_halo_through_space.cpp.o.d"
+  "test_halo_through_space"
+  "test_halo_through_space.pdb"
+  "test_halo_through_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halo_through_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iterative_campaign.dir/integration/test_iterative_campaign.cpp.o"
+  "CMakeFiles/test_iterative_campaign.dir/integration/test_iterative_campaign.cpp.o.d"
+  "test_iterative_campaign"
+  "test_iterative_campaign.pdb"
+  "test_iterative_campaign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iterative_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

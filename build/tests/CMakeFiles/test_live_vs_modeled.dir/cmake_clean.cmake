@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_live_vs_modeled.dir/integration/test_live_vs_modeled.cpp.o"
+  "CMakeFiles/test_live_vs_modeled.dir/integration/test_live_vs_modeled.cpp.o.d"
+  "test_live_vs_modeled"
+  "test_live_vs_modeled.pdb"
+  "test_live_vs_modeled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_live_vs_modeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioner_schemes.dir/partition/test_partitioner_schemes.cpp.o"
+  "CMakeFiles/test_partitioner_schemes.dir/partition/test_partitioner_schemes.cpp.o.d"
+  "test_partitioner_schemes"
+  "test_partitioner_schemes.pdb"
+  "test_partitioner_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioner_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_smoke.dir/integration/test_scale_smoke.cpp.o"
+  "CMakeFiles/test_scale_smoke.dir/integration/test_scale_smoke.cpp.o.d"
+  "test_scale_smoke"
+  "test_scale_smoke.pdb"
+  "test_scale_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

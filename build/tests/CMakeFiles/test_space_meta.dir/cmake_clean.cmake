@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_space_meta.dir/core/test_space_meta.cpp.o"
+  "CMakeFiles/test_space_meta.dir/core/test_space_meta.cpp.o.d"
+  "test_space_meta"
+  "test_space_meta.pdb"
+  "test_space_meta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_space_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spans_4d.dir/sfc/test_spans_4d.cpp.o"
+  "CMakeFiles/test_spans_4d.dir/sfc/test_spans_4d.cpp.o.d"
+  "test_spans_4d"
+  "test_spans_4d.pdb"
+  "test_spans_4d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spans_4d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stencil_reference.dir/integration/test_stencil_reference.cpp.o"
+  "CMakeFiles/test_stencil_reference.dir/integration/test_stencil_reference.cpp.o.d"
+  "test_stencil_reference"
+  "test_stencil_reference.pdb"
+  "test_stencil_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stencil_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer_log.dir/platform/test_transfer_log.cpp.o"
+  "CMakeFiles/test_transfer_log.dir/platform/test_transfer_log.cpp.o.d"
+  "test_transfer_log"
+  "test_transfer_log.pdb"
+  "test_transfer_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
