@@ -1,0 +1,133 @@
+// Ablation (docs/FAULT_MODEL.md): cost of fault tolerance on a live
+// sequential producer -> consumer workflow. Sweeps the transient failure
+// probability and shows how retry traffic, modelled backoff delay, and
+// wave re-execution grow with the fault rate; a final row kills a node
+// mid-wave to exercise checkpoint restore + re-mapping.
+#include <cstdio>
+
+#include "apps/synthetic.hpp"
+#include "workflow/engine.hpp"
+
+using namespace cods;
+
+namespace {
+
+AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
+                 std::vector<i32> procs) {
+  AppSpec app;
+  app.app_id = id;
+  app.name = std::move(name);
+  app.dec = blocked(std::move(extents), std::move(procs));
+  return app;
+}
+
+struct Outcome {
+  u64 retries = 0;
+  u64 exhausted = 0;
+  double backoff = 0.0;     // modelled seconds spent backing off
+  u64 net_bytes = 0;
+  u64 recovered = 0;        // bytes restored from the wave checkpoint
+  i32 max_attempts = 1;     // worst wave (1 = no re-execution)
+  u64 mismatches = 0;
+};
+
+Outcome run_workflow(const FaultSpec& spec) {
+  Cluster cluster(ClusterSpec{.num_nodes = 8, .cores_per_node = 8});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {63, 63}});
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server.register_app(make_app(1, "producer", {64, 64}, {8, 4}),
+                      make_pattern_producer({{"field"}, 2, true, 11}));
+  server.register_app(
+      make_app(2, "consumer", {64, 64}, {4, 4}),
+      make_pattern_consumer({{"field"}, 2, true, 11, mismatches, nullptr}),
+      /*consumes_var=*/"field");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+
+  FaultInjector injector(spec);
+  WorkflowOptions options;
+  options.fault = &injector;
+  options.retry.max_retries = 50;
+  options.retry.op_timeout = std::chrono::seconds(10);
+  server.run(dag, options);
+
+  Outcome out;
+  out.retries = metrics.total_count("fault.retries");
+  out.exhausted = metrics.total_count("fault.exhausted");
+  for (i32 app : {0, 1, 2}) out.backoff += metrics.time(app, "fault.backoff");
+  out.net_bytes = metrics.total_net_bytes();
+  out.recovered = metrics.total_count("fault.recovery_bytes");
+  for (const WaveReport& report : server.wave_reports()) {
+    out.max_attempts = std::max(out.max_attempts, report.attempts);
+  }
+  out.mismatches = mismatches->load();
+  return out;
+}
+
+void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: fault rate vs retry traffic and recovery "
+              "(64x64 field, 2 versions, 8 nodes x 8 cores)\n");
+  rule(96);
+  std::printf("%-24s %9s %10s %12s %12s %12s %9s\n", "fault spec", "retries",
+              "exhausted", "backoff", "net bytes", "recovered", "attempts");
+  rule(96);
+
+  struct Row {
+    std::string name;
+    FaultSpec spec;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"off (no faults)", FaultSpec{}});
+  for (const double p : {0.01, 0.05, 0.10, 0.20}) {
+    FaultSpec spec;
+    spec.seed = 17;
+    spec.p_transfer = p;
+    spec.p_rpc = p;
+    spec.p_send = p;
+    char name[32];
+    std::snprintf(name, sizeof(name), "transient p = %.2f", p);
+    rows.push_back({name, spec});
+  }
+  {
+    FaultSpec spec;
+    spec.seed = 17;
+    spec.crashes.push_back(NodeCrash{/*wave=*/1, /*node=*/1, /*after_ops=*/0});
+    rows.push_back({"node crash mid-wave", spec});
+  }
+  {
+    FaultSpec spec;
+    spec.seed = 17;
+    spec.p_transfer = 0.05;
+    spec.p_rpc = 0.05;
+    spec.p_send = 0.05;
+    spec.crashes.push_back(NodeCrash{/*wave=*/1, /*node=*/1, /*after_ops=*/0});
+    rows.push_back({"crash + p = 0.05", spec});
+  }
+
+  u64 baseline_bytes = 0;
+  for (const Row& row : rows) {
+    const Outcome out = run_workflow(row.spec);
+    if (baseline_bytes == 0) baseline_bytes = out.net_bytes;
+    std::printf("%-24s %9llu %10llu %9.3f ms %9llu KiB %9llu KiB %9d%s\n",
+                row.name.c_str(), (unsigned long long)out.retries,
+                (unsigned long long)out.exhausted, out.backoff * 1e3,
+                (unsigned long long)(out.net_bytes / 1024),
+                (unsigned long long)(out.recovered / 1024), out.max_attempts,
+                out.mismatches == 0 ? "" : "  DATA MISMATCH");
+  }
+  rule(96);
+  std::printf("retry traffic and backoff grow with the transient rate while "
+              "the workflow still completes\nbyte-correct; a node crash adds "
+              "one wave re-execution plus the checkpoint restore bytes.\n");
+  return 0;
+}

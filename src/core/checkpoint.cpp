@@ -8,6 +8,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <tuple>
 
 #include "core/cods.hpp"
 
@@ -16,6 +17,10 @@ namespace cods {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'O', 'D', 'S', 'C', 'K', 'P', '1'};
+
+/// Largest plausible element size: bounds data_len against the box volume
+/// so a corrupted length field cannot drive an arbitrary allocation.
+constexpr u64 kMaxElemSize = 4096;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -54,6 +59,14 @@ u64 CodsSpace::save_checkpoint(std::ostream& out) const {
       }
     }
   }
+  // Index order reflects put interleaving; sort so the same space content
+  // always produces the same checkpoint bytes (and restore-time remaps
+  // that walk the stream are replayable).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return std::tie(a.var, a.version, a.box.lb.c, a.box.ub.c) <
+                     std::tie(b.var, b.version, b.box.lb.c, b.box.ub.c);
+            });
   out.write(kMagic, sizeof(kMagic));
   write_pod<u64>(out, entries.size());
   for (const Entry& e : entries) {
@@ -75,21 +88,27 @@ u64 CodsSpace::save_checkpoint(std::ostream& out) const {
 u64 CodsSpace::save_checkpoint(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   CODS_REQUIRE(out.good(), "cannot open checkpoint file for writing: " + path);
-  return save_checkpoint(out);
+  const u64 count = save_checkpoint(out);
+  out.flush();
+  CODS_CHECK(out.good(), "checkpoint flush failed: " + path);
+  return count;
 }
 
-u64 CodsSpace::load_checkpoint(std::istream& in) {
+CodsSpace::RestoreResult CodsSpace::restore_from_stream(
+    std::istream& in, const std::function<std::optional<i32>(i32)>& remap) {
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   CODS_REQUIRE(in.good() && std::equal(std::begin(magic), std::end(magic),
                                        std::begin(kMagic)),
                "not a CoDS checkpoint (bad magic)");
   const u64 count = read_pod<u64>(in);
+  RestoreResult result;
   for (u64 i = 0; i < count; ++i) {
     const u64 var_len = read_pod<u64>(in);
     CODS_REQUIRE(var_len < (1u << 20), "implausible variable name length");
     std::string var(var_len, '\0');
     in.read(var.data(), static_cast<std::streamsize>(var_len));
+    CODS_CHECK(in.good(), "truncated checkpoint stream");
     const i32 version = read_pod<i32>(in);
     const i32 node = read_pod<i32>(in);
     CODS_REQUIRE(node >= 0 && node < cluster_->num_nodes(),
@@ -103,21 +122,58 @@ u64 CodsSpace::load_checkpoint(std::istream& in) {
     for (int d = 0; d < ndim; ++d) box.ub[d] = read_pod<i64>(in);
     CODS_REQUIRE(box.valid(), "bad checkpoint region");
     const u64 data_len = read_pod<u64>(in);
+    // data_len must be a whole number of elements of a plausible size for
+    // this region: rejects corrupted lengths before allocating anything.
+    const u64 volume = static_cast<u64>(box.volume());
+    CODS_REQUIRE(data_len >= volume && data_len % volume == 0 &&
+                     data_len / volume <= kMaxElemSize,
+                 "checkpoint data length inconsistent with region volume");
+    // An object that still lives in the space is never touched: restore
+    // fills holes (lost objects) only.
+    const u64 key = window_key(var, version, box);
+    bool exists = false;
+    {
+      std::scoped_lock lock(store_mutex_);
+      const auto idx = store_index_.find({var, version});
+      exists = idx != store_index_.end() &&
+               std::any_of(idx->second.begin(), idx->second.end(),
+                           [&](const auto& e) { return e.second == key; });
+    }
+    const std::optional<i32> target = exists ? std::nullopt : remap(node);
+    if (!target) {
+      // Not selected for restore: skip the payload.
+      in.ignore(static_cast<std::streamsize>(data_len));
+      CODS_CHECK(in.good(), "truncated checkpoint stream");
+      continue;
+    }
+    CODS_REQUIRE(*target >= 0 && *target < cluster_->num_nodes(),
+                 "restore remap produced a node outside this cluster");
     std::vector<std::byte> data(data_len);
     in.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(data_len));
     CODS_CHECK(in.good(), "truncated checkpoint stream");
     const DataLocation loc =
-        store_object(node, var, version, box, std::move(data));
+        store_object(*target, var, version, box, std::move(data));
     dht_.insert(var, version, loc);
+    ++result.objects;
+    result.bytes += data_len;
   }
-  return count;
+  return result;
+}
+
+u64 CodsSpace::load_checkpoint(std::istream& in) {
+  return restore_from_stream(in, [](i32 node) { return node; }).objects;
 }
 
 u64 CodsSpace::load_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   CODS_REQUIRE(in.good(), "cannot open checkpoint file: " + path);
   return load_checkpoint(in);
+}
+
+u64 CodsSpace::restore_lost(
+    std::istream& in, const std::function<std::optional<i32>(i32)>& remap) {
+  return restore_from_stream(in, remap).bytes;
 }
 
 }  // namespace cods

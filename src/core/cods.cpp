@@ -58,14 +58,30 @@ DataLocation CodsSpace::store_object(i32 node, const std::string& var,
   const i32 client = storage_client(node);
   const u64 key = window_key(var, version, box);
   std::span<std::byte> window;
+  std::optional<i32> replaced_client;
   {
     std::scoped_lock lock(store_mutex_);
+    auto& index = store_index_[{var, version}];
+    const auto existing =
+        std::find_if(index.begin(), index.end(),
+                     [&](const auto& e) { return e.second == key; });
+    if (existing != index.end()) {
+      // Same (var, version, box) again: rejected, unless the engine is
+      // re-executing tasks after a failure — then the re-put replaces the
+      // object (possibly on a different node).
+      CODS_CHECK(reexec_.load(),
+                 "object already stored for this (var, version, box)");
+      replaced_client = existing->first;
+      store_.erase({existing->first, key});
+      index.erase(existing);
+    }
     auto [it, inserted] =
         store_.insert({{client, key}, StoredObject{node, box, std::move(data)}});
     CODS_CHECK(inserted, "object already stored for this (var, version, box)");
-    store_index_[{var, version}].push_back({client, key});
+    index.push_back({client, key});
     window = std::span(it->second.data);
   }
+  if (replaced_client) dart_.withdraw(*replaced_client, key);
   dart_.expose(client, key, window);
   note_version(var, version);
   DataLocation loc;
@@ -81,12 +97,25 @@ void CodsSpace::post_cont(const std::string& var, i32 version, const Box& box,
                           const Endpoint& producer) {
   const u64 key = window_key(var, version, box);
   std::span<std::byte> window;
+  std::optional<Endpoint> replaced;
   {
     std::scoped_lock lock(cont_mutex_);
     auto& records = cont_[{var, version}];
+    const auto existing =
+        std::find_if(records.begin(), records.end(),
+                     [&](const ContRecord& r) { return r.window_key == key; });
+    if (existing != records.end()) {
+      // Re-publication of the same region: only valid while the engine is
+      // re-executing a failed wave (the producer may have moved nodes).
+      CODS_CHECK(reexec_.load(),
+                 "region already published for this (var, version, box)");
+      replaced = existing->producer;
+      records.erase(existing);
+    }
     records.push_back(ContRecord{box, producer, key, std::move(data)});
     window = std::span(records.back().data);
   }
+  if (replaced) dart_.withdraw(replaced->client_id, key);
   dart_.expose(producer.client_id, key, window);
   note_version(var, version);
   cont_cv_.notify_all();
@@ -94,9 +123,10 @@ void CodsSpace::post_cont(const std::string& var, i32 version, const Box& box,
 
 std::vector<CodsSpace::ContEntry> CodsSpace::wait_cont_coverage(
     const std::string& var, i32 version, const Box& region,
-    std::chrono::seconds timeout) {
+    std::optional<std::chrono::seconds> timeout) {
   std::unique_lock lock(cont_mutex_);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline =
+      std::chrono::steady_clock::now() + timeout.value_or(op_timeout_);
   for (;;) {
     const auto it = cont_.find({var, version});
     if (it != cont_.end()) {
@@ -167,9 +197,11 @@ i32 CodsSpace::latest_version(const std::string& var) const {
 }
 
 void CodsSpace::wait_version(const std::string& var, i32 version,
-                             std::chrono::seconds timeout) const {
+                             std::optional<std::chrono::seconds> timeout)
+    const {
   std::unique_lock lock(meta_mutex_);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline =
+      std::chrono::steady_clock::now() + timeout.value_or(op_timeout_);
   for (;;) {
     const auto it = latest_.find(var);
     if (it != latest_.end() && it->second >= version) return;
@@ -248,6 +280,45 @@ std::vector<DataLocation> CodsSpace::catalog(const std::string& var,
     }
   }
   return out;
+}
+
+u64 CodsSpace::drop_node(i32 node) {
+  u64 lost = 0;
+  std::vector<std::pair<i32, u64>> windows;  // withdrawn outside the locks
+  {
+    std::scoped_lock lock(store_mutex_);
+    for (auto it = store_.begin(); it != store_.end();) {
+      if (it->second.node == node) {
+        lost += it->second.data.size();
+        windows.push_back(it->first);
+        it = store_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [key, entries] : store_index_) {
+      std::erase_if(entries, [&](const std::pair<i32, u64>& e) {
+        return !store_.contains(e);
+      });
+    }
+  }
+  {
+    std::scoped_lock lock(cont_mutex_);
+    for (auto& [key, records] : cont_) {
+      for (auto it = records.begin(); it != records.end();) {
+        if (it->producer.loc.node == node) {
+          lost += it->data.size();
+          windows.push_back({it->producer.client_id, it->window_key});
+          it = records.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  for (const auto& [client, key] : windows) dart_.withdraw(client, key);
+  dht_.drop_node_locations(node);
+  return lost;
 }
 
 i32 CodsSpace::retire_older_than(const std::string& var, i32 keep) {

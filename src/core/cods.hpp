@@ -17,8 +17,11 @@
 // byte as shared-memory or network traffic depending on placement.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <iosfwd>
+#include <optional>
 
 #include "core/dht.hpp"
 #include "core/layout.hpp"
@@ -90,10 +93,11 @@ class CodsSpace {
   };
 
   /// Blocks until published regions fully cover `region` for (var,
-  /// version); returns the overlapping entries. Throws on timeout.
+  /// version); returns the overlapping entries. Throws on timeout
+  /// (defaults to op_timeout()).
   std::vector<ContEntry> wait_cont_coverage(
       const std::string& var, i32 version, const Box& region,
-      std::chrono::seconds timeout = std::chrono::seconds(120));
+      std::optional<std::chrono::seconds> timeout = std::nullopt);
 
   /// Drops all stored objects, published regions, windows and DHT records
   /// of (var, version). Frees the memory held for that iteration.
@@ -113,10 +117,17 @@ class CodsSpace {
   /// Highest version of `var` that has been put (seq or cont); -1 if none.
   i32 latest_version(const std::string& var) const;
 
-  /// Blocks until latest_version(var) >= version. Throws on timeout.
+  /// Blocks until latest_version(var) >= version. Throws on timeout
+  /// (defaults to op_timeout()).
   void wait_version(const std::string& var, i32 version,
-                    std::chrono::seconds timeout =
-                        std::chrono::seconds(120)) const;
+                    std::optional<std::chrono::seconds> timeout =
+                        std::nullopt) const;
+
+  /// Default bound for blocking waits (version/coverage). The workflow
+  /// engine shortens this when fault injection is active so a dead
+  /// producer surfaces as an Error quickly instead of a long hang.
+  void set_op_timeout(std::chrono::seconds timeout) { op_timeout_ = timeout; }
+  std::chrono::seconds op_timeout() const { return op_timeout_; }
 
   // --- metadata catalog ---
 
@@ -146,12 +157,41 @@ class CodsSpace {
   u64 load_checkpoint(std::istream& in);
   u64 load_checkpoint(const std::string& path);
 
+  // --- failure simulation and recovery (docs/FAULT_MODEL.md) ---
+
+  /// Simulated node failure: drops every stored object and published
+  /// region homed on `node` (windows withdrawn, DHT records removed).
+  /// Returns the payload bytes lost.
+  u64 drop_node(i32 node);
+
+  /// Selective restore: reads a checkpoint stream and restores the objects
+  /// that are no longer present in the space (lost to a node failure),
+  /// placing each on the node `remap(original_node)` selects (nullopt =
+  /// skip). Objects still alive are never touched. Returns the payload
+  /// bytes restored.
+  u64 restore_lost(std::istream& in,
+                   const std::function<std::optional<i32>(i32)>& remap);
+
+  /// Re-execution mode (engine recovery): a put whose (var, version, box)
+  /// already exists replaces the stored bytes instead of throwing, so
+  /// re-executed tasks idempotently re-produce their outputs.
+  void set_reexecution(bool on) { reexec_.store(on); }
+  bool reexecution() const { return reexec_.load(); }
+
  private:
   struct StoredObject {
     i32 node = -1;
     Box box;
     std::vector<std::byte> data;
   };
+
+  struct RestoreResult {
+    u64 objects = 0;
+    u64 bytes = 0;
+  };
+  /// Shared checkpoint parser behind load_checkpoint and restore_lost.
+  RestoreResult restore_from_stream(
+      std::istream& in, const std::function<std::optional<i32>(i32)>& remap);
 
   const Cluster* cluster_;
   Box domain_;
@@ -179,6 +219,9 @@ class CodsSpace {
   mutable std::mutex meta_mutex_;
   mutable std::condition_variable meta_cv_;
   std::map<std::string, i32> latest_;
+
+  std::atomic<bool> reexec_{false};
+  std::chrono::seconds op_timeout_{120};
 };
 
 /// Per-execution-client handle implementing the Table I operators.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <set>
+#include <tuple>
 
 namespace cods {
 
@@ -47,7 +48,13 @@ i32 CodsDht::insert(const std::string& var, i32 version,
   for (i32 node : nodes) {
     NodeTable& table = *tables_[static_cast<size_t>(node)];
     std::scoped_lock lock(table.mutex);
-    table.records[{var, version}].push_back(loc);
+    auto& records = table.records[{var, version}];
+    // Re-registration of the same region (recovery re-execution) replaces
+    // the old record so consumers never see a stale, withdrawn window.
+    std::erase_if(records, [&](const DataLocation& r) {
+      return r.box.lb == loc.box.lb && r.box.ub == loc.box.ub;
+    });
+    records.push_back(loc);
   }
   return static_cast<i32>(nodes.size());
 }
@@ -70,6 +77,16 @@ LookupResult CodsDht::query(const std::string& var, i32 version,
       result.locations.push_back(loc);
     }
   }
+  // Record order inside a table reflects the interleaving of concurrent
+  // inserts; sort so a query's result (and thus the order consumers fetch
+  // and fail in) is a function of the registered regions alone.
+  std::sort(result.locations.begin(), result.locations.end(),
+            [](const DataLocation& a, const DataLocation& b) {
+              return std::tie(a.box.lb.c, a.box.ub.c, a.owner_client,
+                              a.window_key) < std::tie(b.box.lb.c, b.box.ub.c,
+                                                       b.owner_client,
+                                                       b.window_key);
+            });
   return result;
 }
 
@@ -81,6 +98,19 @@ i64 CodsDht::retire(const std::string& var, i32 version) {
     if (it == table->records.end()) continue;
     removed += static_cast<i64>(it->second.size());
     table->records.erase(it);
+  }
+  return removed;
+}
+
+i64 CodsDht::drop_node_locations(i32 node) {
+  i64 removed = 0;
+  for (auto& table : tables_) {
+    std::scoped_lock lock(table->mutex);
+    for (auto& [key, records] : table->records) {
+      removed += static_cast<i64>(std::erase_if(
+          records,
+          [&](const DataLocation& r) { return r.owner_loc.node == node; }));
+    }
   }
   return removed;
 }

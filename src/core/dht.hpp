@@ -65,6 +65,10 @@ class CodsDht {
   /// (counted once per DHT core holding them).
   i64 retire(const std::string& var, i32 version);
 
+  /// Failure recovery: drops every record whose bytes live on `node`
+  /// (across all variables and versions). Returns records removed.
+  i64 drop_node_locations(i32 node);
+
   /// Number of records held by one DHT core (for balance diagnostics).
   i64 node_record_count(i32 node) const;
 

@@ -41,9 +41,43 @@ void HybridDart::record(i32 app_id, TrafficClass cls, const CoreLoc& src,
   }
 }
 
+double HybridDart::admit_op(FaultSite site, const Endpoint& local,
+                            const Endpoint& remote, i32 app_id,
+                            TrafficClass cls, u64 bytes) {
+  if (fault_ == nullptr) return 0.0;
+  double penalty = 0.0;
+  for (i32 attempt = 1;; ++attempt) {
+    if (!fault_->on_op(site, local.client_id, local.loc.node,
+                       remote.loc.node)) {
+      return penalty;
+    }
+    // The failed attempt moved its bytes before erroring out: account them
+    // as regular traffic of the same class, plus the modelled time.
+    const double attempt_time =
+        model_.flow_time(Flow{remote.loc, local.loc, bytes});
+    record(app_id, cls, remote.loc, local.loc, bytes, attempt_time);
+    if (attempt > retry_.max_retries) {
+      metrics_->add_count(app_id, "fault.exhausted");
+      fail("transient " + to_string(site) + " failure persisted after " +
+           std::to_string(retry_.max_retries) + " retries");
+    }
+    metrics_->add_count(app_id, "fault.retries");
+    const double delay =
+        retry_.backoff(attempt, fault_->spec().seed ^
+                                    (static_cast<u64>(static_cast<u32>(
+                                         local.client_id))
+                                     << 32) ^
+                                    bytes);
+    metrics_->add_time(app_id, "fault.backoff", delay);
+    penalty += attempt_time + delay;
+  }
+}
+
 double HybridDart::get(const Endpoint& local, i32 app_id, TrafficClass cls,
                        const Endpoint& remote, u64 key, u64 offset,
                        std::span<std::byte> dst) {
+  const double penalty =
+      admit_op(FaultSite::kGet, local, remote, app_id, cls, dst.size());
   {
     // Hold the registry lock across the copy: a window cannot be withdrawn
     // (and its memory freed) while a one-sided read is in flight — the
@@ -56,12 +90,14 @@ double HybridDart::get(const Endpoint& local, i32 app_id, TrafficClass cls,
   }
   const double time = model_.flow_time(Flow{remote.loc, local.loc, dst.size()});
   record(app_id, cls, remote.loc, local.loc, dst.size(), time);
-  return time;
+  return penalty + time;
 }
 
 double HybridDart::put(const Endpoint& local, i32 app_id, TrafficClass cls,
                        const Endpoint& remote, u64 key, u64 offset,
                        std::span<const std::byte> src) {
+  const double penalty =
+      admit_op(FaultSite::kPut, local, remote, app_id, cls, src.size());
   {
     std::shared_lock lock(mutex_);
     const auto win = window_locked(remote.client_id, key);
@@ -71,10 +107,18 @@ double HybridDart::put(const Endpoint& local, i32 app_id, TrafficClass cls,
   }
   const double time = model_.flow_time(Flow{local.loc, remote.loc, src.size()});
   record(app_id, cls, local.loc, remote.loc, src.size(), time);
-  return time;
+  return penalty + time;
 }
 
 double HybridDart::pull(std::span<PullOp> ops) {
+  double penalty = 0.0;
+  if (fault_ != nullptr) {
+    for (const PullOp& op : ops) {
+      penalty +=
+          admit_op(FaultSite::kPull, op.local, op.remote, op.app_id, op.cls,
+                   op.bytes);
+    }
+  }
   std::vector<Flow> flows;
   flows.reserve(ops.size());
   {
@@ -90,15 +134,18 @@ double HybridDart::pull(std::span<PullOp> ops) {
   for (const PullOp& op : ops) {
     record(op.app_id, op.cls, op.remote.loc, op.local.loc, op.bytes, time);
   }
-  return time;
+  return penalty + time;
 }
 
 double HybridDart::rpc(const Endpoint& from, const Endpoint& to, u64 count) {
   const u64 bytes =
       count * static_cast<u64>(model_.params().rpc_bytes) * 2;  // round trips
+  const double penalty =
+      admit_op(FaultSite::kRpc, from, to, /*app_id=*/0, TrafficClass::kControl,
+               bytes);
   metrics_->record(/*app_id=*/0, TrafficClass::kControl, bytes,
                    select_transport(from.loc, to.loc) == TransportKind::kRdma);
-  return model_.rpc_time(from.loc, to.loc, count);
+  return penalty + model_.rpc_time(from.loc, to.loc, count);
 }
 
 }  // namespace cods

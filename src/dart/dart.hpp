@@ -15,6 +15,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "fault/fault.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/metrics.hpp"
 #include "platform/transfer_log.hpp"
@@ -56,6 +57,17 @@ class HybridDart {
   /// Optional per-transfer journal (nullptr disables detailed logging).
   void set_transfer_log(TransferLog* log) { transfer_log_ = log; }
   TransferLog* transfer_log() const { return transfer_log_; }
+
+  /// Attaches a fault injector (nullptr = fault-free, zero overhead).
+  /// Injected transient failures are retried per `retry`; each failed
+  /// attempt's bytes and backoff delay are accounted like regular traffic.
+  /// Operations touching a dead node throw NodeDownError unretried.
+  void set_fault(FaultInjector* injector, RetryPolicy retry = {}) {
+    fault_ = injector;
+    retry_ = retry;
+  }
+  FaultInjector* fault_injector() const { return fault_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   /// Transport used between two cores: shared memory iff same node.
   TransportKind select_transport(const CoreLoc& a, const CoreLoc& b) const {
@@ -111,9 +123,18 @@ class HybridDart {
               const CoreLoc& dst, u64 bytes, double model_time);
   std::span<std::byte> window_locked(i32 client_id, u64 key) const;
 
+  /// Consults the injector until one attempt is admitted; accounts every
+  /// failed attempt (its traffic and its backoff delay) and returns the
+  /// accumulated modelled penalty. Throws when retries are exhausted or a
+  /// node involved is dead. No-op (0.0) when no injector is attached.
+  double admit_op(FaultSite site, const Endpoint& local, const Endpoint& remote,
+                  i32 app_id, TrafficClass cls, u64 bytes);
+
   const Cluster* cluster_;
   Metrics* metrics_;
   CostModel model_;
+  FaultInjector* fault_ = nullptr;
+  RetryPolicy retry_;
   TransferLog* transfer_log_ = nullptr;
   mutable std::shared_mutex mutex_;
   std::unordered_map<Key, std::span<std::byte>, KeyHash> windows_;

@@ -1,0 +1,157 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace cods {
+
+std::string to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kGet: return "get";
+    case FaultSite::kPut: return "put";
+    case FaultSite::kPull: return "pull";
+    case FaultSite::kRpc: return "rpc";
+    case FaultSite::kSend: return "send";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Pure hash of one decision key to a uniform double in [0, 1).
+double hash01(u64 seed, i32 wave, FaultSite site, i32 actor, u64 count) {
+  u64 h = seed;
+  for (u64 v : {static_cast<u64>(static_cast<u32>(wave)),
+                static_cast<u64>(site),
+                static_cast<u64>(static_cast<u32>(actor)), count}) {
+    u64 state = h + v;
+    h = splitmix64(state);
+  }
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double RetryPolicy::backoff(i32 attempt, u64 key) const {
+  CODS_REQUIRE(attempt >= 1, "retry attempts are 1-based");
+  const double nominal =
+      backoff_base * std::pow(backoff_multiplier, attempt - 1);
+  // Deterministic jitter in [-jitter_frac, +jitter_frac) of the nominal.
+  u64 state = key + static_cast<u64>(attempt) * 0x9e3779b97f4a7c15ULL;
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return nominal * (1.0 + jitter_frac * (2.0 * u - 1.0));
+}
+
+void FaultInjector::begin_wave(i32 wave) {
+  std::scoped_lock lock(mutex_);
+  wave_ = wave;
+  wave_ops_ = 0;
+  op_counts_.clear();
+}
+
+i32 FaultInjector::wave() const {
+  std::scoped_lock lock(mutex_);
+  return wave_;
+}
+
+bool FaultInjector::is_dead(i32 node) const {
+  std::scoped_lock lock(mutex_);
+  return dead_.contains(node);
+}
+
+std::set<i32> FaultInjector::dead_nodes() const {
+  std::scoped_lock lock(mutex_);
+  return dead_;
+}
+
+void FaultInjector::declare_dead(i32 node) {
+  std::scoped_lock lock(mutex_);
+  if (dead_.insert(node).second) {
+    trace_.push_back(FaultEvent{wave_, FaultSite::kGet, /*actor=*/-1,
+                                /*op_index=*/0, FaultKind::kNodeCrash, node});
+  }
+}
+
+double FaultInjector::probability(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kGet:
+    case FaultSite::kPut:
+    case FaultSite::kPull:
+      return spec_.p_transfer;
+    case FaultSite::kRpc:
+      return spec_.p_rpc;
+    case FaultSite::kSend:
+      return spec_.p_send;
+  }
+  return 0.0;
+}
+
+void FaultInjector::check_crashes_locked(i32 local_node) {
+  for (const NodeCrash& crash : spec_.crashes) {
+    if (crash.wave != wave_ || dead_.contains(crash.node)) continue;
+    if (wave_ops_ >= crash.after_ops) {
+      dead_.insert(crash.node);
+      trace_.push_back(FaultEvent{wave_, FaultSite::kGet, /*actor=*/-1,
+                                  /*op_index=*/0, FaultKind::kNodeCrash,
+                                  crash.node});
+    }
+  }
+  (void)local_node;
+}
+
+bool FaultInjector::on_op(FaultSite site, i32 actor, i32 local_node,
+                          i32 remote_node) {
+  std::unique_lock lock(mutex_);
+  check_crashes_locked(local_node);
+  ++wave_ops_;
+  if (dead_.contains(local_node)) {
+    lock.unlock();
+    throw NodeDownError(local_node, "node " + std::to_string(local_node) +
+                                        " is down (operation origin)");
+  }
+  // Control RPCs address the lookup *service*, which is assumed highly
+  // available (see docs/FAULT_MODEL.md); only data-plane ops observe a
+  // dead remote.
+  if (site != FaultSite::kRpc && remote_node >= 0 &&
+      dead_.contains(remote_node)) {
+    lock.unlock();
+    throw NodeDownError(remote_node, "node " + std::to_string(remote_node) +
+                                         " is down (operation target)");
+  }
+  const u64 count = ++op_counts_[{static_cast<i32>(site), actor}];
+  const double p = probability(site);
+  if (p > 0.0 && hash01(spec_.seed, wave_, site, actor, count) < p) {
+    trace_.push_back(FaultEvent{wave_, site, actor, count,
+                                FaultKind::kTransient, /*node=*/-1});
+    return true;
+  }
+  return false;
+}
+
+std::vector<FaultEvent> FaultInjector::trace() const {
+  std::vector<FaultEvent> out;
+  {
+    std::scoped_lock lock(mutex_);
+    out = trace_;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string FaultInjector::trace_string() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : trace()) {
+    if (e.kind == FaultKind::kNodeCrash) {
+      os << "wave " << e.wave << " crash node " << e.node << "\n";
+    } else {
+      os << "wave " << e.wave << " transient " << to_string(e.site)
+         << " actor " << e.actor << " op " << e.op_index << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cods

@@ -252,7 +252,13 @@ std::string Decomposition::to_string() const {
     const DimSpec& ds = dim(d);
     s += std::to_string(ds.extent) + "/" + std::to_string(ds.nprocs) + ":" +
          cods::to_string(ds.dist);
-    if (ds.dist == Dist::kBlockCyclic) s += "(" + std::to_string(ds.block) + ")";
+    if (ds.dist == Dist::kBlockCyclic) {
+      // Appending the pieces separately sidesteps a GCC 12 -Wrestrict
+      // false positive on the chained-temporary form (GCC PR105651).
+      s += "(";
+      s += std::to_string(ds.block);
+      s += ")";
+    }
   }
   return s + "}";
 }

@@ -23,6 +23,26 @@ void Metrics::add_time(i32 app_id, const std::string& phase, double seconds) {
   times_[{app_id, phase}] += seconds;
 }
 
+void Metrics::add_count(i32 app_id, const std::string& name, u64 n) {
+  std::scoped_lock lock(mutex_);
+  event_counts_[{app_id, name}] += n;
+}
+
+u64 Metrics::count(i32 app_id, const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = event_counts_.find({app_id, name});
+  return it == event_counts_.end() ? 0 : it->second;
+}
+
+u64 Metrics::total_count(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  u64 total = 0;
+  for (const auto& [key, n] : event_counts_) {
+    if (key.second == name) total += n;
+  }
+  return total;
+}
+
 ByteCounters Metrics::counters(i32 app_id, TrafficClass cls) const {
   std::scoped_lock lock(mutex_);
   auto it = counters_.find({app_id, cls});
@@ -58,6 +78,7 @@ void Metrics::reset() {
   std::scoped_lock lock(mutex_);
   counters_.clear();
   times_.clear();
+  event_counts_.clear();
 }
 
 std::string Metrics::report() const {
@@ -80,6 +101,9 @@ std::string Metrics::report() const {
   for (const auto& [key, t] : times_) {
     os << "app " << key.first << " " << key.second << ": "
        << format_seconds(t) << "\n";
+  }
+  for (const auto& [key, n] : event_counts_) {
+    os << "app " << key.first << " " << key.second << ": " << n << "\n";
   }
   return os.str();
 }

@@ -35,6 +35,13 @@ class Metrics {
   /// Accumulates wall/model time for a named phase of an application.
   void add_time(i32 app_id, const std::string& phase, double seconds);
 
+  /// Named event counters (e.g. "fault.retries", "fault.recovery_bytes"):
+  /// free-form robustness/diagnostic accounting next to the byte ledger.
+  void add_count(i32 app_id, const std::string& name, u64 n = 1);
+  u64 count(i32 app_id, const std::string& name) const;
+  /// Sum of one named counter across all apps.
+  u64 total_count(const std::string& name) const;
+
   ByteCounters counters(i32 app_id, TrafficClass cls) const;
   double time(i32 app_id, const std::string& phase) const;
 
@@ -52,6 +59,7 @@ class Metrics {
   mutable std::mutex mutex_;
   std::map<std::pair<i32, TrafficClass>, ByteCounters> counters_;
   std::map<std::pair<i32, std::string>, double> times_;
+  std::map<std::pair<i32, std::string>, u64> event_counts_;
 };
 
 }  // namespace cods

@@ -59,6 +59,30 @@ void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
   // Account the movement against the placement of the two ranks.
   const CoreLoc a = runtime_->loc(src_global);
   const CoreLoc b = runtime_->loc(dst_global);
+  if (FaultInjector* fault = runtime_->fault()) {
+    const RetryPolicy& retry = runtime_->retry_policy();
+    for (i32 attempt = 1;; ++attempt) {
+      if (!fault->on_op(FaultSite::kSend, src_global, a.node, b.node)) break;
+      // The dropped attempt still moved the payload across the fabric.
+      if (dst_global != src_global && !payload.empty()) {
+        runtime_->metrics().record(app_id_, TrafficClass::kIntraApp,
+                                   payload.size(), a.node != b.node);
+      }
+      if (attempt > retry.max_retries) {
+        runtime_->metrics().add_count(app_id_, "fault.exhausted");
+        fail("transient send failure persisted after " +
+             std::to_string(retry.max_retries) + " retries");
+      }
+      runtime_->metrics().add_count(app_id_, "fault.retries");
+      runtime_->metrics().add_time(
+          app_id_, "fault.backoff",
+          retry.backoff(attempt,
+                        fault->spec().seed ^
+                            (static_cast<u64>(static_cast<u32>(src_global))
+                             << 32) ^
+                            static_cast<u64>(static_cast<u32>(dst_global))));
+    }
+  }
   if (dst_global != src_global && !payload.empty()) {
     runtime_->metrics().record(app_id_, TrafficClass::kIntraApp,
                                payload.size(), a.node != b.node);
@@ -69,9 +93,28 @@ void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
 Message Comm::recv(i32 src, i32 tag) const {
   CODS_REQUIRE(valid(), "invalid communicator");
   const i32 src_global = src == kAnySource ? kAnySource : global_rank(src);
-  Message m = runtime_->mailbox(global_rank(my_index_)).pop(src_global,
-                                                            comm_tag(tag));
-  return m;
+  Mailbox& box = runtime_->mailbox(global_rank(my_index_));
+  if (FaultInjector* fault = runtime_->fault()) {
+    const i32 my_node = runtime_->loc(global_rank(my_index_)).node;
+    if (fault->is_dead(my_node)) {
+      throw NodeDownError(my_node, "node " + std::to_string(my_node) +
+                                       " is down (receiver)");
+    }
+    if (src_global != kAnySource) {
+      // A message the peer sent before dying is still deliverable; only
+      // block on a live peer.
+      if (auto m = box.try_pop(src_global, comm_tag(tag))) {
+        return std::move(*m);
+      }
+      const i32 src_node = runtime_->loc(src_global).node;
+      if (fault->is_dead(src_node)) {
+        throw NodeDownError(src_node, "recv peer's node " +
+                                          std::to_string(src_node) +
+                                          " is down");
+      }
+    }
+  }
+  return box.pop(src_global, comm_tag(tag), runtime_->recv_timeout());
 }
 
 void Comm::barrier() const {
@@ -240,11 +283,10 @@ Comm Comm::split(i32 color, i32 key) const {
       for (size_t i = 0; i < group.size(); ++i) {
         Assignment a{comm_id, static_cast<i32>(i),
                      static_cast<i32>(group.size())};
-        std::vector<std::byte> buf(sizeof(Assignment) +
-                                   globals.size() * sizeof(i32));
-        std::memcpy(buf.data(), &a, sizeof(Assignment));
-        std::memcpy(buf.data() + sizeof(Assignment), globals.data(),
-                    globals.size() * sizeof(i32));
+        const auto* head = reinterpret_cast<const std::byte*>(&a);
+        const auto* tail = reinterpret_cast<const std::byte*>(globals.data());
+        std::vector<std::byte> buf(head, head + sizeof(Assignment));
+        buf.insert(buf.end(), tail, tail + globals.size() * sizeof(i32));
         assignments[static_cast<size_t>(group[i].old_rank)] = std::move(buf);
       }
     }
@@ -278,6 +320,13 @@ Comm Comm::split(i32 color, i32 key) const {
 
 void Runtime::run(const std::vector<CoreLoc>& placement,
                   const std::function<void(RankCtx&)>& body) {
+  const std::vector<RankFailure> failures = run_collect(placement, body);
+  if (!failures.empty()) std::rethrow_exception(failures.front().error);
+}
+
+std::vector<RankFailure> Runtime::run_collect(
+    const std::vector<CoreLoc>& placement,
+    const std::function<void(RankCtx&)>& body) {
   const i32 n = static_cast<i32>(placement.size());
   CODS_REQUIRE(n >= 1, "need at least one rank");
   for (const CoreLoc& loc : placement) {
@@ -297,7 +346,7 @@ void Runtime::run(const std::vector<CoreLoc>& placement,
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(n));
   std::mutex error_mutex;
-  std::exception_ptr first_error;
+  std::vector<RankFailure> failures;
   for (i32 r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
       RankCtx ctx;
@@ -312,12 +361,16 @@ void Runtime::run(const std::vector<CoreLoc>& placement,
         body(ctx);
       } catch (...) {
         std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        failures.push_back(RankFailure{r, std::current_exception()});
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::sort(failures.begin(), failures.end(),
+            [](const RankFailure& a, const RankFailure& b) {
+              return a.global_rank < b.global_rank;
+            });
+  return failures;
 }
 
 Mailbox& Runtime::mailbox(i32 global_rank) {

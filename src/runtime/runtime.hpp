@@ -15,6 +15,7 @@
 #include <memory>
 #include <span>
 
+#include "fault/fault.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/metrics.hpp"
 #include "runtime/mailbox.hpp"
@@ -136,6 +137,12 @@ struct RankCtx {
   Runtime* runtime = nullptr;
 };
 
+/// One rank that terminated with an exception during run_collect().
+struct RankFailure {
+  i32 global_rank = -1;
+  std::exception_ptr error;
+};
+
 /// The runtime: spawns ranks as threads and owns their mailboxes.
 class Runtime {
  public:
@@ -146,11 +153,36 @@ class Runtime {
   Metrics& metrics() { return *metrics_; }
   const CostModel& cost_model() const { return model_; }
 
+  /// Attaches a fault injector (nullptr = fault-free): point-to-point sends
+  /// consult it (transient drops are retried per `retry`, dead peers throw
+  /// NodeDownError), and blocking receives are bounded by retry.op_timeout.
+  void set_fault(FaultInjector* injector, RetryPolicy retry = {}) {
+    fault_ = injector;
+    retry_ = retry;
+    if (injector != nullptr) recv_timeout_ = retry.op_timeout;
+  }
+  FaultInjector* fault() const { return fault_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Bound on blocking receives: a dead or wedged peer surfaces as a
+  /// cods::Error after this long instead of hanging the rank forever.
+  void set_recv_timeout(std::chrono::seconds timeout) {
+    recv_timeout_ = timeout;
+  }
+  std::chrono::seconds recv_timeout() const { return recv_timeout_; }
+
   /// Runs one rank per entry of `placement`, each on its own thread, with a
   /// world communicator spanning all of them. Blocks until all ranks
   /// return; rethrows the first rank exception.
   void run(const std::vector<CoreLoc>& placement,
            const std::function<void(RankCtx&)>& body);
+
+  /// Like run(), but collects rank exceptions instead of rethrowing, so a
+  /// caller (the workflow engine's recovery path) can see *which* ranks
+  /// failed. Returns the failures ordered by global rank (empty = success).
+  std::vector<RankFailure> run_collect(
+      const std::vector<CoreLoc>& placement,
+      const std::function<void(RankCtx&)>& body);
 
   // --- internals used by Comm ---
   Mailbox& mailbox(i32 global_rank);
@@ -161,6 +193,9 @@ class Runtime {
   const Cluster* cluster_;
   Metrics* metrics_;
   CostModel model_;
+  FaultInjector* fault_ = nullptr;
+  RetryPolicy retry_;
+  std::chrono::seconds recv_timeout_{120};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CoreLoc> placement_;
   std::atomic<i64> next_comm_id_{1};

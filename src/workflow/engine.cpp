@@ -66,7 +66,7 @@ std::vector<NodeBytes> WorkflowServer::dht_node_bytes(
 
 Placement WorkflowServer::map_wave(
     const std::vector<std::vector<i32>>& wave, const WorkflowOptions& options,
-    WaveReport& report) {
+    WaveReport& report, const std::vector<i32>& allowed_nodes) {
   std::vector<AppSpec> specs;
   for (const auto& bundle : wave) {
     for (i32 app_id : bundle) {
@@ -77,7 +77,7 @@ Placement WorkflowServer::map_wave(
   report.strategy = options.strategy;
 
   if (options.strategy == MappingStrategy::kRoundRobin) {
-    return round_robin_placement(*cluster_, specs);
+    return round_robin_placement(*cluster_, specs, 0, allowed_nodes);
   }
 
   const bool has_multi_app_bundle =
@@ -89,7 +89,8 @@ Placement WorkflowServer::map_wave(
                  "a wave mixing a multi-app bundle with other bundles is not "
                  "supported; schedule them in separate waves");
     const ServerMappingResult server =
-        server_data_centric_placement(*cluster_, specs, options.seed);
+        server_data_centric_placement(*cluster_, specs, options.seed,
+                                      allowed_nodes);
     report.used_server_mapping = true;
     report.comm_graph_cut_bytes = server.edge_cut_bytes;
     return server.placement;
@@ -118,10 +119,8 @@ Placement WorkflowServer::map_wave(
   Placement placement;
   std::set<i32> used_nodes;
   if (!lookup_apps.empty()) {
-    std::vector<i32> allowed(static_cast<size_t>(cluster_->num_nodes()));
-    std::iota(allowed.begin(), allowed.end(), 0);
     const Placement client = client_data_centric_placement(
-        *cluster_, lookup_apps, per_app, allowed);
+        *cluster_, lookup_apps, per_app, allowed_nodes);
     report.used_client_mapping = true;
     for (const auto& [task, loc] : client.all()) {
       placement.assign(task, loc);
@@ -129,18 +128,20 @@ Placement WorkflowServer::map_wave(
     }
   }
   if (!fallback_apps.empty()) {
-    // Fill remaining cores after the client-mapped apps.
+    // Fill remaining cores (of allowed nodes) after the client-mapped apps.
     std::map<i32, i32> occupancy = placement.node_occupancy();
-    i32 node = 0;
+    size_t node_index = 0;
     i32 core_cursor = 0;
     auto next_core = [&]() -> CoreLoc {
       for (;;) {
-        CODS_CHECK(node < cluster_->num_nodes(), "out of cores for the wave");
+        CODS_CHECK(node_index < allowed_nodes.size(),
+                   "out of cores for the wave");
+        const i32 node = allowed_nodes[node_index];
         const i32 taken = occupancy.contains(node) ? occupancy[node] : 0;
         if (core_cursor < cluster_->cores_per_node() - taken) {
           return CoreLoc{node, taken + core_cursor++};
         }
-        ++node;
+        ++node_index;
         core_cursor = 0;
       }
     };
@@ -153,8 +154,8 @@ Placement WorkflowServer::map_wave(
   return placement;
 }
 
-void WorkflowServer::execute_wave(const Placement& placement,
-                                  const WorkflowOptions& options) {
+std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
+    const Placement& placement, const WorkflowOptions& options) {
   // Deterministic task order defines global ranks.
   std::vector<TaskId> tasks;
   std::vector<CoreLoc> cores;
@@ -163,7 +164,10 @@ void WorkflowServer::execute_wave(const Placement& placement,
     cores.push_back(loc);
   }
   Runtime runtime(*cluster_, *metrics_, options.cost);
-  runtime.run(cores, [&](RankCtx& ctx) {
+  if (options.fault != nullptr) {
+    runtime.set_fault(options.fault, options.retry);
+  }
+  const auto failures = runtime.run_collect(cores, [&](RankCtx& ctx) {
     const TaskId task = tasks[static_cast<size_t>(ctx.global_rank)];
     const RegisteredApp& reg = app(task.app_id);
     // Color by app id, order by task rank: the paper's dynamic grouping.
@@ -182,6 +186,26 @@ void WorkflowServer::execute_wave(const Placement& placement,
     app_ctx.cluster = cluster_;
     reg.fn(app_ctx);
   });
+  std::vector<TaskFailure> out;
+  out.reserve(failures.size());
+  for (const RankFailure& f : failures) {
+    out.push_back(
+        TaskFailure{tasks[static_cast<size_t>(f.global_rank)], f.error});
+  }
+  return out;
+}
+
+void WorkflowServer::record_placements(
+    const std::vector<std::vector<i32>>& wave, const Placement& placement) {
+  for (const auto& bundle : wave) {
+    for (i32 app_id : bundle) {
+      Placement p;
+      for (i32 rank = 0; rank < app(app_id).spec.ntasks(); ++rank) {
+        p.assign(TaskId{app_id, rank}, placement.loc(TaskId{app_id, rank}));
+      }
+      placements_[app_id] = std::move(p);
+    }
+  }
 }
 
 void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
@@ -191,25 +215,119 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
   }
   reports_.clear();
   placements_.clear();
-  for (const auto& wave : dag.waves()) {
-    WaveReport report;
-    const Placement placement = map_wave(wave, options, report);
-    CODS_CHECK(placement.valid(*cluster_), "wave placement is invalid");
-    // Record per-app placements.
-    for (const auto& bundle : wave) {
-      for (i32 app_id : bundle) {
-        Placement p;
-        for (i32 rank = 0; rank < app(app_id).spec.ntasks(); ++rank) {
-          p.assign(TaskId{app_id, rank},
-                   placement.loc(TaskId{app_id, rank}));
-        }
-        placements_[app_id] = std::move(p);
-      }
+  space_.set_reexecution(false);
+  if (options.fault != nullptr) {
+    // Space-side fault integration: transfers consult the injector, and
+    // blocking waits are bounded so a dead producer surfaces as an Error.
+    space_.dart().set_fault(options.fault, options.retry);
+    space_.set_op_timeout(options.retry.op_timeout);
+  }
+
+  std::set<i32> dead;
+  if (options.fault != nullptr) {
+    for (i32 n : options.fault->dead_nodes()) dead.insert(n);
+  }
+  const auto alive_nodes = [&] {
+    std::vector<i32> alive;
+    for (i32 n = 0; n < cluster_->num_nodes(); ++n) {
+      if (!dead.contains(n)) alive.push_back(n);
     }
+    return alive;
+  };
+
+  i32 wave_index = 0;
+  for (const auto& wave : dag.waves()) {
+    if (options.fault != nullptr) options.fault->begin_wave(wave_index);
+    WaveReport report;
+    Placement placement = map_wave(wave, options, report, alive_nodes());
+    CODS_CHECK(placement.valid(*cluster_), "wave placement is invalid");
+    record_placements(wave, placement);
     CODS_LOG_INFO << "wave with " << placement.size() << " tasks mapped via "
                   << to_string(report.strategy);
-    execute_wave(placement, options);
+
+    // Wave-entry snapshot of the sequential store: the recovery source if a
+    // node dies mid-wave. Only taken when faults can actually happen.
+    std::stringstream snapshot;
+    if (options.fault != nullptr) space_.save_checkpoint(snapshot);
+
+    std::vector<std::vector<i32>> to_run = wave;
+    for (;;) {
+      const auto failures = execute_wave(placement, options);
+      if (failures.empty()) break;
+      report.failed_tasks += static_cast<i32>(failures.size());
+
+      std::vector<i32> newly_dead;
+      if (options.fault != nullptr) {
+        for (i32 n : options.fault->dead_nodes()) {
+          if (!dead.contains(n)) newly_dead.push_back(n);
+        }
+      }
+      if (newly_dead.empty() ||
+          report.attempts >= options.retry.max_wave_attempts) {
+        // Not a node failure (or recovery budget exhausted): surface the
+        // first task error to the caller.
+        std::rethrow_exception(failures.front().error);
+      }
+
+      ++report.attempts;
+      for (i32 n : newly_dead) {
+        dead.insert(n);
+        report.failed_nodes.push_back(n);
+        CODS_LOG_INFO << "node " << n << " died during wave " << wave_index
+                      << "; failing over";
+      }
+      const std::vector<i32> alive = alive_nodes();
+      CODS_CHECK(!alive.empty(), "every node in the cluster has failed");
+
+      // 1. Drop space state homed on the dead nodes (windows, store, DHT).
+      for (i32 n : newly_dead) space_.drop_node(n);
+
+      // 2. Restore the dropped objects from the wave-entry snapshot onto
+      //    surviving nodes (round-robin spread). restore_lost only fills
+      //    holes, so objects that survived the failure are untouched.
+      snapshot.clear();
+      snapshot.seekg(0);
+      const std::set<i32> lost(newly_dead.begin(), newly_dead.end());
+      size_t cursor = 0;
+      const u64 recovered =
+          space_.restore_lost(snapshot, [&](i32) -> std::optional<i32> {
+            return alive[cursor++ % alive.size()];
+          });
+      report.recovered_bytes += recovered;
+      metrics_->add_count(0, "fault.recovery_bytes", recovered);
+      metrics_->add_count(0, "fault.failovers",
+                          static_cast<u64>(newly_dead.size()));
+
+      // 3. Re-execute every affected bundle: a bundle is affected if any of
+      //    its tasks failed or was placed on a node that died.
+      std::set<i32> affected;
+      for (const TaskFailure& f : failures) affected.insert(f.task.app_id);
+      for (const auto& [task, loc] : placement.all()) {
+        if (lost.contains(loc.node)) affected.insert(task.app_id);
+      }
+      std::vector<std::vector<i32>> rerun;
+      for (const auto& bundle : to_run) {
+        if (std::any_of(bundle.begin(), bundle.end(), [&](i32 app_id) {
+              return affected.contains(app_id);
+            })) {
+          rerun.push_back(bundle);
+        }
+      }
+      CODS_CHECK(!rerun.empty(), "wave failed without an affected bundle");
+      to_run = std::move(rerun);
+
+      // 4. Re-map the affected bundles over the surviving nodes and re-run
+      //    with idempotent puts (outputs of the failed attempt are replaced).
+      WaveReport remap_report;  // mapping stats of the retry are not kept
+      placement = map_wave(to_run, options, remap_report, alive);
+      CODS_CHECK(placement.valid(*cluster_), "failover placement is invalid");
+      record_placements(to_run, placement);
+      report.reexecuted_tasks += static_cast<i32>(placement.size());
+      space_.set_reexecution(true);
+    }
+    space_.set_reexecution(false);
     reports_.push_back(std::move(report));
+    ++wave_index;
   }
 }
 

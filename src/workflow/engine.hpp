@@ -33,6 +33,11 @@ struct WorkflowOptions {
   MappingStrategy strategy = MappingStrategy::kDataCentric;
   u64 seed = 1;
   CostParams cost;
+  /// Optional fault injector (docs/FAULT_MODEL.md). When set, transfers
+  /// and sends consult it, waves are checkpointed for recovery, and node
+  /// deaths trigger failover + re-execution per `retry`.
+  FaultInjector* fault = nullptr;
+  RetryPolicy retry;
 };
 
 /// Record of how one scheduling wave was executed.
@@ -42,6 +47,12 @@ struct WaveReport {
   bool used_server_mapping = false;
   bool used_client_mapping = false;
   i64 comm_graph_cut_bytes = -1;
+  // --- failure recovery (only non-default when fault injection is on) ---
+  i32 attempts = 1;                ///< execution attempts (1 = no failure)
+  std::vector<i32> failed_nodes;   ///< nodes that died during this wave
+  i32 failed_tasks = 0;            ///< task executions that raised an error
+  i32 reexecuted_tasks = 0;        ///< tasks re-run after failover
+  u64 recovered_bytes = 0;         ///< checkpoint bytes restored to survivors
 };
 
 class WorkflowServer {
@@ -79,12 +90,20 @@ class WorkflowServer {
     i32 consumes_version = 0;
   };
 
+  struct TaskFailure {
+    TaskId task;
+    std::exception_ptr error;
+  };
+
   const RegisteredApp& app(i32 app_id) const;
   Placement map_wave(const std::vector<std::vector<i32>>& wave,
-                     const WorkflowOptions& options, WaveReport& report);
+                     const WorkflowOptions& options, WaveReport& report,
+                     const std::vector<i32>& allowed_nodes);
   std::vector<NodeBytes> dht_node_bytes(const RegisteredApp& consumer);
-  void execute_wave(const Placement& placement,
-                    const WorkflowOptions& options);
+  std::vector<TaskFailure> execute_wave(const Placement& placement,
+                                        const WorkflowOptions& options);
+  void record_placements(const std::vector<std::vector<i32>>& wave,
+                         const Placement& placement);
 
   const Cluster* cluster_;
   Metrics* metrics_;

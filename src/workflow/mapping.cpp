@@ -50,14 +50,28 @@ bool Placement::valid(const Cluster& cluster) const {
 
 Placement round_robin_placement(const Cluster& cluster,
                                 const std::vector<AppSpec>& apps,
-                                i32 first_core) {
+                                i32 first_core,
+                                const std::vector<i32>& allowed_nodes) {
+  std::vector<i32> nodes = allowed_nodes;
+  if (nodes.empty()) {
+    nodes.resize(static_cast<size_t>(cluster.num_nodes()));
+    std::iota(nodes.begin(), nodes.end(), 0);
+  }
+  for (i32 node : nodes) {
+    CODS_REQUIRE(node >= 0 && node < cluster.num_nodes(),
+                 "node id outside the cluster");
+  }
+  const i32 cores = cluster.cores_per_node();
+  const i32 capacity = static_cast<i32>(nodes.size()) * cores;
   Placement placement;
   i32 core = first_core;
   for (const AppSpec& app : apps) {
     for (i32 rank = 0; rank < app.ntasks(); ++rank) {
-      CODS_REQUIRE(core < cluster.total_cores(),
-                   "not enough cores for the bundle");
-      placement.assign(TaskId{app.app_id, rank}, cluster.core_loc(core++));
+      CODS_REQUIRE(core < capacity, "not enough cores for the bundle");
+      placement.assign(
+          TaskId{app.app_id, rank},
+          CoreLoc{nodes[static_cast<size_t>(core / cores)], core % cores});
+      ++core;
     }
   }
   return placement;

@@ -50,10 +50,13 @@ class Placement {
 };
 
 /// Baseline: tasks of each app placed on consecutive cores starting at
-/// `first_core`, app after app (standard launcher behaviour).
+/// `first_core`, app after app (standard launcher behaviour). A non-empty
+/// `allowed_nodes` restricts placement to those nodes' cores, in the given
+/// order (used by the engine to route around failed nodes).
 Placement round_robin_placement(const Cluster& cluster,
                                 const std::vector<AppSpec>& apps,
-                                i32 first_core = 0);
+                                i32 first_core = 0,
+                                const std::vector<i32>& allowed_nodes = {});
 
 /// Inter-application communication graph of a bundle: one vertex per task
 /// (apps concatenated in the given order), one edge per non-zero coupled

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "dart/dart.hpp"
+#include "fault/fault.hpp"
+
+namespace cods {
+namespace {
+
+FaultSpec transient_spec(double p, u64 seed = 7) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.p_transfer = p;
+  spec.p_rpc = p;
+  spec.p_send = p;
+  return spec;
+}
+
+TEST(FaultInjector, SameSpecSameTrace) {
+  // The acceptance property: identical {seed, schedule} and identical
+  // per-actor op streams yield an identical trace, independent of thread
+  // interleaving.
+  const auto drive = [](FaultInjector& injector) {
+    std::vector<std::thread> actors;
+    for (i32 actor = 0; actor < 4; ++actor) {
+      actors.emplace_back([&injector, actor] {
+        for (i32 op = 0; op < 200; ++op) {
+          try {
+            (void)injector.on_op(FaultSite::kGet, actor, actor % 2,
+                                 (actor + 1) % 2);
+          } catch (const NodeDownError&) {
+          }
+        }
+      });
+    }
+    for (auto& t : actors) t.join();
+  };
+  FaultInjector a(transient_spec(0.05));
+  FaultInjector b(transient_spec(0.05));
+  a.begin_wave(0);
+  b.begin_wave(0);
+  drive(a);
+  drive(b);
+  EXPECT_FALSE(a.trace().empty());
+  EXPECT_EQ(a.trace(), b.trace());
+  EXPECT_EQ(a.trace_string(), b.trace_string());
+}
+
+TEST(FaultInjector, DifferentSeedDifferentTrace) {
+  FaultInjector a(transient_spec(0.05, 1));
+  FaultInjector b(transient_spec(0.05, 2));
+  a.begin_wave(0);
+  b.begin_wave(0);
+  for (i32 op = 0; op < 500; ++op) {
+    (void)a.on_op(FaultSite::kGet, 0, 0, 1);
+    (void)b.on_op(FaultSite::kGet, 0, 0, 1);
+  }
+  EXPECT_NE(a.trace(), b.trace());
+}
+
+TEST(FaultInjector, TransientRateTracksProbability) {
+  FaultInjector injector(transient_spec(0.1));
+  injector.begin_wave(0);
+  i32 failures = 0;
+  for (i32 op = 0; op < 5000; ++op) {
+    if (injector.on_op(FaultSite::kSend, 0, 0, 1)) ++failures;
+  }
+  EXPECT_GT(failures, 5000 * 0.05);
+  EXPECT_LT(failures, 5000 * 0.2);
+}
+
+TEST(FaultInjector, ZeroProbabilityNeverFails) {
+  FaultInjector injector(transient_spec(0.0));
+  injector.begin_wave(0);
+  for (i32 op = 0; op < 1000; ++op) {
+    EXPECT_FALSE(injector.on_op(FaultSite::kGet, 0, 0, 1));
+  }
+  EXPECT_TRUE(injector.trace().empty());
+}
+
+TEST(FaultInjector, CrashScheduleTriggersAtOpCount) {
+  FaultSpec spec;
+  spec.crashes.push_back(NodeCrash{/*wave=*/1, /*node=*/2, /*after_ops=*/5});
+  FaultInjector injector(spec);
+
+  // Wrong wave: the schedule is inert.
+  injector.begin_wave(0);
+  for (i32 op = 0; op < 10; ++op) {
+    EXPECT_FALSE(injector.on_op(FaultSite::kGet, 0, 0, 1));
+  }
+  EXPECT_FALSE(injector.is_dead(2));
+
+  injector.begin_wave(1);
+  for (i32 op = 0; op < 5; ++op) {
+    EXPECT_FALSE(injector.on_op(FaultSite::kGet, 0, 0, 1));
+  }
+  EXPECT_FALSE(injector.is_dead(2));
+  (void)injector.on_op(FaultSite::kGet, 0, 0, 1);
+  EXPECT_TRUE(injector.is_dead(2));
+  EXPECT_EQ(injector.dead_nodes(), (std::set<i32>{2}));
+
+  // Ops touching the dead node now throw, with the node attached.
+  try {
+    (void)injector.on_op(FaultSite::kGet, 0, 0, 2);
+    FAIL() << "expected NodeDownError";
+  } catch (const NodeDownError& e) {
+    EXPECT_EQ(e.node(), 2);
+  }
+  EXPECT_THROW((void)injector.on_op(FaultSite::kPut, 0, 2, 1), NodeDownError);
+  // Control RPCs never observe a dead remote (the lookup service is
+  // assumed highly available) — only a dead origin.
+  EXPECT_NO_THROW((void)injector.on_op(FaultSite::kRpc, 0, 0, 2));
+  EXPECT_THROW((void)injector.on_op(FaultSite::kRpc, 0, 2, 0), NodeDownError);
+
+  // Deadness persists into later waves.
+  injector.begin_wave(2);
+  EXPECT_TRUE(injector.is_dead(2));
+}
+
+TEST(FaultInjector, DeclareDeadRecordsCrashEvent) {
+  FaultInjector injector(FaultSpec{});
+  injector.begin_wave(3);
+  injector.declare_dead(1);
+  injector.declare_dead(1);  // idempotent
+  const auto trace = injector.trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(trace[0].node, 1);
+  EXPECT_EQ(trace[0].wave, 3);
+}
+
+TEST(RetryPolicy, BackoffGrowsAndJitterIsDeterministic) {
+  RetryPolicy policy;
+  policy.backoff_base = 1e-3;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_frac = 0.25;
+  double prev = 0.0;
+  for (i32 attempt = 1; attempt <= 5; ++attempt) {
+    const double d = policy.backoff(attempt, /*key=*/42);
+    const double nominal = 1e-3 * std::pow(2.0, attempt - 1);
+    EXPECT_GE(d, nominal * 0.75);
+    EXPECT_LE(d, nominal * 1.25);
+    EXPECT_GT(d, prev);  // growth dominates max jitter at multiplier 2
+    EXPECT_EQ(d, policy.backoff(attempt, 42));  // replayable
+    prev = d;
+  }
+  EXPECT_NE(policy.backoff(1, 1), policy.backoff(1, 2));
+}
+
+class DartFaultTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{ClusterSpec{.num_nodes = 2, .cores_per_node = 2}};
+  Metrics metrics_;
+  HybridDart dart_{cluster_, metrics_};
+  Endpoint local_{0, {0, 0}};
+  Endpoint remote_{1, {1, 0}};
+};
+
+TEST_F(DartFaultTest, TransientGetRetriedAndAccounted) {
+  std::vector<std::byte> window(64);
+  dart_.expose(remote_.client_id, /*key=*/9, window);
+  std::vector<std::byte> dst(64);
+
+  // p = 1 up to the retry budget would exhaust; use a seed/probability where
+  // some ops fail at least once but eventually succeed.
+  FaultInjector injector(transient_spec(0.3));
+  injector.begin_wave(0);
+  RetryPolicy retry;
+  retry.max_retries = 20;  // effectively never exhausts at p = 0.3
+  dart_.set_fault(&injector, retry);
+
+  double clean_time = -1.0;
+  u64 retries = 0;
+  for (i32 op = 0; op < 50; ++op) {
+    const double t =
+        dart_.get(local_, 1, TrafficClass::kInterApp, remote_, 9, 0, dst);
+    if (metrics_.count(1, "fault.retries") == retries) {
+      clean_time = t;  // no retry: the base cost of this op
+    }
+    retries = metrics_.count(1, "fault.retries");
+  }
+  EXPECT_GT(retries, 0u);
+  EXPECT_EQ(metrics_.count(1, "fault.exhausted"), 0u);
+  // Retry traffic shows up in the byte ledger: more bytes moved than the
+  // 50 successful op payloads alone.
+  EXPECT_GT(metrics_.counters(1, TrafficClass::kInterApp).net_bytes,
+            50u * 64u);
+  EXPECT_EQ(metrics_.counters(1, TrafficClass::kInterApp).net_bytes,
+            (50u + retries) * 64u);
+  // Backoff delay is accounted as modelled time.
+  EXPECT_GT(metrics_.time(1, "fault.backoff"), 0.0);
+  EXPECT_GT(clean_time, 0.0);
+}
+
+TEST_F(DartFaultTest, ExhaustedRetriesThrow) {
+  std::vector<std::byte> window(16);
+  dart_.expose(remote_.client_id, 3, window);
+  std::vector<std::byte> dst(16);
+
+  FaultInjector injector(transient_spec(1.0));  // every attempt fails
+  injector.begin_wave(0);
+  RetryPolicy retry;
+  retry.max_retries = 2;
+  dart_.set_fault(&injector, retry);
+  EXPECT_THROW(
+      dart_.get(local_, 1, TrafficClass::kInterApp, remote_, 3, 0, dst),
+      Error);
+  EXPECT_EQ(metrics_.count(1, "fault.exhausted"), 1u);
+  EXPECT_EQ(metrics_.count(1, "fault.retries"), 2u);
+}
+
+TEST_F(DartFaultTest, DeadRemoteThrowsNodeDown) {
+  std::vector<std::byte> window(16);
+  dart_.expose(remote_.client_id, 3, window);
+  std::vector<std::byte> dst(16);
+  FaultInjector injector(FaultSpec{});
+  injector.begin_wave(0);
+  injector.declare_dead(1);
+  dart_.set_fault(&injector, RetryPolicy{});
+  EXPECT_THROW(
+      dart_.get(local_, 1, TrafficClass::kInterApp, remote_, 3, 0, dst),
+      NodeDownError);
+}
+
+TEST_F(DartFaultTest, NoInjectorIsByteIdenticalToInactiveInjector) {
+  // Zero-overhead-off acceptance: traffic with no injector equals traffic
+  // with an attached injector whose probabilities are all zero.
+  const auto run_ops = [](Metrics& metrics, FaultInjector* injector) {
+    Cluster cluster{ClusterSpec{.num_nodes = 2, .cores_per_node = 2}};
+    HybridDart dart{cluster, metrics};
+    if (injector != nullptr) {
+      injector->begin_wave(0);
+      dart.set_fault(injector, RetryPolicy{});
+    }
+    std::vector<std::byte> window(128);
+    dart.expose(1, 4, window);
+    const Endpoint local{0, {0, 0}};
+    const Endpoint remote{1, {1, 0}};
+    std::vector<std::byte> buf(128);
+    dart.get(local, 1, TrafficClass::kInterApp, remote, 4, 0, buf);
+    dart.put(local, 1, TrafficClass::kIntraApp, remote, 4, 0, buf);
+    dart.rpc(local, remote, 3);
+  };
+  Metrics off;
+  run_ops(off, nullptr);
+  Metrics on;
+  FaultInjector inactive(transient_spec(0.0));
+  run_ops(on, &inactive);
+  for (const TrafficClass cls :
+       {TrafficClass::kInterApp, TrafficClass::kIntraApp,
+        TrafficClass::kControl}) {
+    EXPECT_EQ(off.counters(1, cls).net_bytes, on.counters(1, cls).net_bytes);
+    EXPECT_EQ(off.counters(1, cls).shm_bytes, on.counters(1, cls).shm_bytes);
+    EXPECT_EQ(off.counters(0, cls).net_bytes, on.counters(0, cls).net_bytes);
+  }
+  EXPECT_EQ(on.total_count("fault.retries"), 0u);
+  EXPECT_TRUE(inactive.trace().empty());
+}
+
+}  // namespace
+}  // namespace cods
