@@ -1,0 +1,197 @@
+// Hot-path microbenchmarks (docs/PERF.md): sharded vs single-mutex
+// metrics recording under concurrent ranks, interned vs string counter
+// ids, the client DHT lookup cache on repeated retrievals, and
+// small-transfer batching in HybridDART's pull path.
+//
+//   build/bench/micro_hotpath --benchmark_counters_tabular=true
+//
+// The "Legacy" baselines reproduce the pre-sharding registry (one global
+// mutex in front of plain maps) so the speedup is measured against the
+// design this PR replaced, not against a strawman.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/cods.hpp"
+
+namespace {
+
+using namespace cods;
+
+// --------------------------------------------------------------------------
+// Metrics recording throughput: all threads hammer one registry.
+// --------------------------------------------------------------------------
+
+/// The previous Metrics design: every mutation takes one global mutex.
+class LegacyMetrics {
+ public:
+  void record(i32 app_id, TrafficClass cls, u64 bytes, bool via_network) {
+    std::scoped_lock lock(mutex_);
+    ByteCounters& c = counters_[{app_id, cls}];
+    if (via_network) {
+      c.net_bytes += bytes;
+    } else {
+      c.shm_bytes += bytes;
+    }
+    ++c.transfers;
+  }
+  void add_count(i32 app_id, const std::string& name, u64 n = 1) {
+    std::scoped_lock lock(mutex_);
+    event_counts_[{app_id, name}] += n;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::pair<i32, TrafficClass>, ByteCounters> counters_;
+  std::map<std::pair<i32, std::string>, u64> event_counts_;
+};
+
+LegacyMetrics g_legacy;
+Metrics g_sharded;
+
+void BM_LegacyMetricsRecord(benchmark::State& state) {
+  const i32 app = state.thread_index() % 4;
+  for (auto _ : state) {
+    g_legacy.record(app, TrafficClass::kInterApp, 4096, true);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyMetricsRecord)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_ShardedMetricsRecord(benchmark::State& state) {
+  const i32 app = state.thread_index() % 4;
+  for (auto _ : state) {
+    g_sharded.record(app, TrafficClass::kInterApp, 4096, true);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedMetricsRecord)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_LegacyMetricsNamedCount(benchmark::State& state) {
+  const i32 app = state.thread_index() % 4;
+  for (auto _ : state) {
+    g_legacy.add_count(app, "fault.retries");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyMetricsNamedCount)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_ShardedMetricsInternedCount(benchmark::State& state) {
+  const i32 app = state.thread_index() % 4;
+  static const Metrics::CounterId id = g_sharded.intern("fault.retries");
+  for (auto _ : state) {
+    g_sharded.add_count(app, id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedMetricsInternedCount)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
+
+// --------------------------------------------------------------------------
+// Repeated retrieval latency: the DHT lookup cache vs a query per get.
+// Schedule cache disabled so every get reaches the lookup path; the
+// schedule-cache row shows the (cheaper still) fully cached fast path.
+// --------------------------------------------------------------------------
+
+struct GetBenchState {
+  Cluster cluster{ClusterSpec{.num_nodes = 4, .cores_per_node = 4}};
+  Metrics metrics;
+  CodsSpace space{cluster, metrics, Box{{0, 0}, {255, 255}}};
+  std::vector<std::byte> out;
+
+  GetBenchState() {
+    // Four producers each store one quadrant so a full-domain get has a
+    // multi-source schedule and a multi-node DHT query.
+    const std::vector<Box> quads = {
+        Box{{0, 0}, {127, 127}}, Box{{0, 128}, {127, 255}},
+        Box{{128, 0}, {255, 127}}, Box{{128, 128}, {255, 255}}};
+    for (int p = 0; p < 4; ++p) {
+      const CoreLoc loc{p, 0};
+      CodsClient producer(space, Endpoint{cluster.global_core(loc), loc}, 1);
+      std::vector<std::byte> data(box_bytes(quads[static_cast<size_t>(p)], 8));
+      fill_pattern(data, quads[static_cast<size_t>(p)], 8, 1);
+      producer.put_seq("field", 0, quads[static_cast<size_t>(p)], data, 8);
+    }
+    out.resize(box_bytes(Box{{0, 0}, {255, 255}}, 8));
+  }
+};
+
+void BM_RepeatedGetSeq(benchmark::State& state) {
+  static GetBenchState s;
+  const CoreLoc loc{1, 1};
+  CodsClient consumer(s.space, Endpoint{s.cluster.global_core(loc), loc}, 2);
+  const bool schedule_cache = state.range(0) == 2;
+  consumer.set_schedule_cache_enabled(schedule_cache);
+  consumer.set_lookup_cache_enabled(state.range(0) >= 1);
+  const Box whole{{0, 0}, {255, 255}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        consumer.get_seq("field", 0, whole, s.out, 8));
+  }
+  state.SetLabel(state.range(0) == 0   ? "uncached"
+                 : state.range(0) == 1 ? "lookup-cache"
+                                       : "schedule-cache");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RepeatedGetSeq)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+// --------------------------------------------------------------------------
+// Small-transfer batching: 512 sub-threshold pulls over 16 routes.
+// Modelled times are identical (cost model sums bytes per route); the
+// benchmark shows the host-side cost of walking 512 vs 16 flows.
+// --------------------------------------------------------------------------
+
+struct PullBenchState {
+  Cluster cluster{ClusterSpec{.num_nodes = 4, .cores_per_node = 4}};
+  Metrics metrics;
+  HybridDart dart{cluster, metrics};
+  std::vector<std::byte> window;
+  std::vector<PullOp> ops;
+
+  PullBenchState() {
+    window.resize(512 * 1024);
+    // 16 producer cores (4 per node), each exposing one window that 512
+    // small ops pull slices of — 32 ops per (producer, consumer) route.
+    for (i32 p = 0; p < 16; ++p) {
+      dart.expose(p, /*key=*/1, window);
+    }
+    const CoreLoc consumer_loc{3, 3};
+    const i32 consumer_id = cluster.global_core(consumer_loc);
+    for (int i = 0; i < 512; ++i) {
+      const i32 p = static_cast<i32>(i % 16);
+      PullOp op;
+      op.local = Endpoint{consumer_id, consumer_loc};
+      op.remote = Endpoint{p, CoreLoc{p / 4, p % 4}};
+      op.key = 1;
+      op.bytes = 1024;  // well below the 64 KiB threshold
+      op.app_id = 2;
+      ops.push_back(op);
+    }
+  }
+};
+
+void BM_PullSmallWindows(benchmark::State& state) {
+  static PullBenchState s;
+  s.dart.set_batch_threshold(static_cast<u64>(state.range(0)));
+  double modelled = 0.0;
+  for (auto _ : state) {
+    modelled = s.dart.pull(s.ops);
+    benchmark::DoNotOptimize(modelled);
+  }
+  s.dart.set_batch_threshold(0);
+  state.SetLabel(state.range(0) == 0 ? "unbatched" : "batched-64KiB");
+  state.counters["modelled_s"] = modelled;
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_PullSmallWindows)->Arg(0)->Arg(64 * 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

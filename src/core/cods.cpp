@@ -96,14 +96,13 @@ void CodsSpace::post_cont(const std::string& var, i32 version, const Box& box,
                           std::vector<std::byte> data,
                           const Endpoint& producer) {
   const u64 key = window_key(var, version, box);
-  std::span<std::byte> window;
-  std::optional<Endpoint> replaced;
   {
     std::scoped_lock lock(cont_mutex_);
     auto& records = cont_[{var, version}];
     const auto existing =
         std::find_if(records.begin(), records.end(),
                      [&](const ContRecord& r) { return r.window_key == key; });
+    std::optional<Endpoint> replaced;
     if (existing != records.end()) {
       // Re-publication of the same region: only valid while the engine is
       // re-executing a failed wave (the producer may have moved nodes).
@@ -113,10 +112,14 @@ void CodsSpace::post_cont(const std::string& var, i32 version, const Box& box,
       records.erase(existing);
     }
     records.push_back(ContRecord{box, producer, key, std::move(data)});
-    window = std::span(records.back().data);
+    // Expose before releasing cont_mutex_: the record is visible to
+    // wait_cont_coverage the moment it is pushed, and a consumer woken by
+    // an earlier producer's notify may observe full coverage and pull this
+    // window before an expose outside the lock lands. (retire() already
+    // nests the dart mutex under cont_mutex_, so the ordering is fixed.)
+    if (replaced) dart_.withdraw(replaced->client_id, key);
+    dart_.expose(producer.client_id, key, std::span(records.back().data));
   }
-  if (replaced) dart_.withdraw(replaced->client_id, key);
-  dart_.expose(producer.client_id, key, window);
   note_version(var, version);
   cont_cv_.notify_all();
 }
@@ -446,10 +449,40 @@ GetResult CodsClient::get_seq(const std::string& var, i32 version,
     }
   }
 
-  const LookupResult lookup = space_->dht().query(var, version, region);
+  // DHT lookup cache: re-reads of the same (var, version, region) skip the
+  // query RPCs entirely. The epoch is read *before* querying, so an entry
+  // only validates while no put/retire/drop has touched the key since.
+  Metrics& metrics = space_->dart().metrics();
+  const std::string lookup_key = key + "#v" + std::to_string(version);
+  const u64 epoch = space_->dht().epoch(var, version);
+  LookupResult lookup;
+  bool lookup_hit = false;
+  if (lookup_cache_enabled_) {
+    const auto it = lookup_cache_.find(lookup_key);
+    if (it != lookup_cache_.end()) {
+      if (it->second.epoch == epoch) {
+        lookup = it->second.lookup;
+        lookup_hit = true;
+      } else {
+        lookup_cache_.erase(it);
+      }
+    }
+  }
   double query_time = 0.0;
-  for (i32 node : lookup.dht_nodes) {
-    query_time += space_->dart().rpc(self_, space_->storage_endpoint(node));
+  if (!lookup_hit) {
+    lookup = space_->dht().query(var, version, region);
+    for (i32 node : lookup.dht_nodes) {
+      query_time += space_->dart().rpc(self_, space_->storage_endpoint(node));
+    }
+    if (lookup_cache_enabled_) {
+      if (lookup_cache_.size() >= kMaxLookupCacheEntries) {
+        lookup_cache_.clear();
+      }
+      lookup_cache_[lookup_key] = CachedLookup{lookup, epoch};
+    }
+  }
+  if (lookup_cache_enabled_) {
+    metrics.add_count(app_id_, lookup_hit ? lookup_hit_id_ : lookup_miss_id_);
   }
 
   Schedule schedule;
@@ -469,7 +502,9 @@ GetResult CodsClient::get_seq(const std::string& var, i32 version,
   GetResult result = pull_schedule(schedule, var, version, region, out,
                                    elem_size);
   result.model_time += query_time;
-  result.dht_cores = static_cast<i32>(lookup.dht_nodes.size());
+  result.dht_cores =
+      lookup_hit ? 0 : static_cast<i32>(lookup.dht_nodes.size());
+  result.lookup_cache_hit = lookup_hit;
   if (cache_enabled_) cache_[key] = std::move(schedule);
   return result;
 }

@@ -48,8 +48,9 @@ struct GetResult {
   double model_time = 0.0;  ///< modelled completion time (query + pull)
   u64 bytes = 0;            ///< payload pulled
   i32 sources = 0;          ///< distinct windows pulled from
-  i32 dht_cores = 0;        ///< DHT cores queried (0 on a schedule-cache hit)
+  i32 dht_cores = 0;        ///< DHT cores queried (0 on any cache hit)
   bool cache_hit = false;   ///< communication schedule reused
+  bool lookup_cache_hit = false;  ///< DHT lookup served from the client cache
 };
 
 /// The shared space. One instance per workflow run; shared by all
@@ -230,7 +231,11 @@ class CodsSpace {
 class CodsClient {
  public:
   CodsClient(CodsSpace& space, Endpoint self, i32 app_id)
-      : space_(&space), self_(self), app_id_(app_id) {}
+      : space_(&space),
+        self_(self),
+        app_id_(app_id),
+        lookup_hit_id_(space.dart().metrics().intern("dht.lookup_hit")),
+        lookup_miss_id_(space.dart().metrics().intern("dht.lookup_miss")) {}
 
   const Endpoint& endpoint() const { return self_; }
   i32 app_id() const { return app_id_; }
@@ -259,6 +264,17 @@ class CodsClient {
   void clear_schedule_cache() { cache_.clear(); }
   size_t schedule_cache_size() const { return cache_.size(); }
 
+  /// DHT lookup cache management (docs/PERF.md): caches query results per
+  /// {var, version, region}, validated against the DHT's mutation epoch so
+  /// a put/update/retire/drop_node of the key invalidates the entry. A hit
+  /// skips the query RPCs entirely; hits/misses are surfaced through the
+  /// metrics counters "dht.lookup_hit" / "dht.lookup_miss".
+  void set_lookup_cache_enabled(bool enabled) {
+    lookup_cache_enabled_ = enabled;
+  }
+  void clear_lookup_cache() { lookup_cache_.clear(); }
+  size_t lookup_cache_size() const { return lookup_cache_.size(); }
+
  private:
   struct ScheduleEntry {
     Endpoint source;
@@ -268,6 +284,10 @@ class CodsClient {
   struct Schedule {
     std::vector<ScheduleEntry> entries;
   };
+  struct CachedLookup {
+    LookupResult lookup;
+    u64 epoch = 0;  ///< dht().epoch(var, version) observed before the query
+  };
 
   GetResult pull_schedule(const Schedule& schedule, const std::string& var,
                           i32 version, const Box& region,
@@ -275,11 +295,19 @@ class CodsClient {
   std::string cache_key(const std::string& var, const Box& region,
                         u64 elem_size) const;
 
+  /// Bound on cached lookups; full wipe on overflow (entries are cheap to
+  /// re-query, and version-keyed entries go stale as iterations advance).
+  static constexpr size_t kMaxLookupCacheEntries = 256;
+
   CodsSpace* space_;
   Endpoint self_;
   i32 app_id_;
   bool cache_enabled_ = true;
   std::map<std::string, Schedule> cache_;
+  bool lookup_cache_enabled_ = true;
+  std::map<std::string, CachedLookup> lookup_cache_;
+  Metrics::CounterId lookup_hit_id_;
+  Metrics::CounterId lookup_miss_id_;
 };
 
 }  // namespace cods

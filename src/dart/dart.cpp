@@ -1,6 +1,8 @@
 #include "dart/dart.hpp"
 
 #include <cstring>
+#include <map>
+#include <tuple>
 
 namespace cods {
 
@@ -57,18 +59,18 @@ double HybridDart::admit_op(FaultSite site, const Endpoint& local,
         model_.flow_time(Flow{remote.loc, local.loc, bytes});
     record(app_id, cls, remote.loc, local.loc, bytes, attempt_time);
     if (attempt > retry_.max_retries) {
-      metrics_->add_count(app_id, "fault.exhausted");
+      metrics_->add_count(app_id, fault_exhausted_id_);
       fail("transient " + to_string(site) + " failure persisted after " +
            std::to_string(retry_.max_retries) + " retries");
     }
-    metrics_->add_count(app_id, "fault.retries");
+    metrics_->add_count(app_id, fault_retries_id_);
     const double delay =
         retry_.backoff(attempt, fault_->spec().seed ^
                                     (static_cast<u64>(static_cast<u32>(
                                          local.client_id))
                                      << 32) ^
                                     bytes);
-    metrics_->add_time(app_id, "fault.backoff", delay);
+    metrics_->add_time(app_id, fault_backoff_id_, delay);
     penalty += attempt_time + delay;
   }
 }
@@ -119,17 +121,38 @@ double HybridDart::pull(std::span<PullOp> ops) {
                    op.bytes);
     }
   }
+  const u64 threshold = batch_threshold();
   std::vector<Flow> flows;
   flows.reserve(ops.size());
+  // Coalescing (docs/PERF.md): sub-threshold ops sharing a (source core,
+  // destination core) route are merged into one flow. The cost model's
+  // batch time depends only on per-route byte sums, so the modelled time
+  // is bit-identical; it just walks fewer flows.
+  std::map<std::tuple<i32, i32, i32, i32>, size_t> route_flow;
+  u64 coalesced = 0;
   {
     // Pin all source windows for the duration of the gather (see get()).
     std::shared_lock lock(mutex_);
     for (PullOp& op : ops) {
       const auto win = window_locked(op.remote.client_id, op.key);
       if (op.copy) op.copy(win);
-      flows.push_back(Flow{op.remote.loc, op.local.loc, op.bytes});
+      if (threshold > 0 && op.bytes < threshold) {
+        const auto [it, inserted] = route_flow.insert(
+            {{op.remote.loc.node, op.remote.loc.core, op.local.loc.node,
+              op.local.loc.core},
+             flows.size()});
+        if (inserted) {
+          flows.push_back(Flow{op.remote.loc, op.local.loc, op.bytes});
+        } else {
+          flows[it->second].bytes += op.bytes;
+          ++coalesced;
+        }
+      } else {
+        flows.push_back(Flow{op.remote.loc, op.local.loc, op.bytes});
+      }
     }
   }
+  if (coalesced > 0) metrics_->add_count(0, coalesced_id_, coalesced);
   const double time = model_.batch_time(flows);
   for (const PullOp& op : ops) {
     record(op.app_id, op.cls, op.remote.loc, op.local.loc, op.bytes, time);

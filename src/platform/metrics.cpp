@@ -1,15 +1,66 @@
 #include "platform/metrics.hpp"
 
+#include <atomic>
 #include <sstream>
 
 #include "common/types.hpp"
 
 namespace cods {
 
+namespace {
+
+// Writer threads are assigned shard slots round-robin at first use. The
+// slot is process-global (shared by all Metrics instances): what matters
+// is that *different* threads land on different shards, not which shard a
+// given thread uses in a given registry.
+size_t this_thread_slot() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+const char* cls_name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kInterApp: return "inter-app";
+    case TrafficClass::kIntraApp: return "intra-app";
+    case TrafficClass::kControl: return "control";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Metrics::Shard& Metrics::my_shard() {
+  return shards_[this_thread_slot() % kShards];
+}
+
+Metrics::CounterId Metrics::intern(std::string_view name) {
+  {
+    std::shared_lock lock(intern_mutex_);
+    const auto it = intern_index_.find(name);
+    if (it != intern_index_.end()) return it->second;
+  }
+  std::unique_lock lock(intern_mutex_);
+  const auto [it, inserted] = intern_index_.try_emplace(
+      std::string(name), static_cast<CounterId>(intern_names_.size()));
+  if (inserted) intern_names_.emplace_back(name);
+  return it->second;
+}
+
+std::optional<Metrics::CounterId> Metrics::find_id(
+    std::string_view name) const {
+  std::shared_lock lock(intern_mutex_);
+  const auto it = intern_index_.find(name);
+  if (it == intern_index_.end()) return std::nullopt;
+  return it->second;
+}
+
 void Metrics::record(i32 app_id, TrafficClass cls, u64 bytes,
                      bool via_network) {
-  std::scoped_lock lock(mutex_);
-  ByteCounters& c = counters_[{app_id, cls}];
+  Shard& shard = my_shard();
+  std::scoped_lock lock(shard.mutex);
+  ByteCounters& c = shard.counters[{app_id, cls}];
   if (via_network) {
     c.net_bytes += bytes;
   } else {
@@ -18,91 +69,149 @@ void Metrics::record(i32 app_id, TrafficClass cls, u64 bytes,
   ++c.transfers;
 }
 
-void Metrics::add_time(i32 app_id, const std::string& phase, double seconds) {
-  std::scoped_lock lock(mutex_);
-  times_[{app_id, phase}] += seconds;
+void Metrics::add_time(i32 app_id, CounterId phase, double seconds) {
+  Shard& shard = my_shard();
+  std::scoped_lock lock(shard.mutex);
+  shard.times[slot(app_id, phase)] += seconds;
 }
 
-void Metrics::add_count(i32 app_id, const std::string& name, u64 n) {
-  std::scoped_lock lock(mutex_);
-  event_counts_[{app_id, name}] += n;
+void Metrics::add_count(i32 app_id, CounterId name, u64 n) {
+  Shard& shard = my_shard();
+  std::scoped_lock lock(shard.mutex);
+  shard.event_counts[slot(app_id, name)] += n;
 }
 
 u64 Metrics::count(i32 app_id, const std::string& name) const {
-  std::scoped_lock lock(mutex_);
-  const auto it = event_counts_.find({app_id, name});
-  return it == event_counts_.end() ? 0 : it->second;
+  const auto id = find_id(name);
+  if (!id) return 0;
+  const u64 key = slot(app_id, *id);
+  u64 total = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mutex);
+    const auto it = shard.event_counts.find(key);
+    if (it != shard.event_counts.end()) total += it->second;
+  }
+  return total;
 }
 
 u64 Metrics::total_count(const std::string& name) const {
-  std::scoped_lock lock(mutex_);
+  const auto id = find_id(name);
+  if (!id) return 0;
   u64 total = 0;
-  for (const auto& [key, n] : event_counts_) {
-    if (key.second == name) total += n;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mutex);
+    for (const auto& [key, n] : shard.event_counts) {
+      if (static_cast<CounterId>(key & 0xffffffffu) == *id) total += n;
+    }
   }
   return total;
 }
 
 ByteCounters Metrics::counters(i32 app_id, TrafficClass cls) const {
-  std::scoped_lock lock(mutex_);
-  auto it = counters_.find({app_id, cls});
-  return it == counters_.end() ? ByteCounters{} : it->second;
+  ByteCounters total;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mutex);
+    const auto it = shard.counters.find({app_id, cls});
+    if (it == shard.counters.end()) continue;
+    total.shm_bytes += it->second.shm_bytes;
+    total.net_bytes += it->second.net_bytes;
+    total.transfers += it->second.transfers;
+  }
+  return total;
 }
 
 double Metrics::time(i32 app_id, const std::string& phase) const {
-  std::scoped_lock lock(mutex_);
-  auto it = times_.find({app_id, phase});
-  return it == times_.end() ? 0.0 : it->second;
+  const auto id = find_id(phase);
+  if (!id) return 0.0;
+  const u64 key = slot(app_id, *id);
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mutex);
+    const auto it = shard.times.find(key);
+    if (it != shard.times.end()) total += it->second;
+  }
+  return total;
 }
 
 ByteCounters Metrics::total(TrafficClass cls) const {
-  std::scoped_lock lock(mutex_);
   ByteCounters total;
-  for (const auto& [key, c] : counters_) {
-    if (key.second != cls) continue;
-    total.shm_bytes += c.shm_bytes;
-    total.net_bytes += c.net_bytes;
-    total.transfers += c.transfers;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mutex);
+    for (const auto& [key, c] : shard.counters) {
+      if (key.second != cls) continue;
+      total.shm_bytes += c.shm_bytes;
+      total.net_bytes += c.net_bytes;
+      total.transfers += c.transfers;
+    }
   }
   return total;
 }
 
 u64 Metrics::total_net_bytes() const {
-  std::scoped_lock lock(mutex_);
   u64 total = 0;
-  for (const auto& [key, c] : counters_) total += c.net_bytes;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mutex);
+    for (const auto& [key, c] : shard.counters) total += c.net_bytes;
+  }
   return total;
 }
 
 void Metrics::reset() {
-  std::scoped_lock lock(mutex_);
-  counters_.clear();
-  times_.clear();
-  event_counts_.clear();
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mutex);
+    shard.counters.clear();
+    shard.times.clear();
+    shard.event_counts.clear();
+  }
 }
 
 std::string Metrics::report() const {
-  std::scoped_lock lock(mutex_);
-  std::ostringstream os;
-  auto cls_name = [](TrafficClass cls) {
-    switch (cls) {
-      case TrafficClass::kInterApp: return "inter-app";
-      case TrafficClass::kIntraApp: return "intra-app";
-      case TrafficClass::kControl: return "control";
+  // Aggregate into name-sorted maps first: the rendered order must be a
+  // function of the ledger's contents alone, never of interning order or
+  // of which shard a writer thread happened to land on.
+  std::map<std::pair<i32, TrafficClass>, ByteCounters> counters;
+  std::map<u64, double> raw_times;
+  std::map<u64, u64> raw_events;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mutex);
+    for (const auto& [key, c] : shard.counters) {
+      ByteCounters& agg = counters[key];
+      agg.shm_bytes += c.shm_bytes;
+      agg.net_bytes += c.net_bytes;
+      agg.transfers += c.transfers;
     }
-    return "?";
-  };
-  for (const auto& [key, c] : counters_) {
+    for (const auto& [key, t] : shard.times) raw_times[key] += t;
+    for (const auto& [key, n] : shard.event_counts) raw_events[key] += n;
+  }
+  // Names are read after the shards: an id observed in a shard was interned
+  // before that shard entry was written, so it is present in the table now.
+  std::vector<std::string> names;
+  {
+    std::shared_lock lock(intern_mutex_);
+    names = intern_names_;
+  }
+  std::map<std::pair<i32, std::string>, double> times;
+  std::map<std::pair<i32, std::string>, u64> events;
+  for (const auto& [key, t] : raw_times) {
+    const i32 app = static_cast<i32>(static_cast<u32>(key >> 32));
+    times[{app, names[static_cast<size_t>(key & 0xffffffffu)]}] += t;
+  }
+  for (const auto& [key, n] : raw_events) {
+    const i32 app = static_cast<i32>(static_cast<u32>(key >> 32));
+    events[{app, names[static_cast<size_t>(key & 0xffffffffu)]}] += n;
+  }
+  std::ostringstream os;
+  for (const auto& [key, c] : counters) {
     os << "app " << key.first << " " << cls_name(key.second)
        << ": shm=" << format_bytes(c.shm_bytes)
        << " net=" << format_bytes(c.net_bytes) << " (" << c.transfers
        << " transfers)\n";
   }
-  for (const auto& [key, t] : times_) {
+  for (const auto& [key, t] : times) {
     os << "app " << key.first << " " << key.second << ": "
        << format_seconds(t) << "\n";
   }
-  for (const auto& [key, n] : event_counts_) {
+  for (const auto& [key, n] : events) {
     os << "app " << key.first << " " << key.second << ": " << n << "\n";
   }
   return os.str();

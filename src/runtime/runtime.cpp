@@ -69,13 +69,13 @@ void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
                                    payload.size(), a.node != b.node);
       }
       if (attempt > retry.max_retries) {
-        runtime_->metrics().add_count(app_id_, "fault.exhausted");
+        runtime_->metrics().add_count(app_id_, runtime_->fault_exhausted_id());
         fail("transient send failure persisted after " +
              std::to_string(retry.max_retries) + " retries");
       }
-      runtime_->metrics().add_count(app_id_, "fault.retries");
+      runtime_->metrics().add_count(app_id_, runtime_->fault_retries_id());
       runtime_->metrics().add_time(
-          app_id_, "fault.backoff",
+          app_id_, runtime_->fault_backoff_id(),
           retry.backoff(attempt,
                         fault->spec().seed ^
                             (static_cast<u64>(static_cast<u32>(src_global))

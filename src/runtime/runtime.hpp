@@ -147,10 +147,20 @@ struct RankFailure {
 class Runtime {
  public:
   Runtime(const Cluster& cluster, Metrics& metrics, CostParams params = {})
-      : cluster_(&cluster), metrics_(&metrics), model_(cluster, params) {}
+      : cluster_(&cluster),
+        metrics_(&metrics),
+        model_(cluster, params),
+        fault_retries_id_(metrics.intern("fault.retries")),
+        fault_exhausted_id_(metrics.intern("fault.exhausted")),
+        fault_backoff_id_(metrics.intern("fault.backoff")) {}
 
   const Cluster& cluster() const { return *cluster_; }
   Metrics& metrics() { return *metrics_; }
+
+  /// Pre-interned fault counter ids (hot send path skips string hashing).
+  Metrics::CounterId fault_retries_id() const { return fault_retries_id_; }
+  Metrics::CounterId fault_exhausted_id() const { return fault_exhausted_id_; }
+  Metrics::CounterId fault_backoff_id() const { return fault_backoff_id_; }
   const CostModel& cost_model() const { return model_; }
 
   /// Attaches a fault injector (nullptr = fault-free): point-to-point sends
@@ -193,6 +203,9 @@ class Runtime {
   const Cluster* cluster_;
   Metrics* metrics_;
   CostModel model_;
+  Metrics::CounterId fault_retries_id_;
+  Metrics::CounterId fault_exhausted_id_;
+  Metrics::CounterId fault_backoff_id_;
   FaultInjector* fault_ = nullptr;
   RetryPolicy retry_;
   std::chrono::seconds recv_timeout_{120};

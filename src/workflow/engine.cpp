@@ -216,6 +216,7 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
   reports_.clear();
   placements_.clear();
   space_.set_reexecution(false);
+  space_.dart().set_batch_threshold(options.dart_batch_threshold);
   if (options.fault != nullptr) {
     // Space-side fault integration: transfers consult the injector, and
     // blocking waits are bounded so a dead producer surfaces as an Error.

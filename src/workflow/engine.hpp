@@ -38,6 +38,10 @@ struct WorkflowOptions {
   /// deaths trigger failover + re-execution per `retry`.
   FaultInjector* fault = nullptr;
   RetryPolicy retry;
+  /// Small-transfer batching threshold forwarded to the transport
+  /// (HybridDart::set_batch_threshold, docs/PERF.md). 0 disables. Byte
+  /// accounting and modelled times are invariant under this knob.
+  u64 dart_batch_threshold = 0;
 };
 
 /// Record of how one scheduling wave was executed.

@@ -79,5 +79,61 @@ TEST(Metrics, ReportMentionsApps) {
   EXPECT_NE(report.find("2.00 KiB"), std::string::npos);
 }
 
+TEST(Metrics, ReportIsCanonicalAcrossInsertionOrder) {
+  // Equal ledger state must render to equal strings regardless of the
+  // order values were recorded, the order names were interned, or which
+  // thread (and therefore shard) did the writing.
+  Metrics a;
+  a.record(1, TrafficClass::kInterApp, 10, true);
+  a.record(2, TrafficClass::kIntraApp, 20, false);
+  a.add_time(1, "retrieve", 0.5);
+  a.add_time(1, "insert", 0.25);
+  a.add_count(2, "fault.retries", 3);
+  a.add_count(1, "dht.lookup_hit", 4);
+
+  Metrics b;  // same state, reversed order, names interned differently
+  b.intern("zz.unused");  // shifts every subsequent id
+  b.add_count(1, "dht.lookup_hit", 4);
+  b.add_count(2, "fault.retries", 3);
+  b.add_time(1, "insert", 0.25);
+  b.add_time(1, "retrieve", 0.5);
+  std::thread t([&b] {  // different thread => (likely) different shard
+    b.record(2, TrafficClass::kIntraApp, 20, false);
+    b.record(1, TrafficClass::kInterApp, 10, true);
+  });
+  t.join();
+
+  EXPECT_EQ(a.report(), b.report());
+
+  // ...and different state must not collide.
+  b.add_count(1, "dht.lookup_hit");
+  EXPECT_NE(a.report(), b.report());
+}
+
+TEST(Metrics, ReportSortsTimesAndEventsByName) {
+  Metrics m;
+  m.add_time(1, "zeta", 1.0);
+  m.add_time(1, "alpha", 1.0);
+  m.add_count(1, "omega", 1);
+  m.add_count(1, "beta", 1);
+  const std::string report = m.report();
+  EXPECT_LT(report.find("alpha"), report.find("zeta"));
+  EXPECT_LT(report.find("beta"), report.find("omega"));
+}
+
+TEST(Metrics, InternedIdOverloadMatchesStringOverload) {
+  Metrics m;
+  const Metrics::CounterId id = m.intern("fault.retries");
+  EXPECT_EQ(m.intern("fault.retries"), id);  // stable across calls
+  m.add_count(3, id, 2);
+  m.add_count(3, "fault.retries", 2);
+  EXPECT_EQ(m.count(3, "fault.retries"), 4u);
+
+  const Metrics::CounterId phase = m.intern("exchange");
+  m.add_time(3, phase, 0.5);
+  m.add_time(3, "exchange", 0.5);
+  EXPECT_DOUBLE_EQ(m.time(3, "exchange"), 1.0);
+}
+
 }  // namespace
 }  // namespace cods
