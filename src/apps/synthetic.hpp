@@ -10,7 +10,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "workflow/engine.hpp"
 

@@ -1,9 +1,9 @@
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace cods {
@@ -56,7 +56,7 @@ void check_failed(const char* expr, const std::string& message,
 
 namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
-std::mutex g_log_mutex;
+Mutex g_log_mutex{"common.log"};
 }  // namespace
 
 void set_log_level(LogLevel level) { g_log_level.store(level); }
@@ -74,7 +74,7 @@ void log_line(LogLevel level, const std::string& text) {
     case LogLevel::kError: tag = "E"; break;
     case LogLevel::kOff: return;
   }
-  std::scoped_lock lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[cods %s] %s\n", tag, text.c_str());
 }
 

@@ -1,0 +1,65 @@
+// Process-wide lock-order registry (docs/CONCURRENCY.md). Every
+// cods::Mutex / cods::SharedMutex registers itself here and reports its
+// blocking acquisitions; the registry records each (held lock -> acquired
+// lock) edge into a wait-for graph and flags the first edge that closes a
+// cycle — turning a potential deadlock into a deterministic failure that
+// names every lock on the cycle. The accumulated graph doubles as
+// documentation: dump_hierarchy() renders the observed lock ordering.
+//
+// Tracking is enabled by default in debug builds (NDEBUG undefined) and
+// disabled in release builds, where each hook is a single relaxed atomic
+// test; set_enabled(true) forces it on in any build (used by tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cods::lock_order {
+
+using LockId = std::uint32_t;
+
+/// Registers a lock instance under `name` (copied). Names are labels for
+/// reporting, not identities: edges are tracked per instance, so two locks
+/// sharing a name never alias in the graph.
+LockId register_lock(const char* name);
+
+/// Blocking acquisition about to start: records a (held -> id) edge for
+/// every lock the calling thread already holds, runs cycle detection, and
+/// marks `id` held. Call *before* blocking on the underlying mutex so an
+/// inversion is reported instead of deadlocking.
+void on_acquire(LockId id);
+
+/// Successful non-blocking acquisition: marks `id` held without recording
+/// ordering edges (try-lock cannot deadlock; out-of-order try-lock is a
+/// legitimate deadlock-avoidance pattern).
+void on_try_acquire(LockId id);
+
+/// Release: unmarks the most recent hold of `id` by this thread.
+void on_release(LockId id);
+
+bool enabled();
+void set_enabled(bool on);
+
+/// Invoked with a description naming the new edge, the existing path that
+/// closes the cycle and the acquiring thread's held-lock stack. The
+/// default handler prints the description to stderr and aborts. Returns
+/// the previous handler. Tests install a throwing handler.
+using CycleHandler = void (*)(const std::string& description);
+CycleHandler set_cycle_handler(CycleHandler handler);
+
+/// Sorted, deduplicated "A -> B" lines (by lock name) of every ordering
+/// edge observed so far. Deterministic for a given set of edges.
+std::string dump_hierarchy();
+
+/// Number of distinct (instance -> instance) edges observed.
+std::size_t edge_count();
+
+/// Number of cycles reported since process start (or the last reset).
+std::size_t cycles_reported();
+
+/// Clears observed edges and the cycle count; registrations (and ids)
+/// survive. Test isolation only — never call while other threads lock.
+void reset_edges_for_testing();
+
+}  // namespace cods::lock_order

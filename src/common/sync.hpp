@@ -1,0 +1,216 @@
+// Compiler-checked lock discipline (docs/CONCURRENCY.md).
+//
+// This header is the only place in src/ allowed to touch the raw standard
+// locking primitives (enforced by tools/lint/check_sync.py). It provides:
+//
+//   * Clang thread-safety-annotation macros (CODS_GUARDED_BY,
+//     CODS_REQUIRES, CODS_EXCLUDES, ...). Under Clang every shared field
+//     annotated with its guarding mutex and every locked-context method
+//     annotated with CODS_REQUIRES is *proved* consistent by
+//     -Wthread-safety -Werror (the CI `clang-threadsafety` job); under GCC
+//     the macros expand to nothing.
+//
+//   * Annotated wrappers Mutex / SharedMutex and RAII guards MutexLock /
+//     ReaderLock / WriterLock, plus a CondVar that works with MutexLock.
+//     In debug builds each blocking acquisition additionally feeds the
+//     process-wide lock-order registry (common/lock_order.hpp), which
+//     aborts with the lock names on the first ordering cycle and can dump
+//     the observed lock hierarchy as documentation.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>  // check_sync:allow — wrapped by CondVar
+#include <mutex>               // check_sync:allow — wrapped by Mutex
+#include <shared_mutex>        // check_sync:allow — wrapped by SharedMutex
+
+#include "common/lock_order.hpp"
+
+// Clang exposes the analysis through attributes; other compilers see
+// no-ops, so annotated code stays portable.
+#if defined(__clang__)
+#define CODS_TSA(x) __attribute__((x))
+#else
+#define CODS_TSA(x)  // no-op outside Clang
+#endif
+
+#define CODS_CAPABILITY(x) CODS_TSA(capability(x))
+#define CODS_SCOPED_CAPABILITY CODS_TSA(scoped_lockable)
+#define CODS_GUARDED_BY(x) CODS_TSA(guarded_by(x))
+#define CODS_PT_GUARDED_BY(x) CODS_TSA(pt_guarded_by(x))
+#define CODS_ACQUIRED_BEFORE(...) CODS_TSA(acquired_before(__VA_ARGS__))
+#define CODS_ACQUIRED_AFTER(...) CODS_TSA(acquired_after(__VA_ARGS__))
+#define CODS_REQUIRES(...) CODS_TSA(requires_capability(__VA_ARGS__))
+#define CODS_REQUIRES_SHARED(...) \
+  CODS_TSA(requires_shared_capability(__VA_ARGS__))
+#define CODS_ACQUIRE(...) CODS_TSA(acquire_capability(__VA_ARGS__))
+#define CODS_ACQUIRE_SHARED(...) \
+  CODS_TSA(acquire_shared_capability(__VA_ARGS__))
+#define CODS_RELEASE(...) CODS_TSA(release_capability(__VA_ARGS__))
+#define CODS_RELEASE_SHARED(...) \
+  CODS_TSA(release_shared_capability(__VA_ARGS__))
+#define CODS_TRY_ACQUIRE(...) CODS_TSA(try_acquire_capability(__VA_ARGS__))
+#define CODS_TRY_ACQUIRE_SHARED(...) \
+  CODS_TSA(try_acquire_shared_capability(__VA_ARGS__))
+#define CODS_EXCLUDES(...) CODS_TSA(locks_excluded(__VA_ARGS__))
+#define CODS_RETURN_CAPABILITY(x) CODS_TSA(lock_returned(x))
+#define CODS_NO_THREAD_SAFETY_ANALYSIS CODS_TSA(no_thread_safety_analysis)
+
+namespace cods {
+
+class CondVar;
+class MutexLock;
+
+/// Annotated exclusive mutex. `name` labels the lock in the lock-order
+/// registry's reports and hierarchy dump; give every distinct mutex role a
+/// distinct "subsystem.role" name.
+class CODS_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "unnamed")
+      : order_id_(lock_order::register_lock(name)) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CODS_ACQUIRE() {
+    lock_order::on_acquire(order_id_);
+    impl_.lock();
+  }
+  void unlock() CODS_RELEASE() {
+    impl_.unlock();
+    lock_order::on_release(order_id_);
+  }
+  bool try_lock() CODS_TRY_ACQUIRE(true) {
+    if (!impl_.try_lock()) return false;
+    lock_order::on_try_acquire(order_id_);
+    return true;
+  }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+
+  std::mutex impl_;
+  lock_order::LockId order_id_;
+};
+
+/// Annotated reader/writer mutex.
+class CODS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(const char* name = "unnamed")
+      : order_id_(lock_order::register_lock(name)) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CODS_ACQUIRE() {
+    lock_order::on_acquire(order_id_);
+    impl_.lock();
+  }
+  void unlock() CODS_RELEASE() {
+    impl_.unlock();
+    lock_order::on_release(order_id_);
+  }
+  // Shared acquisitions take ordering edges too: a reader blocked behind a
+  // queued writer deadlocks a cycle just like an exclusive holder.
+  void lock_shared() CODS_ACQUIRE_SHARED() {
+    lock_order::on_acquire(order_id_);
+    impl_.lock_shared();
+  }
+  void unlock_shared() CODS_RELEASE_SHARED() {
+    impl_.unlock_shared();
+    lock_order::on_release(order_id_);
+  }
+
+ private:
+  std::shared_mutex impl_;
+  lock_order::LockId order_id_;
+};
+
+/// RAII exclusive guard over a Mutex. Supports early release (unlock())
+/// and blocking waits through CondVar.
+class CODS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CODS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+    owns_ = true;
+  }
+  ~MutexLock() CODS_RELEASE() {
+    if (owns_) mu_->unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before the end of the scope (e.g. to throw without the lock).
+  void unlock() CODS_RELEASE() {
+    mu_->unlock();
+    owns_ = false;
+  }
+
+ private:
+  friend class CondVar;
+
+  Mutex* mu_;
+  bool owns_ = false;
+};
+
+/// RAII exclusive guard over a SharedMutex.
+class CODS_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) CODS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  ~WriterLock() CODS_RELEASE() { mu_->unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII shared guard over a SharedMutex.
+class CODS_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) CODS_ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderLock() CODS_RELEASE() { mu_->unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. Waiting re-acquires
+/// through the raw handle (the capability state is unchanged across a
+/// wait, matching the analysis' view).
+class CondVar {
+ public:
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  template <typename Pred>
+  void wait(MutexLock& lock, Pred pred) {
+    std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, tp);
+    native.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cods

@@ -48,7 +48,7 @@ u64 CodsSpace::save_checkpoint(std::ostream& out) const {
   };
   std::vector<Entry> entries;
   {
-    std::scoped_lock lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     for (const auto& [index_key, keys] : store_index_) {
       for (const auto& [client, window_key] : keys) {
         const auto it = store_.find({client, window_key});
@@ -133,7 +133,7 @@ CodsSpace::RestoreResult CodsSpace::restore_from_stream(
     const u64 key = window_key(var, version, box);
     bool exists = false;
     {
-      std::scoped_lock lock(store_mutex_);
+      MutexLock lock(store_mutex_);
       const auto idx = store_index_.find({var, version});
       exists = idx != store_index_.end() &&
                std::any_of(idx->second.begin(), idx->second.end(),

@@ -60,7 +60,7 @@ DataLocation CodsSpace::store_object(i32 node, const std::string& var,
   std::span<std::byte> window;
   std::optional<i32> replaced_client;
   {
-    std::scoped_lock lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     auto& index = store_index_[{var, version}];
     const auto existing =
         std::find_if(index.begin(), index.end(),
@@ -97,7 +97,7 @@ void CodsSpace::post_cont(const std::string& var, i32 version, const Box& box,
                           const Endpoint& producer) {
   const u64 key = window_key(var, version, box);
   {
-    std::scoped_lock lock(cont_mutex_);
+    MutexLock lock(cont_mutex_);
     auto& records = cont_[{var, version}];
     const auto existing =
         std::find_if(records.begin(), records.end(),
@@ -127,9 +127,9 @@ void CodsSpace::post_cont(const std::string& var, i32 version, const Box& box,
 std::vector<CodsSpace::ContEntry> CodsSpace::wait_cont_coverage(
     const std::string& var, i32 version, const Box& region,
     std::optional<std::chrono::seconds> timeout) {
-  std::unique_lock lock(cont_mutex_);
+  MutexLock lock(cont_mutex_);
   const auto deadline =
-      std::chrono::steady_clock::now() + timeout.value_or(op_timeout_);
+      std::chrono::steady_clock::now() + timeout.value_or(op_timeout());
   for (;;) {
     const auto it = cont_.find({var, version});
     if (it != cont_.end()) {
@@ -154,7 +154,7 @@ std::vector<CodsSpace::ContEntry> CodsSpace::wait_cont_coverage(
 
 void CodsSpace::retire(const std::string& var, i32 version) {
   {
-    std::scoped_lock lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     const auto it = store_index_.find({var, version});
     if (it != store_index_.end()) {
       for (const auto& [client, key] : it->second) {
@@ -165,7 +165,7 @@ void CodsSpace::retire(const std::string& var, i32 version) {
     }
   }
   {
-    std::scoped_lock lock(cont_mutex_);
+    MutexLock lock(cont_mutex_);
     const auto it = cont_.find({var, version});
     if (it != cont_.end()) {
       for (const ContRecord& r : it->second) {
@@ -178,7 +178,7 @@ void CodsSpace::retire(const std::string& var, i32 version) {
 }
 
 u64 CodsSpace::stored_bytes() const {
-  std::scoped_lock lock(store_mutex_);
+  MutexLock lock(store_mutex_);
   u64 total = 0;
   for (const auto& [key, object] : store_) total += object.data.size();
   return total;
@@ -186,7 +186,7 @@ u64 CodsSpace::stored_bytes() const {
 
 void CodsSpace::note_version(const std::string& var, i32 version) {
   {
-    std::scoped_lock lock(meta_mutex_);
+    MutexLock lock(meta_mutex_);
     auto [it, inserted] = latest_.insert({var, version});
     if (!inserted && it->second < version) it->second = version;
   }
@@ -194,7 +194,7 @@ void CodsSpace::note_version(const std::string& var, i32 version) {
 }
 
 i32 CodsSpace::latest_version(const std::string& var) const {
-  std::scoped_lock lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   const auto it = latest_.find(var);
   return it == latest_.end() ? -1 : it->second;
 }
@@ -202,9 +202,9 @@ i32 CodsSpace::latest_version(const std::string& var) const {
 void CodsSpace::wait_version(const std::string& var, i32 version,
                              std::optional<std::chrono::seconds> timeout)
     const {
-  std::unique_lock lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   const auto deadline =
-      std::chrono::steady_clock::now() + timeout.value_or(op_timeout_);
+      std::chrono::steady_clock::now() + timeout.value_or(op_timeout());
   for (;;) {
     const auto it = latest_.find(var);
     if (it != latest_.end() && it->second >= version) return;
@@ -218,13 +218,13 @@ void CodsSpace::wait_version(const std::string& var, i32 version,
 std::vector<std::string> CodsSpace::variables() const {
   std::set<std::string> names;
   {
-    std::scoped_lock lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     for (const auto& [key, entries] : store_index_) {
       if (!entries.empty()) names.insert(key.first);
     }
   }
   {
-    std::scoped_lock lock(cont_mutex_);
+    MutexLock lock(cont_mutex_);
     for (const auto& [key, records] : cont_) {
       if (!records.empty()) names.insert(key.first);
     }
@@ -235,13 +235,13 @@ std::vector<std::string> CodsSpace::variables() const {
 std::vector<i32> CodsSpace::versions(const std::string& var) const {
   std::set<i32> out;
   {
-    std::scoped_lock lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     for (const auto& [key, entries] : store_index_) {
       if (key.first == var && !entries.empty()) out.insert(key.second);
     }
   }
   {
-    std::scoped_lock lock(cont_mutex_);
+    MutexLock lock(cont_mutex_);
     for (const auto& [key, records] : cont_) {
       if (key.first == var && !records.empty()) out.insert(key.second);
     }
@@ -253,7 +253,7 @@ std::vector<DataLocation> CodsSpace::catalog(const std::string& var,
                                              i32 version) const {
   std::vector<DataLocation> out;
   {
-    std::scoped_lock lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     const auto it = store_index_.find({var, version});
     if (it != store_index_.end()) {
       for (const auto& [client, key] : it->second) {
@@ -269,7 +269,7 @@ std::vector<DataLocation> CodsSpace::catalog(const std::string& var,
     }
   }
   {
-    std::scoped_lock lock(cont_mutex_);
+    MutexLock lock(cont_mutex_);
     const auto it = cont_.find({var, version});
     if (it != cont_.end()) {
       for (const ContRecord& r : it->second) {
@@ -289,7 +289,7 @@ u64 CodsSpace::drop_node(i32 node) {
   u64 lost = 0;
   std::vector<std::pair<i32, u64>> windows;  // withdrawn outside the locks
   {
-    std::scoped_lock lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     for (auto it = store_.begin(); it != store_.end();) {
       if (it->second.node == node) {
         lost += it->second.data.size();
@@ -306,7 +306,7 @@ u64 CodsSpace::drop_node(i32 node) {
     }
   }
   {
-    std::scoped_lock lock(cont_mutex_);
+    MutexLock lock(cont_mutex_);
     for (auto& [key, records] : cont_) {
       for (auto it = records.begin(); it != records.end();) {
         if (it->producer.loc.node == node) {

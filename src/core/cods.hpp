@@ -18,11 +18,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <iosfwd>
 #include <optional>
 
+#include "common/sync.hpp"
 #include "core/dht.hpp"
 #include "core/layout.hpp"
 #include "dart/dart.hpp"
@@ -127,8 +127,14 @@ class CodsSpace {
   /// Default bound for blocking waits (version/coverage). The workflow
   /// engine shortens this when fault injection is active so a dead
   /// producer surfaces as an Error quickly instead of a long hang.
-  void set_op_timeout(std::chrono::seconds timeout) { op_timeout_ = timeout; }
-  std::chrono::seconds op_timeout() const { return op_timeout_; }
+  /// Atomic: the engine may adjust it while clients are already waiting
+  /// (in-flight waits keep the deadline they computed).
+  void set_op_timeout(std::chrono::seconds timeout) {
+    op_timeout_.store(timeout, std::memory_order_relaxed);
+  }
+  std::chrono::seconds op_timeout() const {
+    return op_timeout_.load(std::memory_order_relaxed);
+  }
 
   // --- metadata catalog ---
 
@@ -199,30 +205,33 @@ class CodsSpace {
   HybridDart dart_;
   CodsDht dht_;
 
-  mutable std::mutex store_mutex_;
+  mutable Mutex store_mutex_{"cods.store"};
   // (storage client, window key) -> object
-  std::map<std::pair<i32, u64>, StoredObject> store_;
+  std::map<std::pair<i32, u64>, StoredObject> store_
+      CODS_GUARDED_BY(store_mutex_);
+  // (var, version) -> store keys
   std::map<std::pair<std::string, i32>, std::vector<std::pair<i32, u64>>>
-      store_index_;  // (var, version) -> store keys
+      store_index_ CODS_GUARDED_BY(store_mutex_);
 
-  mutable std::mutex cont_mutex_;
-  std::condition_variable cont_cv_;
+  mutable Mutex cont_mutex_{"cods.cont"};
+  CondVar cont_cv_;
   struct ContRecord {
     Box box;
     Endpoint producer;
     u64 window_key = 0;
     std::vector<std::byte> data;
   };
-  std::map<std::pair<std::string, i32>, std::vector<ContRecord>> cont_;
+  std::map<std::pair<std::string, i32>, std::vector<ContRecord>> cont_
+      CODS_GUARDED_BY(cont_mutex_);
 
   void note_version(const std::string& var, i32 version);
 
-  mutable std::mutex meta_mutex_;
-  mutable std::condition_variable meta_cv_;
-  std::map<std::string, i32> latest_;
+  mutable Mutex meta_mutex_{"cods.meta"};
+  mutable CondVar meta_cv_;
+  std::map<std::string, i32> latest_ CODS_GUARDED_BY(meta_mutex_);
 
   std::atomic<bool> reexec_{false};
-  std::chrono::seconds op_timeout_{120};
+  std::atomic<std::chrono::seconds> op_timeout_{std::chrono::seconds(120)};
 };
 
 /// Per-execution-client handle implementing the Table I operators.

@@ -47,7 +47,7 @@ i32 CodsDht::insert(const std::string& var, i32 version,
   const auto nodes = owner_nodes(loc.box);
   for (i32 node : nodes) {
     NodeTable& table = *tables_[static_cast<size_t>(node)];
-    std::scoped_lock lock(table.mutex);
+    MutexLock lock(table.mutex);
     auto& records = table.records[{var, version}];
     // Re-registration of the same region (recovery re-execution) replaces
     // the old record so consumers never see a stale, withdrawn window.
@@ -71,7 +71,7 @@ LookupResult CodsDht::query(const std::string& var, i32 version,
   std::set<std::pair<i32, u64>> seen;  // (owner_client, window_key)
   for (i32 node : result.dht_nodes) {
     const NodeTable& table = *tables_[static_cast<size_t>(node)];
-    std::scoped_lock lock(table.mutex);
+    MutexLock lock(table.mutex);
     const auto it = table.records.find({var, version});
     if (it == table.records.end()) continue;
     for (const DataLocation& loc : it->second) {
@@ -96,7 +96,7 @@ LookupResult CodsDht::query(const std::string& var, i32 version,
 i64 CodsDht::retire(const std::string& var, i32 version) {
   i64 removed = 0;
   for (auto& table : tables_) {
-    std::scoped_lock lock(table->mutex);
+    MutexLock lock(table->mutex);
     const auto it = table->records.find({var, version});
     if (it == table->records.end()) continue;
     removed += static_cast<i64>(it->second.size());
@@ -110,7 +110,7 @@ i64 CodsDht::drop_node_locations(i32 node) {
   i64 removed = 0;
   std::set<std::pair<std::string, i32>> touched;
   for (auto& table : tables_) {
-    std::scoped_lock lock(table->mutex);
+    MutexLock lock(table->mutex);
     for (auto& [key, records] : table->records) {
       const auto erased = std::erase_if(
           records,
@@ -124,20 +124,20 @@ i64 CodsDht::drop_node_locations(i32 node) {
 }
 
 u64 CodsDht::epoch(const std::string& var, i32 version) const {
-  std::scoped_lock lock(epoch_mutex_);
+  MutexLock lock(epoch_mutex_);
   const auto it = epochs_.find({var, version});
   return it == epochs_.end() ? 0 : it->second;
 }
 
 void CodsDht::bump_epoch(const std::string& var, i32 version) {
-  std::scoped_lock lock(epoch_mutex_);
+  MutexLock lock(epoch_mutex_);
   ++epochs_[{var, version}];
 }
 
 i64 CodsDht::node_record_count(i32 node) const {
   CODS_REQUIRE(node >= 0 && node < num_dht_cores(), "node out of range");
   const NodeTable& table = *tables_[static_cast<size_t>(node)];
-  std::scoped_lock lock(table.mutex);
+  MutexLock lock(table.mutex);
   i64 count = 0;
   for (const auto& [key, records] : table.records) {
     count += static_cast<i64>(records.size());

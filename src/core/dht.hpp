@@ -8,10 +8,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "platform/cluster.hpp"
 #include "sfc/curve.hpp"
 
@@ -82,9 +82,10 @@ class CodsDht {
  private:
   void bump_epoch(const std::string& var, i32 version);
   struct NodeTable {
-    mutable std::mutex mutex;
+    mutable Mutex mutex{"dht.table"};
     // (var, version) -> records whose region intersects this core's interval
-    std::map<std::pair<std::string, i32>, std::vector<DataLocation>> records;
+    std::map<std::pair<std::string, i32>, std::vector<DataLocation>> records
+        CODS_GUARDED_BY(mutex);
   };
 
   const Cluster* cluster_;
@@ -95,8 +96,9 @@ class CodsDht {
 
   // Epochs are never erased (a retire must keep invalidating entries
   // cached before it), only bumped; one u64 per (var, version) ever seen.
-  mutable std::mutex epoch_mutex_;
-  std::map<std::pair<std::string, i32>, u64> epochs_;
+  mutable Mutex epoch_mutex_{"dht.epochs"};
+  std::map<std::pair<std::string, i32>, u64> epochs_
+      CODS_GUARDED_BY(epoch_mutex_);
 };
 
 }  // namespace cods

@@ -23,7 +23,7 @@ LockService::LockState& LockService::state(const std::string& name) {
 void LockService::lock_read(const std::string& name, const Endpoint& who,
                             std::chrono::seconds timeout) {
   account(who, name);
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   LockState& s = state(name);
   // Writer preference: readers also yield to queued writers.
@@ -38,7 +38,7 @@ void LockService::lock_read(const std::string& name, const Endpoint& who,
 void LockService::lock_write(const std::string& name, const Endpoint& who,
                              std::chrono::seconds timeout) {
   account(who, name);
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   LockState& s = state(name);
   ++s.waiting_writers;
@@ -56,7 +56,7 @@ void LockService::lock_write(const std::string& name, const Endpoint& who,
 void LockService::unlock_read(const std::string& name, const Endpoint& who) {
   account(who, name);
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     LockState& s = state(name);
     CODS_REQUIRE(s.readers > 0, "unlock_read without a read lock");
     --s.readers;
@@ -67,7 +67,7 @@ void LockService::unlock_read(const std::string& name, const Endpoint& who) {
 void LockService::unlock_write(const std::string& name, const Endpoint& who) {
   account(who, name);
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     LockState& s = state(name);
     CODS_REQUIRE(s.writer, "unlock_write without a write lock");
     CODS_REQUIRE(s.writer_client == who.client_id,
@@ -80,7 +80,7 @@ void LockService::unlock_write(const std::string& name, const Endpoint& who) {
 
 bool LockService::try_lock_read(const std::string& name, const Endpoint& who) {
   account(who, name);
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   LockState& s = state(name);
   if (s.writer || s.waiting_writers > 0) return false;
   ++s.readers;
@@ -90,7 +90,7 @@ bool LockService::try_lock_read(const std::string& name, const Endpoint& who) {
 bool LockService::try_lock_write(const std::string& name,
                                  const Endpoint& who) {
   account(who, name);
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   LockState& s = state(name);
   if (s.writer || s.readers > 0) return false;
   s.writer = true;
@@ -99,13 +99,13 @@ bool LockService::try_lock_write(const std::string& name,
 }
 
 i32 LockService::readers(const std::string& name) const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = locks_.find(name);
   return it == locks_.end() ? 0 : it->second.readers;
 }
 
 bool LockService::write_locked(const std::string& name) const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = locks_.find(name);
   return it != locks_.end() && it->second.writer;
 }

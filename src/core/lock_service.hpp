@@ -6,11 +6,10 @@
 // control RPCs against the node hosting the lock (hashed by name).
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/sync.hpp"
 #include "dart/dart.hpp"
 
 namespace cods {
@@ -49,12 +48,12 @@ class LockService {
   };
 
   void account(const Endpoint& who, const std::string& name);
-  LockState& state(const std::string& name);
+  LockState& state(const std::string& name) CODS_REQUIRES(mutex_);
 
   HybridDart* dart_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::string, LockState> locks_;
+  mutable Mutex mutex_{"core.lock_service"};
+  CondVar cv_;
+  std::map<std::string, LockState> locks_ CODS_GUARDED_BY(mutex_);
 };
 
 /// RAII guards.

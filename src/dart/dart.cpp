@@ -7,18 +7,18 @@
 namespace cods {
 
 void HybridDart::expose(i32 client_id, u64 key, std::span<std::byte> window) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   const auto [it, inserted] = windows_.insert({Key{client_id, key}, window});
   CODS_CHECK(inserted, "window already exposed for this (client, key)");
 }
 
 void HybridDart::withdraw(i32 client_id, u64 key) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   windows_.erase(Key{client_id, key});
 }
 
 std::span<std::byte> HybridDart::window(i32 client_id, u64 key) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return window_locked(client_id, key);
 }
 
@@ -29,7 +29,7 @@ std::span<std::byte> HybridDart::window_locked(i32 client_id, u64 key) const {
 }
 
 bool HybridDart::has_window(i32 client_id, u64 key) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return windows_.contains(Key{client_id, key});
 }
 
@@ -37,8 +37,8 @@ void HybridDart::record(i32 app_id, TrafficClass cls, const CoreLoc& src,
                         const CoreLoc& dst, u64 bytes, double model_time) {
   const bool net = select_transport(src, dst) == TransportKind::kRdma;
   metrics_->record(app_id, cls, bytes, net);
-  if (transfer_log_ != nullptr) {
-    transfer_log_->record(
+  if (TransferLog* log = transfer_log()) {
+    log->record(
         TransferRecord{src, dst, bytes, net, cls, app_id, model_time});
   }
 }
@@ -46,11 +46,12 @@ void HybridDart::record(i32 app_id, TrafficClass cls, const CoreLoc& src,
 double HybridDart::admit_op(FaultSite site, const Endpoint& local,
                             const Endpoint& remote, i32 app_id,
                             TrafficClass cls, u64 bytes) {
-  if (fault_ == nullptr) return 0.0;
+  FaultInjector* fault = fault_injector();
+  if (fault == nullptr) return 0.0;
   double penalty = 0.0;
   for (i32 attempt = 1;; ++attempt) {
-    if (!fault_->on_op(site, local.client_id, local.loc.node,
-                       remote.loc.node)) {
+    if (!fault->on_op(site, local.client_id, local.loc.node,
+                      remote.loc.node)) {
       return penalty;
     }
     // The failed attempt moved its bytes before erroring out: account them
@@ -65,7 +66,7 @@ double HybridDart::admit_op(FaultSite site, const Endpoint& local,
     }
     metrics_->add_count(app_id, fault_retries_id_);
     const double delay =
-        retry_.backoff(attempt, fault_->spec().seed ^
+        retry_.backoff(attempt, fault->spec().seed ^
                                     (static_cast<u64>(static_cast<u32>(
                                          local.client_id))
                                      << 32) ^
@@ -84,7 +85,7 @@ double HybridDart::get(const Endpoint& local, i32 app_id, TrafficClass cls,
     // Hold the registry lock across the copy: a window cannot be withdrawn
     // (and its memory freed) while a one-sided read is in flight — the
     // software analogue of pinned RDMA regions.
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     const auto win = window_locked(remote.client_id, key);
     CODS_REQUIRE(offset + dst.size() <= win.size(),
                  "get exceeds remote window bounds");
@@ -101,7 +102,7 @@ double HybridDart::put(const Endpoint& local, i32 app_id, TrafficClass cls,
   const double penalty =
       admit_op(FaultSite::kPut, local, remote, app_id, cls, src.size());
   {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     const auto win = window_locked(remote.client_id, key);
     CODS_REQUIRE(offset + src.size() <= win.size(),
                  "put exceeds remote window bounds");
@@ -114,7 +115,7 @@ double HybridDart::put(const Endpoint& local, i32 app_id, TrafficClass cls,
 
 double HybridDart::pull(std::span<PullOp> ops) {
   double penalty = 0.0;
-  if (fault_ != nullptr) {
+  if (fault_injector() != nullptr) {
     for (const PullOp& op : ops) {
       penalty +=
           admit_op(FaultSite::kPull, op.local, op.remote, op.app_id, op.cls,
@@ -132,7 +133,7 @@ double HybridDart::pull(std::span<PullOp> ops) {
   u64 coalesced = 0;
   {
     // Pin all source windows for the duration of the gather (see get()).
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     for (PullOp& op : ops) {
       const auto win = window_locked(op.remote.client_id, op.key);
       if (op.copy) op.copy(win);

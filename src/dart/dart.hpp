@@ -12,10 +12,10 @@
 
 #include <atomic>
 #include <functional>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 
+#include "common/sync.hpp"
 #include "fault/fault.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/metrics.hpp"
@@ -62,18 +62,28 @@ class HybridDart {
   Metrics& metrics() { return *metrics_; }
 
   /// Optional per-transfer journal (nullptr disables detailed logging).
-  void set_transfer_log(TransferLog* log) { transfer_log_ = log; }
-  TransferLog* transfer_log() const { return transfer_log_; }
+  /// The pointer is atomic, so attaching/detaching races benignly with
+  /// in-flight transfers; the journal itself is thread-safe.
+  void set_transfer_log(TransferLog* log) {
+    transfer_log_.store(log, std::memory_order_release);
+  }
+  TransferLog* transfer_log() const {
+    return transfer_log_.load(std::memory_order_acquire);
+  }
 
   /// Attaches a fault injector (nullptr = fault-free, zero overhead).
   /// Injected transient failures are retried per `retry`; each failed
   /// attempt's bytes and backoff delay are accounted like regular traffic.
   /// Operations touching a dead node throw NodeDownError unretried.
+  /// The injector pointer is atomic; `retry` must be configured before
+  /// concurrent operations start (it is read without synchronization).
   void set_fault(FaultInjector* injector, RetryPolicy retry = {}) {
-    fault_ = injector;
     retry_ = retry;
+    fault_.store(injector, std::memory_order_release);
   }
-  FaultInjector* fault_injector() const { return fault_; }
+  FaultInjector* fault_injector() const {
+    return fault_.load(std::memory_order_acquire);
+  }
   const RetryPolicy& retry_policy() const { return retry_; }
 
   /// Transport used between two cores: shared memory iff same node.
@@ -142,7 +152,8 @@ class HybridDart {
 
   void record(i32 app_id, TrafficClass cls, const CoreLoc& src,
               const CoreLoc& dst, u64 bytes, double model_time);
-  std::span<std::byte> window_locked(i32 client_id, u64 key) const;
+  std::span<std::byte> window_locked(i32 client_id, u64 key) const
+      CODS_REQUIRES_SHARED(mutex_);
 
   /// Consults the injector until one attempt is admitted; accounts every
   /// failed attempt (its traffic and its backoff delay) and returns the
@@ -154,16 +165,17 @@ class HybridDart {
   const Cluster* cluster_;
   Metrics* metrics_;
   CostModel model_;
-  FaultInjector* fault_ = nullptr;
-  RetryPolicy retry_;
-  TransferLog* transfer_log_ = nullptr;
+  std::atomic<FaultInjector*> fault_{nullptr};
+  RetryPolicy retry_;  ///< set before concurrent use (see set_fault)
+  std::atomic<TransferLog*> transfer_log_{nullptr};
   Metrics::CounterId fault_retries_id_;
   Metrics::CounterId fault_exhausted_id_;
   Metrics::CounterId fault_backoff_id_;
   Metrics::CounterId coalesced_id_;
   std::atomic<u64> batch_threshold_{0};
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<Key, std::span<std::byte>, KeyHash> windows_;
+  mutable SharedMutex mutex_{"dart.windows"};
+  std::unordered_map<Key, std::span<std::byte>, KeyHash> windows_
+      CODS_GUARDED_BY(mutex_);
 };
 
 }  // namespace cods

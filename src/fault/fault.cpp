@@ -46,29 +46,29 @@ double RetryPolicy::backoff(i32 attempt, u64 key) const {
 }
 
 void FaultInjector::begin_wave(i32 wave) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   wave_ = wave;
   wave_ops_ = 0;
   op_counts_.clear();
 }
 
 i32 FaultInjector::wave() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return wave_;
 }
 
 bool FaultInjector::is_dead(i32 node) const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return dead_.contains(node);
 }
 
 std::set<i32> FaultInjector::dead_nodes() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return dead_;
 }
 
 void FaultInjector::declare_dead(i32 node) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   if (dead_.insert(node).second) {
     trace_.push_back(FaultEvent{wave_, FaultSite::kGet, /*actor=*/-1,
                                 /*op_index=*/0, FaultKind::kNodeCrash, node});
@@ -104,7 +104,7 @@ void FaultInjector::check_crashes_locked(i32 local_node) {
 
 bool FaultInjector::on_op(FaultSite site, i32 actor, i32 local_node,
                           i32 remote_node) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   check_crashes_locked(local_node);
   ++wave_ops_;
   if (dead_.contains(local_node)) {
@@ -134,7 +134,7 @@ bool FaultInjector::on_op(FaultSite site, i32 actor, i32 local_node,
 std::vector<FaultEvent> FaultInjector::trace() const {
   std::vector<FaultEvent> out;
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     out = trace_;
   }
   std::sort(out.begin(), out.end());

@@ -22,12 +22,12 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace cods {
@@ -143,15 +143,17 @@ class FaultInjector {
 
  private:
   double probability(FaultSite site) const;
-  void check_crashes_locked(i32 local_node);
+  void check_crashes_locked(i32 local_node) CODS_REQUIRES(mutex_);
 
-  FaultSpec spec_;
-  mutable std::mutex mutex_;
-  i32 wave_ = -1;
-  u64 wave_ops_ = 0;  ///< crash-schedule clock (ops this wave, all actors)
-  std::set<i32> dead_;
-  std::map<std::pair<i32, i32>, u64> op_counts_;  // (site, actor) -> count
-  std::vector<FaultEvent> trace_;
+  const FaultSpec spec_;  ///< immutable after construction; no guard needed
+  mutable Mutex mutex_{"fault.injector"};
+  i32 wave_ CODS_GUARDED_BY(mutex_) = -1;
+  /// Crash-schedule clock (ops this wave, all actors).
+  u64 wave_ops_ CODS_GUARDED_BY(mutex_) = 0;
+  std::set<i32> dead_ CODS_GUARDED_BY(mutex_);
+  // (site, actor) -> count
+  std::map<std::pair<i32, i32>, u64> op_counts_ CODS_GUARDED_BY(mutex_);
+  std::vector<FaultEvent> trace_ CODS_GUARDED_BY(mutex_);
 };
 
 }  // namespace cods

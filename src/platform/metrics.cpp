@@ -37,11 +37,11 @@ Metrics::Shard& Metrics::my_shard() {
 
 Metrics::CounterId Metrics::intern(std::string_view name) {
   {
-    std::shared_lock lock(intern_mutex_);
+    ReaderLock lock(intern_mutex_);
     const auto it = intern_index_.find(name);
     if (it != intern_index_.end()) return it->second;
   }
-  std::unique_lock lock(intern_mutex_);
+  WriterLock lock(intern_mutex_);
   const auto [it, inserted] = intern_index_.try_emplace(
       std::string(name), static_cast<CounterId>(intern_names_.size()));
   if (inserted) intern_names_.emplace_back(name);
@@ -50,7 +50,7 @@ Metrics::CounterId Metrics::intern(std::string_view name) {
 
 std::optional<Metrics::CounterId> Metrics::find_id(
     std::string_view name) const {
-  std::shared_lock lock(intern_mutex_);
+  ReaderLock lock(intern_mutex_);
   const auto it = intern_index_.find(name);
   if (it == intern_index_.end()) return std::nullopt;
   return it->second;
@@ -59,7 +59,7 @@ std::optional<Metrics::CounterId> Metrics::find_id(
 void Metrics::record(i32 app_id, TrafficClass cls, u64 bytes,
                      bool via_network) {
   Shard& shard = my_shard();
-  std::scoped_lock lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   ByteCounters& c = shard.counters[{app_id, cls}];
   if (via_network) {
     c.net_bytes += bytes;
@@ -71,13 +71,13 @@ void Metrics::record(i32 app_id, TrafficClass cls, u64 bytes,
 
 void Metrics::add_time(i32 app_id, CounterId phase, double seconds) {
   Shard& shard = my_shard();
-  std::scoped_lock lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.times[slot(app_id, phase)] += seconds;
 }
 
 void Metrics::add_count(i32 app_id, CounterId name, u64 n) {
   Shard& shard = my_shard();
-  std::scoped_lock lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.event_counts[slot(app_id, name)] += n;
 }
 
@@ -87,7 +87,7 @@ u64 Metrics::count(i32 app_id, const std::string& name) const {
   const u64 key = slot(app_id, *id);
   u64 total = 0;
   for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.event_counts.find(key);
     if (it != shard.event_counts.end()) total += it->second;
   }
@@ -99,7 +99,7 @@ u64 Metrics::total_count(const std::string& name) const {
   if (!id) return 0;
   u64 total = 0;
   for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const auto& [key, n] : shard.event_counts) {
       if (static_cast<CounterId>(key & 0xffffffffu) == *id) total += n;
     }
@@ -110,7 +110,7 @@ u64 Metrics::total_count(const std::string& name) const {
 ByteCounters Metrics::counters(i32 app_id, TrafficClass cls) const {
   ByteCounters total;
   for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.counters.find({app_id, cls});
     if (it == shard.counters.end()) continue;
     total.shm_bytes += it->second.shm_bytes;
@@ -126,7 +126,7 @@ double Metrics::time(i32 app_id, const std::string& phase) const {
   const u64 key = slot(app_id, *id);
   double total = 0.0;
   for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.times.find(key);
     if (it != shard.times.end()) total += it->second;
   }
@@ -136,7 +136,7 @@ double Metrics::time(i32 app_id, const std::string& phase) const {
 ByteCounters Metrics::total(TrafficClass cls) const {
   ByteCounters total;
   for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const auto& [key, c] : shard.counters) {
       if (key.second != cls) continue;
       total.shm_bytes += c.shm_bytes;
@@ -150,7 +150,7 @@ ByteCounters Metrics::total(TrafficClass cls) const {
 u64 Metrics::total_net_bytes() const {
   u64 total = 0;
   for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const auto& [key, c] : shard.counters) total += c.net_bytes;
   }
   return total;
@@ -158,7 +158,7 @@ u64 Metrics::total_net_bytes() const {
 
 void Metrics::reset() {
   for (Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.counters.clear();
     shard.times.clear();
     shard.event_counts.clear();
@@ -173,7 +173,7 @@ std::string Metrics::report() const {
   std::map<u64, double> raw_times;
   std::map<u64, u64> raw_events;
   for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const auto& [key, c] : shard.counters) {
       ByteCounters& agg = counters[key];
       agg.shm_bytes += c.shm_bytes;
@@ -187,7 +187,7 @@ std::string Metrics::report() const {
   // before that shard entry was written, so it is present in the table now.
   std::vector<std::string> names;
   {
-    std::shared_lock lock(intern_mutex_);
+    ReaderLock lock(intern_mutex_);
     names = intern_names_;
   }
   std::map<std::pair<i32, std::string>, double> times;

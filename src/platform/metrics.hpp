@@ -14,14 +14,13 @@
 
 #include <array>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "platform/cluster.hpp"
 
 namespace cods {
@@ -97,10 +96,12 @@ class Metrics {
   // One shard per writer-thread slot, padded to its own cache line so
   // uncontended shard mutexes do not false-share.
   struct alignas(64) Shard {
-    mutable std::mutex mutex;
-    std::map<std::pair<i32, TrafficClass>, ByteCounters> counters;
-    std::unordered_map<u64, double> times;       // slot(app, id) -> seconds
-    std::unordered_map<u64, u64> event_counts;   // slot(app, id) -> count
+    mutable Mutex mutex{"metrics.shard"};
+    std::map<std::pair<i32, TrafficClass>, ByteCounters> counters
+        CODS_GUARDED_BY(mutex);
+    // slot(app, id) -> seconds / count
+    std::unordered_map<u64, double> times CODS_GUARDED_BY(mutex);
+    std::unordered_map<u64, u64> event_counts CODS_GUARDED_BY(mutex);
   };
   static constexpr size_t kShards = 16;
 
@@ -110,9 +111,11 @@ class Metrics {
   Shard& my_shard();
   std::optional<CounterId> find_id(std::string_view name) const;
 
-  mutable std::shared_mutex intern_mutex_;
-  std::map<std::string, CounterId, std::less<>> intern_index_;
-  std::vector<std::string> intern_names_;  // id -> name
+  mutable SharedMutex intern_mutex_{"metrics.intern"};
+  std::map<std::string, CounterId, std::less<>> intern_index_
+      CODS_GUARDED_BY(intern_mutex_);
+  std::vector<std::string> intern_names_
+      CODS_GUARDED_BY(intern_mutex_);  // id -> name
 
   std::array<Shard, kShards> shards_;
 };

@@ -8,7 +8,7 @@
 namespace cods {
 
 void TransferLog::record(const TransferRecord& record) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   if (records_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -17,22 +17,22 @@ void TransferLog::record(const TransferRecord& record) {
 }
 
 size_t TransferLog::size() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return records_.size();
 }
 
 u64 TransferLog::dropped() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 std::vector<TransferRecord> TransferLog::snapshot() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return records_;
 }
 
 void TransferLog::clear() {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   records_.clear();
   dropped_ = 0;
 }
@@ -51,7 +51,7 @@ const char* cls_name(TrafficClass cls) {
 }  // namespace
 
 std::string TransferLog::summary() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   struct Agg {
     u64 count = 0;
     u64 bytes = 0;
@@ -74,7 +74,7 @@ std::string TransferLog::summary() const {
 }
 
 std::string TransferLog::to_chrome_trace() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   // Serialize transfers on a per-destination-node timeline; timestamps are
   // synthetic (each node's transfers are laid end to end) but durations
   // come from the cost model, which is what one inspects in the viewer.

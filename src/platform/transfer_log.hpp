@@ -5,10 +5,10 @@
 // aggregate Metrics registry stays the always-on accounting path.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "platform/cluster.hpp"
 #include "platform/metrics.hpp"
 
@@ -44,10 +44,10 @@ class TransferLog {
   std::string to_chrome_trace() const;
 
  private:
-  mutable std::mutex mutex_;
-  size_t capacity_;
-  u64 dropped_ = 0;
-  std::vector<TransferRecord> records_;
+  mutable Mutex mutex_{"platform.transfer_log"};
+  const size_t capacity_;
+  u64 dropped_ CODS_GUARDED_BY(mutex_) = 0;
+  std::vector<TransferRecord> records_ CODS_GUARDED_BY(mutex_);
 };
 
 }  // namespace cods

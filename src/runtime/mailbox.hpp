@@ -2,14 +2,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <optional>
-#include <mutex>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace cods {
@@ -30,7 +29,7 @@ class Mailbox {
  public:
   void push(Message message) {
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.push_back(std::move(message));
     }
     cv_.notify_all();
@@ -41,7 +40,7 @@ class Mailbox {
   /// Throws after `timeout` so one failed rank cannot deadlock the run.
   Message pop(i32 src_global, i64 comm_tag,
               std::chrono::seconds timeout = std::chrono::seconds(120)) {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     for (;;) {
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
@@ -60,7 +59,7 @@ class Mailbox {
   /// Non-blocking variant of pop: returns the first matching message, or
   /// nullopt when none is queued.
   std::optional<Message> try_pop(i32 src_global, i64 comm_tag) {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->comm_tag != comm_tag) continue;
       if (src_global != kAnySource && it->src_global != src_global) continue;
@@ -72,14 +71,14 @@ class Mailbox {
   }
 
   size_t size() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return queue_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  mutable Mutex mutex_{"runtime.mailbox"};
+  CondVar cv_;
+  std::deque<Message> queue_ CODS_GUARDED_BY(mutex_);
 };
 
 }  // namespace cods

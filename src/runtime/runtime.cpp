@@ -345,7 +345,7 @@ std::vector<RankFailure> Runtime::run_collect(
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(n));
-  std::mutex error_mutex;
+  Mutex error_mutex{"runtime.errors"};
   std::vector<RankFailure> failures;
   for (i32 r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
@@ -360,7 +360,7 @@ std::vector<RankFailure> Runtime::run_collect(
       try {
         body(ctx);
       } catch (...) {
-        std::scoped_lock lock(error_mutex);
+        MutexLock lock(error_mutex);
         failures.push_back(RankFailure{r, std::current_exception()});
       }
     });

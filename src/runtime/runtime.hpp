@@ -166,20 +166,27 @@ class Runtime {
   /// Attaches a fault injector (nullptr = fault-free): point-to-point sends
   /// consult it (transient drops are retried per `retry`, dead peers throw
   /// NodeDownError), and blocking receives are bounded by retry.op_timeout.
+  /// The injector pointer and timeout are atomic; `retry` must be
+  /// configured before ranks run (it is read without synchronization).
   void set_fault(FaultInjector* injector, RetryPolicy retry = {}) {
-    fault_ = injector;
     retry_ = retry;
-    if (injector != nullptr) recv_timeout_ = retry.op_timeout;
+    fault_.store(injector, std::memory_order_release);
+    if (injector != nullptr) set_recv_timeout(retry.op_timeout);
   }
-  FaultInjector* fault() const { return fault_; }
+  FaultInjector* fault() const {
+    return fault_.load(std::memory_order_acquire);
+  }
   const RetryPolicy& retry_policy() const { return retry_; }
 
   /// Bound on blocking receives: a dead or wedged peer surfaces as a
   /// cods::Error after this long instead of hanging the rank forever.
+  /// Atomic, so tests may tighten it while ranks are already running.
   void set_recv_timeout(std::chrono::seconds timeout) {
-    recv_timeout_ = timeout;
+    recv_timeout_.store(timeout, std::memory_order_relaxed);
   }
-  std::chrono::seconds recv_timeout() const { return recv_timeout_; }
+  std::chrono::seconds recv_timeout() const {
+    return recv_timeout_.load(std::memory_order_relaxed);
+  }
 
   /// Runs one rank per entry of `placement`, each on its own thread, with a
   /// world communicator spanning all of them. Blocks until all ranks
@@ -206,9 +213,11 @@ class Runtime {
   Metrics::CounterId fault_retries_id_;
   Metrics::CounterId fault_exhausted_id_;
   Metrics::CounterId fault_backoff_id_;
-  FaultInjector* fault_ = nullptr;
-  RetryPolicy retry_;
-  std::chrono::seconds recv_timeout_{120};
+  std::atomic<FaultInjector*> fault_{nullptr};
+  RetryPolicy retry_;  ///< set before ranks run (see set_fault)
+  std::atomic<std::chrono::seconds> recv_timeout_{std::chrono::seconds(120)};
+  // Rebuilt single-threadedly in run_collect() before ranks spawn and only
+  // read while they execute (the spawn is the synchronization point).
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CoreLoc> placement_;
   std::atomic<i64> next_comm_id_{1};

@@ -1,0 +1,315 @@
+// Coherence of the client-side DHT lookup cache (docs/PERF.md): cached
+// lookups must be invisible — every get returns exactly the bytes an
+// uncached client would see, across puts, re-puts, retires and node
+// drops. The property test drives randomized interleavings of all four
+// mutation kinds against a caching and a non-caching client and demands
+// bit-identical outputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/cods.hpp"
+
+namespace cods {
+namespace {
+
+class DhtCacheTest : public ::testing::Test {
+ protected:
+  DhtCacheTest()
+      : cluster_(ClusterSpec{.num_nodes = 4, .cores_per_node = 4}),
+        space_(cluster_, metrics_, Box{{0, 0}, {15, 15}}) {}
+
+  CodsClient client(i32 node, i32 core, i32 app_id) {
+    const CoreLoc loc{node, core};
+    return CodsClient(space_, Endpoint{cluster_.global_core(loc), loc},
+                      app_id);
+  }
+
+  /// A consumer whose lookup cache is the only caching layer: the
+  /// schedule cache would otherwise satisfy repeats first (it caches the
+  /// *schedule* independent of version and revalidates against windows).
+  CodsClient lookup_only_consumer(i32 node, i32 core, i32 app_id) {
+    CodsClient c = client(node, core, app_id);
+    c.set_schedule_cache_enabled(false);
+    return c;
+  }
+
+  std::vector<std::byte> pattern_data(const Box& box, u64 seed) {
+    std::vector<std::byte> data(box_bytes(box, 8));
+    fill_pattern(data, box, 8, seed);
+    return data;
+  }
+
+  Cluster cluster_{ClusterSpec{.num_nodes = 4, .cores_per_node = 4}};
+  Metrics metrics_;
+  CodsSpace space_;
+};
+
+TEST_F(DhtCacheTest, RepeatedGetHitsAndSkipsQuery) {
+  CodsClient producer = client(0, 0, 1);
+  CodsClient consumer = lookup_only_consumer(1, 0, 2);
+  const Box box{{0, 0}, {7, 7}};
+  producer.put_seq("t", 0, box, pattern_data(box, 5), 8);
+
+  std::vector<std::byte> out(box_bytes(box, 8));
+  const GetResult first = consumer.get_seq("t", 0, box, out, 8);
+  EXPECT_FALSE(first.lookup_cache_hit);
+  EXPECT_GT(first.dht_cores, 0);
+  EXPECT_EQ(consumer.lookup_cache_size(), 1u);
+
+  const GetResult second = consumer.get_seq("t", 0, box, out, 8);
+  EXPECT_TRUE(second.lookup_cache_hit);
+  EXPECT_EQ(second.dht_cores, 0);  // no query RPCs on a hit
+  EXPECT_EQ(second.bytes, first.bytes);
+  EXPECT_EQ(second.sources, first.sources);
+  EXPECT_EQ(verify_pattern(out, box, 8, 5), 0u);
+
+  EXPECT_EQ(metrics_.count(2, "dht.lookup_miss"), 1u);
+  EXPECT_EQ(metrics_.count(2, "dht.lookup_hit"), 1u);
+}
+
+TEST_F(DhtCacheTest, DisabledCacheNeverHitsNorCounts) {
+  CodsClient producer = client(0, 0, 1);
+  CodsClient consumer = lookup_only_consumer(1, 0, 2);
+  consumer.set_lookup_cache_enabled(false);
+  const Box box{{0, 0}, {7, 7}};
+  producer.put_seq("t", 0, box, pattern_data(box, 5), 8);
+  std::vector<std::byte> out(box_bytes(box, 8));
+  for (int i = 0; i < 2; ++i) {
+    const GetResult get = consumer.get_seq("t", 0, box, out, 8);
+    EXPECT_FALSE(get.lookup_cache_hit);
+    EXPECT_GT(get.dht_cores, 0);
+  }
+  EXPECT_EQ(consumer.lookup_cache_size(), 0u);
+  EXPECT_EQ(metrics_.count(2, "dht.lookup_hit"), 0u);
+  EXPECT_EQ(metrics_.count(2, "dht.lookup_miss"), 0u);
+}
+
+TEST_F(DhtCacheTest, InvalidatedOnPut) {
+  CodsClient consumer = lookup_only_consumer(1, 0, 2);
+  const Box left{{0, 0}, {7, 7}};
+  const Box right{{0, 8}, {7, 15}};
+  const Box whole{{0, 0}, {7, 15}};
+  CodsClient p0 = client(0, 0, 1);
+  p0.put_seq("u", 0, left, pattern_data(left, 3), 8);
+  p0.put_seq("u", 0, right, pattern_data(right, 3), 8);
+
+  std::vector<std::byte> out(box_bytes(whole, 8));
+  EXPECT_FALSE(consumer.get_seq("u", 0, whole, out, 8).lookup_cache_hit);
+  EXPECT_TRUE(consumer.get_seq("u", 0, whole, out, 8).lookup_cache_hit);
+
+  // A new put of an overlapping region (re-execution replaces it, from a
+  // different node) bumps the epoch: the cached lookup must not be used.
+  space_.set_reexecution(true);
+  CodsClient p2 = client(2, 0, 1);
+  p2.put_seq("u", 0, right, pattern_data(right, 9), 8);
+  space_.set_reexecution(false);
+
+  const GetResult after = consumer.get_seq("u", 0, whole, out, 8);
+  EXPECT_FALSE(after.lookup_cache_hit);
+  // The untouched half is unchanged; the replaced half carries the new
+  // producer's pattern (extract each half from the whole-region buffer).
+  std::vector<std::byte> half(box_bytes(left, 8));
+  copy_box_region(out, whole, half, left, left, 8);
+  EXPECT_EQ(verify_pattern(half, left, 8, 3), 0u);
+  copy_box_region(out, whole, half, right, right, 8);
+  EXPECT_EQ(verify_pattern(half, right, 8, 9), 0u);
+}
+
+TEST_F(DhtCacheTest, InvalidatedOnRetireVersionAware) {
+  CodsClient producer = client(0, 0, 1);
+  CodsClient consumer = lookup_only_consumer(1, 0, 2);
+  const Box box{{0, 0}, {7, 7}};
+  producer.put_seq("w", 0, box, pattern_data(box, 1), 8);
+  producer.put_seq("w", 1, box, pattern_data(box, 2), 8);
+
+  std::vector<std::byte> out(box_bytes(box, 8));
+  consumer.get_seq("w", 0, box, out, 8);
+  consumer.get_seq("w", 1, box, out, 8);
+  EXPECT_EQ(consumer.lookup_cache_size(), 2u);
+
+  space_.retire("w", 0);
+  // Version 0's entry is stale: a hit would dereference a withdrawn
+  // window. The get must re-query and fail cleanly on the empty DHT.
+  EXPECT_THROW(consumer.get_seq("w", 0, box, out, 8), Error);
+  // Version 1 was not retired; its cached entry is still valid.
+  const GetResult v1 = consumer.get_seq("w", 1, box, out, 8);
+  EXPECT_TRUE(v1.lookup_cache_hit);
+  EXPECT_EQ(verify_pattern(out, box, 8, 2), 0u);
+
+  // Re-putting version 0 after retirement must be visible (epochs are
+  // never erased, so the cache cannot resurrect the pre-retire lookup).
+  producer.put_seq("w", 0, box, pattern_data(box, 7), 8);
+  const GetResult v0 = consumer.get_seq("w", 0, box, out, 8);
+  EXPECT_FALSE(v0.lookup_cache_hit);
+  EXPECT_EQ(verify_pattern(out, box, 8, 7), 0u);
+}
+
+TEST_F(DhtCacheTest, InvalidatedOnDropNode) {
+  CodsClient producer = client(0, 0, 1);
+  CodsClient consumer = lookup_only_consumer(1, 0, 2);
+  const Box box{{0, 0}, {7, 7}};
+  producer.put_seq("x", 0, box, pattern_data(box, 4), 8);
+  std::vector<std::byte> out(box_bytes(box, 8));
+  consumer.get_seq("x", 0, box, out, 8);
+  EXPECT_EQ(consumer.lookup_cache_size(), 1u);
+
+  // Node 0 dies: its windows are withdrawn and DHT records dropped. A
+  // stale cached lookup would pull from a withdrawn window and throw
+  // "window not exposed"; the epoch bump forces a re-query instead.
+  space_.drop_node(0);
+  CodsClient recovery = client(2, 0, 1);
+  space_.set_reexecution(true);
+  recovery.put_seq("x", 0, box, pattern_data(box, 4), 8);
+  space_.set_reexecution(false);
+
+  const GetResult after = consumer.get_seq("x", 0, box, out, 8);
+  EXPECT_FALSE(after.lookup_cache_hit);
+  EXPECT_EQ(verify_pattern(out, box, 8, 4), 0u);
+}
+
+TEST_F(DhtCacheTest, CacheIsBounded) {
+  CodsClient producer = client(0, 0, 1);
+  CodsClient consumer = lookup_only_consumer(1, 0, 2);
+  const Box box{{0, 0}, {3, 3}};
+  std::vector<std::byte> out(box_bytes(box, 8));
+  for (i32 v = 0; v < 300; ++v) {
+    producer.put_seq("many", v, box, pattern_data(box, 1), 8);
+    consumer.get_seq("many", v, box, out, 8);
+    EXPECT_LE(consumer.lookup_cache_size(), 256u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: randomized interleavings of put / get / re-put / retire /
+// drop_node. A caching consumer (schedule cache off, lookup cache on) and
+// a fully uncached consumer read the same regions; outputs must be
+// bit-identical and match the expected pattern at every step.
+// ---------------------------------------------------------------------------
+
+class DhtCacheProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DhtCacheProperty, CachedEqualsUncachedUnderMutations) {
+  Rng rng(GetParam());
+  const Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
+  Metrics metrics;
+  CodsSpace space(cluster, metrics, Box{{0, 0}, {15, 15}});
+  const auto make_client = [&](i32 node, i32 core, i32 app) {
+    const CoreLoc loc{node, core};
+    return CodsClient(space, Endpoint{cluster.global_core(loc), loc}, app);
+  };
+
+  CodsClient cached = make_client(1, 1, 2);
+  cached.set_schedule_cache_enabled(false);  // isolate the lookup cache
+  CodsClient uncached = make_client(2, 1, 3);
+  uncached.set_schedule_cache_enabled(false);
+  uncached.set_lookup_cache_enabled(false);
+
+  const Box top{{0, 0}, {7, 15}};
+  const Box bottom{{8, 0}, {15, 15}};
+  const Box whole{{0, 0}, {15, 15}};
+  constexpr u64 kElem = 8;
+
+  // seed_of[v] tracks the pattern the live copy of version v carries; -1
+  // means the version is not currently stored.
+  std::vector<i64> seed_of;
+  const auto put_version = [&](i32 version, u64 seed, i32 node) {
+    CodsClient p_top = make_client(node, 0, 1);
+    CodsClient p_bot = make_client((node + 1) % 4, 0, 1);
+    std::vector<std::byte> d_top(box_bytes(top, kElem));
+    std::vector<std::byte> d_bot(box_bytes(bottom, kElem));
+    fill_pattern(d_top, top, kElem, seed);
+    fill_pattern(d_bot, bottom, kElem, seed);
+    p_top.put_seq("f", version, top, d_top, kElem);
+    p_bot.put_seq("f", version, bottom, d_bot, kElem);
+  };
+
+  i32 next_version = 0;
+  u64 next_seed = GetParam() * 1000;
+  u64 hits = 0;
+  for (int step = 0; step < 60; ++step) {
+    const u64 action = rng.below(10);
+    if (action < 3 || seed_of.empty()) {
+      // New version from clients on a random node pair.
+      put_version(next_version, next_seed, static_cast<i32>(rng.below(4)));
+      seed_of.push_back(static_cast<i64>(next_seed));
+      ++next_version;
+      ++next_seed;
+    } else if (action < 7) {
+      // Read a random live version through both consumers. Repeat reads
+      // of the same version exercise cache hits.
+      const i32 v = static_cast<i32>(rng.below(seed_of.size()));
+      if (seed_of[static_cast<size_t>(v)] < 0) continue;
+      const Box& region = rng.below(3) == 0 ? whole
+                          : rng.below(2) == 0 ? top
+                                              : bottom;
+      std::vector<std::byte> a(box_bytes(region, kElem));
+      std::vector<std::byte> b(box_bytes(region, kElem));
+      const GetResult ga = cached.get_seq("f", v, region, a, kElem);
+      const GetResult gb = uncached.get_seq("f", v, region, b, kElem);
+      ASSERT_EQ(a, b) << "cached and uncached reads diverged, seed="
+                      << GetParam() << " step=" << step;
+      EXPECT_EQ(ga.bytes, gb.bytes);
+      EXPECT_EQ(ga.sources, gb.sources);
+      EXPECT_EQ(verify_pattern(
+                    a, region, kElem,
+                    static_cast<u64>(seed_of[static_cast<size_t>(v)])),
+                0u);
+      if (ga.lookup_cache_hit) ++hits;
+    } else if (action < 8) {
+      // Re-execution style re-put: same regions, new pattern, other nodes.
+      const i32 v = static_cast<i32>(rng.below(seed_of.size()));
+      if (seed_of[static_cast<size_t>(v)] < 0) continue;
+      space.set_reexecution(true);
+      put_version(v, next_seed, static_cast<i32>(rng.below(4)));
+      space.set_reexecution(false);
+      seed_of[static_cast<size_t>(v)] = static_cast<i64>(next_seed);
+      ++next_seed;
+    } else if (action < 9) {
+      const i32 v = static_cast<i32>(rng.below(seed_of.size()));
+      if (seed_of[static_cast<size_t>(v)] < 0) continue;
+      space.retire("f", v);
+      seed_of[static_cast<size_t>(v)] = -1;
+    } else {
+      // Node failure: every version loses the halves homed there; restore
+      // all live versions from scratch on surviving nodes (re-execution).
+      const i32 node = static_cast<i32>(rng.below(4));
+      space.drop_node(node);
+      space.set_reexecution(true);
+      for (size_t v = 0; v < seed_of.size(); ++v) {
+        if (seed_of[v] < 0) continue;
+        put_version(static_cast<i32>(v), static_cast<u64>(seed_of[v]),
+                    (node + 1) % 4);
+      }
+      space.set_reexecution(false);
+    }
+  }
+  // Epilogue: a guaranteed back-to-back repeat read so every seed
+  // exercises at least one hit (the random walk above may not repeat an
+  // unmutated version on its own).
+  if (seed_of.empty() || seed_of.back() < 0) {
+    put_version(next_version, next_seed, 0);
+    seed_of.push_back(static_cast<i64>(next_seed));
+  }
+  const i32 last = static_cast<i32>(seed_of.size()) - 1;
+  const u64 last_seed = static_cast<u64>(seed_of[static_cast<size_t>(last)]);
+  std::vector<std::byte> a(box_bytes(whole, kElem));
+  std::vector<std::byte> b(box_bytes(whole, kElem));
+  cached.get_seq("f", last, whole, a, kElem);
+  const GetResult repeat = cached.get_seq("f", last, whole, a, kElem);
+  EXPECT_TRUE(repeat.lookup_cache_hit);
+  if (repeat.lookup_cache_hit) ++hits;
+  uncached.get_seq("f", last, whole, b, kElem);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(verify_pattern(a, whole, kElem, last_seed), 0u);
+  EXPECT_GT(hits, 0u) << "interleaving never exercised a cache hit, seed="
+                      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DhtCacheProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace cods

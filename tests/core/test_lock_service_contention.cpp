@@ -1,0 +1,131 @@
+// LockService contention tests: many clients hammering the same named
+// locks, checking mutual exclusion, writer preference liveness, and
+// reader/writer fairness under load (TSan CI subset).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/lock_service.hpp"
+
+namespace cods {
+namespace {
+
+Endpoint endpoint(i32 id) { return Endpoint{id, CoreLoc{id % 4, id / 4}}; }
+
+TEST(LockServiceContention, WritersAreMutuallyExclusive) {
+  LockService locks;
+  constexpr int kWriters = 6;
+  constexpr int kRounds = 200;
+  std::atomic<int> inside{0};
+  i64 counter = 0;  // guarded by the named lock, not a std::mutex
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const Endpoint who = endpoint(w);
+      for (int i = 0; i < kRounds; ++i) {
+        locks.lock_write("shared.region", who,
+                         std::chrono::seconds(30));
+        EXPECT_EQ(inside.fetch_add(1), 0);
+        ++counter;
+        EXPECT_EQ(inside.fetch_sub(1), 1);
+        locks.unlock_write("shared.region", who);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(counter, static_cast<i64>(kWriters) * kRounds);
+  EXPECT_FALSE(locks.write_locked("shared.region"));
+}
+
+TEST(LockServiceContention, ReadersExcludeWritersUnderLoad) {
+  LockService locks;
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kRounds = 150;
+  std::atomic<int> active_readers{0};
+  std::atomic<bool> writer_inside{false};
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      const Endpoint who = endpoint(r);
+      for (int i = 0; i < kRounds; ++i) {
+        locks.lock_read("field", who, std::chrono::seconds(30));
+        active_readers.fetch_add(1);
+        EXPECT_FALSE(writer_inside.load());
+        active_readers.fetch_sub(1);
+        locks.unlock_read("field", who);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      const Endpoint who = endpoint(kReaders + w);
+      for (int i = 0; i < kRounds; ++i) {
+        locks.lock_write("field", who, std::chrono::seconds(30));
+        writer_inside.store(true);
+        EXPECT_EQ(active_readers.load(), 0);
+        writer_inside.store(false);
+        locks.unlock_write("field", who);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(locks.readers("field"), 0);
+  EXPECT_FALSE(locks.write_locked("field"));
+}
+
+TEST(LockServiceContention, IndependentNamesDoNotSerialize) {
+  LockService locks;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Endpoint who = endpoint(t);
+      const std::string name = "var." + std::to_string(t);
+      for (int i = 0; i < kRounds; ++i) {
+        locks.lock_write(name, who, std::chrono::seconds(30));
+        locks.unlock_write(name, who);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_FALSE(locks.write_locked("var." + std::to_string(t)));
+  }
+}
+
+TEST(LockServiceContention, TryLockRacesBlockingAcquisition) {
+  LockService locks;
+  constexpr int kRounds = 300;
+  std::atomic<int> try_wins{0};
+
+  std::thread blocking([&] {
+    const Endpoint who = endpoint(0);
+    for (int i = 0; i < kRounds; ++i) {
+      locks.lock_write("contended", who, std::chrono::seconds(30));
+      locks.unlock_write("contended", who);
+    }
+  });
+  std::thread trying([&] {
+    const Endpoint who = endpoint(1);
+    for (int i = 0; i < kRounds; ++i) {
+      if (locks.try_lock_write("contended", who)) {
+        try_wins.fetch_add(1);
+        locks.unlock_write("contended", who);
+      }
+    }
+  });
+  blocking.join();
+  trying.join();
+  EXPECT_FALSE(locks.write_locked("contended"));
+  EXPECT_LE(try_wins.load(), kRounds);
+}
+
+}  // namespace
+}  // namespace cods

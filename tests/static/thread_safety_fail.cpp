@@ -1,0 +1,28 @@
+// Deliberately mis-annotated sample — this file MUST FAIL to compile
+// under `clang++ -fsyntax-only -Wthread-safety -Werror` (it touches a
+// guarded field without holding its mutex). The CI clang-threadsafety job
+// compiles it and asserts a non-zero exit: proof that the analysis is
+// actually enforcing the annotations, not silently accepting everything.
+//
+// Not part of any CMake target; never built by GCC.
+#include "common/sync.hpp"
+
+namespace cods {
+
+class BadCounter {
+ public:
+  // -Wthread-safety error: writing `value_` requires holding `mutex_`.
+  void increment_unlocked() { ++value_; }
+
+  // Correctly guarded counterpart, for contrast.
+  void increment() {
+    MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  Mutex mutex_{"test.bad_counter"};
+  long value_ CODS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace cods

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Lock-discipline and determinism lint for src/ (docs/CONCURRENCY.md).
+
+Rule 1 — lock discipline: raw standard locking primitives (std::mutex,
+std::lock_guard, <condition_variable>, ...) are allowed only in
+src/common/sync.hpp, which wraps them behind the annotated Mutex /
+SharedMutex / MutexLock / CondVar types. Everything else must go through
+the wrappers so Clang's -Wthread-safety analysis and the lock-order
+registry see every acquisition.
+
+Rule 2 — determinism: model code must not read wall clocks or libc
+randomness (std::chrono::system_clock, time(), rand(), ...). The platform
+model is a pure function of its inputs; simulated time comes from the cost
+model and seeds come from explicit config. std::chrono::steady_clock is
+permitted: real-time wait deadlines (recv timeouts) are liveness bounds,
+not model inputs.
+
+A line ending in a `check_sync:allow` comment is exempt (used by
+sync.hpp / lock_order.cpp for their own internals). Scope is src/ only:
+tests may use raw threads freely and bench/ keeps a deliberate
+std::mutex baseline for comparison.
+
+Usage: tools/lint/check_sync.py [repo_root]   (exit 1 on any violation)
+"""
+
+import pathlib
+import re
+import sys
+
+ALLOW_MARKER = "check_sync:allow"
+
+# The wrapper layer itself: the only files allowed to touch the raw
+# primitives (SYNC_RULES skipped; DETERMINISM_RULES still apply).
+SYNC_EXEMPT = {"src/common/sync.hpp", "src/common/lock_order.cpp"}
+
+# (pattern, message) — applied per line to every .hpp/.cpp under src/.
+SYNC_RULES = [
+    (
+        re.compile(
+            r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+            r"recursive_timed_mutex|shared_timed_mutex)\b"
+        ),
+        "raw standard mutex; use cods::Mutex / cods::SharedMutex "
+        "(src/common/sync.hpp)",
+    ),
+    (
+        re.compile(r"std::(lock_guard|scoped_lock|unique_lock|shared_lock)\b"),
+        "raw standard lock guard; use cods::MutexLock / WriterLock / "
+        "ReaderLock (src/common/sync.hpp)",
+    ),
+    (
+        re.compile(r"std::condition_variable(_any)?\b"),
+        "raw condition variable; use cods::CondVar (src/common/sync.hpp)",
+    ),
+    (
+        re.compile(r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"),
+        "raw locking header; include common/sync.hpp instead",
+    ),
+]
+
+DETERMINISM_RULES = [
+    (
+        re.compile(r"std::chrono::system_clock\b"),
+        "wall clock in model code; model time comes from the cost model "
+        "(steady_clock is allowed for liveness deadlines)",
+    ),
+    (
+        re.compile(r"\b(gettimeofday|clock_gettime)\s*\("),
+        "wall clock in model code; model time comes from the cost model",
+    ),
+    (
+        re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"),
+        "wall clock in model code; model time comes from the cost model",
+    ),
+    (
+        re.compile(r"\b(std::)?s?rand\s*\("),
+        "libc randomness; seeds must come from explicit config "
+        "(see FaultSpec::seed / SplitMix in the codebase)",
+    ),
+    (
+        re.compile(r"std::random_device\b"),
+        "non-deterministic seed source; seeds must come from explicit config",
+    ),
+]
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    errors = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [f"{path}: not valid UTF-8"]
+    rules = list(DETERMINISM_RULES)
+    if path.relative_to(root).as_posix() not in SYNC_EXEMPT:
+        rules = SYNC_RULES + rules
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if ALLOW_MARKER in line:
+            continue
+        for pattern, message in rules:
+            if pattern.search(line):
+                errors.append(f"{path}:{lineno}: {message}")
+    return errors
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"check_sync: no src/ under {root}", file=sys.stderr)
+        return 2
+    errors = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in (".hpp", ".cpp", ".h", ".cc"):
+            errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"check_sync: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_sync: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
