@@ -6,11 +6,12 @@
 // mapping removes most of it, so total network traffic drops sharply even
 // though CAP2's halo traffic grows.
 #include "paper_config.hpp"
+#include "trace_support.hpp"
 
 using namespace cods;
 using namespace cods::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Figure 14: concurrent scenario — network communication "
               "breakdown\n");
   rule();
@@ -29,5 +30,13 @@ int main() {
   rule();
   std::printf("paper: transferring coupled data dominates under round-robin;"
               "\n       data-centric mapping slashes the overall cost\n");
+  // --trace-out <path>: additionally run the scenario live (scaled down)
+  // with structured tracing and export a Perfetto-loadable timeline plus
+  // the span-derived phase decomposition (docs/TRACING.md).
+  const std::string trace_path = trace_out_path(argc, argv);
+  if (!trace_path.empty()) {
+    return run_traced_breakdown(/*sequential=*/false,
+                                MappingStrategy::kDataCentric, trace_path);
+  }
   return 0;
 }

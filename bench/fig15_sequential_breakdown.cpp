@@ -2,11 +2,12 @@
 // cost breakdown (network bytes), inter-application coupling vs
 // intra-application near-neighbour exchange, per mapping strategy.
 #include "paper_config.hpp"
+#include "trace_support.hpp"
 
 using namespace cods;
 using namespace cods::bench;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Figure 15: sequential scenario — network communication "
               "breakdown\n");
   rule();
@@ -26,5 +27,13 @@ int main() {
   std::printf("paper: coupled-data redistribution dominates under "
               "round-robin;\n       data-centric mapping slashes the overall "
               "cost\n");
+  // --trace-out <path>: additionally run the scenario live (scaled down)
+  // with structured tracing and export a Perfetto-loadable timeline plus
+  // the span-derived phase decomposition (docs/TRACING.md).
+  const std::string trace_path = trace_out_path(argc, argv);
+  if (!trace_path.empty()) {
+    return run_traced_breakdown(/*sequential=*/true,
+                                MappingStrategy::kDataCentric, trace_path);
+  }
   return 0;
 }

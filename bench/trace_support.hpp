@@ -1,0 +1,132 @@
+// Live traced companion runs for the breakdown figures (docs/TRACING.md):
+// `--trace-out <path>` runs a scaled-down live version of the figure's
+// scenario with structured tracing on, writes the Perfetto-loadable
+// Chrome trace, prints the span-derived per-wave phase decomposition, and
+// cross-checks the span ledger against the TransferLog journal and the
+// Metrics registry before returning. The figures' default (modeled,
+// paper-scale) output is unchanged when the flag is absent.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "apps/synthetic.hpp"
+#include "paper_config.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/export.hpp"
+#include "workflow/engine.hpp"
+
+namespace cods::bench {
+
+/// Returns the value of `--trace-out` (`--trace-out=path` or
+/// `--trace-out path`), or an empty string when the flag is absent.
+inline std::string trace_out_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) return argv[i] + 12;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+/// Scaled-down live run of the figure's scenario shape: same coupling
+/// structure and strategy, tasks and domain shrunk so real threads and
+/// real data movement finish in milliseconds.
+inline int run_traced_breakdown(bool sequential, MappingStrategy strategy,
+                                const std::string& out_path) {
+  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0, 0}, {31, 31, 31}});
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  DagSpec dag;
+  if (sequential) {
+    // SAP1 -> SAP2 + SAP3 at 1/64 the task count.
+    server.register_app(app(1, "SAP1", {32, 32, 32}, {2, 2, 2}),
+                        make_pattern_producer({{"field"}, 1, true, 1}));
+    server.register_app(
+        app(2, "SAP2", {32, 32, 32}, {2, 2, 1}),
+        make_pattern_consumer({{"field"}, 1, true, 1, mismatches, nullptr}),
+        /*consumes_var=*/"field");
+    server.register_app(
+        app(3, "SAP3", {32, 32, 32}, {1, 2, 2}),
+        make_pattern_consumer({{"field"}, 1, true, 1, mismatches, nullptr}),
+        /*consumes_var=*/"field");
+    for (i32 a : {1, 2, 3}) dag.add_app(a);
+    dag.add_dependency(1, 2);
+    dag.add_dependency(1, 3);
+  } else {
+    // CAP1 + CAP2 bundled, coupled through the continuous operators.
+    server.register_app(app(1, "CAP1", {32, 32, 32}, {2, 2, 2}),
+                        make_pattern_producer({{"field"}, 1, false, 1}));
+    server.register_app(
+        app(2, "CAP2", {32, 32, 32}, {2, 2, 1}),
+        make_pattern_consumer({{"field"}, 1, false, 1, mismatches, nullptr}));
+    dag.add_app(1);
+    dag.add_app(2);
+    dag.add_bundle({1, 2});
+  }
+
+  TraceRecorder trace;
+  TransferLog log(1 << 20);
+  WorkflowOptions options;
+  options.strategy = strategy;
+  options.trace = &trace;
+  options.transfer_log = &log;
+  server.run(dag, options);
+
+  if (mismatches->load() != 0) {
+    std::printf("TRACED RUN FAILED: %llu verification mismatches\n",
+                static_cast<unsigned long long>(mismatches->load()));
+    return 1;
+  }
+
+  write_chrome_trace(trace, out_path);
+  const auto spans = trace.snapshot();
+  const TraceAnalysis analysis = analyze_trace(spans);
+
+  std::printf("\ntraced live run (scaled down, %s, %s):\n",
+              sequential ? "sequential" : "concurrent",
+              to_string(strategy).c_str());
+  std::printf("%s", analysis.report().c_str());
+  std::printf("chrome trace: %s (%zu spans)\n", out_path.c_str(),
+              spans.size());
+
+  // Cross-check 1: the span ledger must reconcile exactly with the
+  // TransferLog journal recorded by the same run.
+  const std::string diag = reconcile_with_transfer_log(spans, log.snapshot());
+  if (!diag.empty()) {
+    std::printf("RECONCILIATION FAILED: %s\n", diag.c_str());
+    return 1;
+  }
+  // Cross-check 2: per-app payload bytes from the spans must equal the
+  // Metrics registry (the always-on accounting path).
+  std::map<i32, u64> span_inter_shm, span_inter_net;
+  for (const WaveBreakdown& wave : analysis.waves) {
+    for (const WaveAppBytes& wa : wave.apps) {
+      span_inter_shm[wa.app_id] += wa.inter_shm;
+      span_inter_net[wa.app_id] += wa.inter_net;
+    }
+  }
+  for (const auto& [app_id, shm] : span_inter_shm) {
+    const ByteCounters m = metrics.counters(app_id, TrafficClass::kInterApp);
+    if (shm != m.shm_bytes || span_inter_net[app_id] != m.net_bytes) {
+      std::printf(
+          "METRICS CROSS-CHECK FAILED: app %d spans %llu/%llu shm/net vs "
+          "metrics %llu/%llu\n",
+          app_id, static_cast<unsigned long long>(shm),
+          static_cast<unsigned long long>(span_inter_net[app_id]),
+          static_cast<unsigned long long>(m.shm_bytes),
+          static_cast<unsigned long long>(m.net_bytes));
+      return 1;
+    }
+  }
+  std::printf("ledger reconciled: %llu transfer(s) match the journal and "
+              "the metrics registry\n",
+              static_cast<unsigned long long>(analysis.ledger_spans));
+  return 0;
+}
+
+}  // namespace cods::bench

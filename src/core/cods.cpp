@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <set>
 
+#include "trace/trace.hpp"
+
 namespace cods {
 
 namespace {
+
+bool point_less(const Point& a, const Point& b) {
+  for (int d = 0; d < a.nd && d < b.nd; ++d) {
+    if (a[d] != b[d]) return a[d] < b[d];
+  }
+  return a.nd < b.nd;
+}
+
+bool box_less(const Box& a, const Box& b) {
+  if (!(a.lb == b.lb)) return point_less(a.lb, b.lb);
+  return point_less(a.ub, b.ub);
+}
 
 u64 fnv1a(const void* data, size_t len, u64 seed = 0xcbf29ce484222325ULL) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -142,7 +156,17 @@ std::vector<CodsSpace::ContEntry> CodsSpace::wait_cont_coverage(
         entries.push_back(ContEntry{r.box, r.producer, r.window_key});
       }
       // Producers own disjoint regions, so coverage sums without overlap.
-      if (covered >= region.volume()) return entries;
+      if (covered >= region.volume()) {
+        // Entries accumulate in producer-arrival order, which depends on
+        // thread scheduling; return them in a canonical order so pull
+        // schedules (and the trace/ledger streams built from them) are
+        // deterministic.
+        std::sort(entries.begin(), entries.end(),
+                  [](const ContEntry& a, const ContEntry& b) {
+                    return box_less(a.box, b.box);
+                  });
+        return entries;
+      }
     }
     if (cont_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       fail("get_cont timed out waiting for producers to cover " +
@@ -347,14 +371,16 @@ PutResult CodsClient::put_seq(const std::string& var, i32 version,
                               u64 elem_size) {
   CODS_REQUIRE(data.size() == box_bytes(box, elem_size),
                "data size does not match box");
+  ScopedSpan span(SpanCategory::kPut, data.size(), /*detail=*/1);
   const i32 node = self_.loc.node;
   const DataLocation loc = space_->store_object(
       node, var, version, box, {data.begin(), data.end()});
-  // The store lands on the producer's own node: a shared-memory movement.
-  space_->dart().metrics().record(app_id_, TrafficClass::kInterApp,
-                                  data.size(), /*via_network=*/false);
+  // The store lands on the producer's own node: a shared-memory movement,
+  // accounted through the dart funnel so the journal and trace see it too.
   double time = space_->dart().cost_model().flow_time(
       Flow{self_.loc, loc.owner_loc, data.size()});
+  space_->dart().record(app_id_, TrafficClass::kInterApp, self_.loc,
+                        loc.owner_loc, data.size(), time);
   // Register with every responsible DHT core (control RPCs).
   const auto nodes = space_->dht().owner_nodes(box);
   for (i32 dht_node : nodes) {
@@ -365,6 +391,7 @@ PutResult CodsClient::put_seq(const std::string& var, i32 version,
   result.model_time = time;
   result.bytes = data.size();
   result.dht_cores = static_cast<i32>(nodes.size());
+  span.close(result.model_time);
   return result;
 }
 
@@ -374,12 +401,14 @@ PutResult CodsClient::put_cont(const std::string& var, i32 version,
                                u64 elem_size) {
   CODS_REQUIRE(data.size() == box_bytes(box, elem_size),
                "data size does not match box");
+  ScopedSpan span(SpanCategory::kPut, data.size(), /*detail=*/2);
   space_->post_cont(var, version, box, {data.begin(), data.end()}, self_);
   PutResult result;
   // Publication is asynchronous registration: no data crosses cores until
   // consumers pull, so only a negligible local cost is modelled.
   result.model_time = space_->dart().cost_model().params().shm_latency;
   result.bytes = data.size();
+  span.close(result.model_time);
   return result;
 }
 
@@ -423,6 +452,8 @@ GetResult CodsClient::get_seq(const std::string& var, i32 version,
                               u64 elem_size) {
   CODS_REQUIRE(out.size() >= box_bytes(region, elem_size),
                "output buffer too small");
+  ScopedSpan span(SpanCategory::kGet, box_bytes(region, elem_size),
+                  /*detail=*/1);
   const std::string key = cache_key(var, region, elem_size);
 
   // Schedule-cache fast path: reuse the source list, recompute this
@@ -443,6 +474,7 @@ GetResult CodsClient::get_seq(const std::string& var, i32 version,
         GetResult result =
             pull_schedule(it->second, var, version, region, out, elem_size);
         result.cache_hit = true;
+        span.close(result.model_time);
         return result;
       }
       cache_.erase(it);
@@ -498,6 +530,14 @@ GetResult CodsClient::get_seq(const std::string& var, i32 version,
              "stored data does not cover the requested region " +
                  region.to_string() + " of '" + var + "' v" +
                  std::to_string(version));
+  // DHT location order depends on concurrent producer interleaving; pull
+  // in a canonical order so flows, spans and the journal are
+  // deterministic (the modelled batch time is order-independent, but its
+  // floating-point evaluation is not).
+  std::sort(schedule.entries.begin(), schedule.entries.end(),
+            [](const ScheduleEntry& a, const ScheduleEntry& b) {
+              return box_less(a.overlap, b.overlap);
+            });
 
   GetResult result = pull_schedule(schedule, var, version, region, out,
                                    elem_size);
@@ -506,6 +546,7 @@ GetResult CodsClient::get_seq(const std::string& var, i32 version,
       lookup_hit ? 0 : static_cast<i32>(lookup.dht_nodes.size());
   result.lookup_cache_hit = lookup_hit;
   if (cache_enabled_) cache_[key] = std::move(schedule);
+  span.close(result.model_time);
   return result;
 }
 
@@ -514,6 +555,8 @@ GetResult CodsClient::get_cont(const std::string& var, i32 version,
                                u64 elem_size) {
   CODS_REQUIRE(out.size() >= box_bytes(region, elem_size),
                "output buffer too small");
+  ScopedSpan span(SpanCategory::kGet, box_bytes(region, elem_size),
+                  /*detail=*/2);
   const std::string key = cache_key(var, region, elem_size);
 
   if (cache_enabled_) {
@@ -535,6 +578,7 @@ GetResult CodsClient::get_cont(const std::string& var, i32 version,
         GetResult result =
             pull_schedule(it->second, var, version, region, out, elem_size);
         result.cache_hit = true;
+        span.close(result.model_time);
         return result;
       }
       cache_.erase(it);
@@ -552,6 +596,7 @@ GetResult CodsClient::get_cont(const std::string& var, i32 version,
   GetResult result =
       pull_schedule(schedule, var, version, region, out, elem_size);
   if (cache_enabled_) cache_[key] = std::move(schedule);
+  span.close(result.model_time);
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "core/lock_service.hpp"
 
+#include "trace/trace.hpp"
+
 namespace cods {
 
 void LockService::account(const Endpoint& who, const std::string& name) {
@@ -22,6 +24,9 @@ LockService::LockState& LockService::state(const std::string& name) {
 
 void LockService::lock_read(const std::string& name, const Endpoint& who,
                             std::chrono::seconds timeout) {
+  // The span's modelled duration is the acquisition RPC; the real
+  // blocking below is wall time and never moves the virtual clock.
+  ScopedSpan span(SpanCategory::kLockWait, 0, /*detail=*/1);
   account(who, name);
   MutexLock lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -37,6 +42,7 @@ void LockService::lock_read(const std::string& name, const Endpoint& who,
 
 void LockService::lock_write(const std::string& name, const Endpoint& who,
                              std::chrono::seconds timeout) {
+  ScopedSpan span(SpanCategory::kLockWait, 0, /*detail=*/2);
   account(who, name);
   MutexLock lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;

@@ -4,6 +4,8 @@
 #include <map>
 #include <tuple>
 
+#include "trace/trace.hpp"
+
 namespace cods {
 
 void HybridDart::expose(i32 client_id, u64 key, std::span<std::byte> window) {
@@ -34,12 +36,18 @@ bool HybridDart::has_window(i32 client_id, u64 key) const {
 }
 
 void HybridDart::record(i32 app_id, TrafficClass cls, const CoreLoc& src,
-                        const CoreLoc& dst, u64 bytes, double model_time) {
+                        const CoreLoc& dst, u64 bytes, double model_time,
+                        bool overlay) {
   const bool net = select_transport(src, dst) == TransportKind::kRdma;
   metrics_->record(app_id, cls, bytes, net);
   if (TransferLog* log = transfer_log()) {
     log->record(
         TransferRecord{src, dst, bytes, net, cls, app_id, model_time});
+  }
+  if (TraceContext* trace = TraceContext::current()) {
+    trace->leaf(net ? SpanCategory::kTransferNet : SpanCategory::kTransferShm,
+                model_time, bytes, cls, app_id, /*sequential=*/!overlay,
+                TraceFlags::kLedger, pack_loc(src.node, src.core));
   }
 }
 
@@ -79,6 +87,8 @@ double HybridDart::admit_op(FaultSite site, const Endpoint& local,
 double HybridDart::get(const Endpoint& local, i32 app_id, TrafficClass cls,
                        const Endpoint& remote, u64 key, u64 offset,
                        std::span<std::byte> dst) {
+  ScopedSpan span(SpanCategory::kGet, dst.size(),
+                  pack_loc(remote.loc.node, remote.loc.core));
   const double penalty =
       admit_op(FaultSite::kGet, local, remote, app_id, cls, dst.size());
   {
@@ -93,12 +103,15 @@ double HybridDart::get(const Endpoint& local, i32 app_id, TrafficClass cls,
   }
   const double time = model_.flow_time(Flow{remote.loc, local.loc, dst.size()});
   record(app_id, cls, remote.loc, local.loc, dst.size(), time);
+  span.close(penalty + time);
   return penalty + time;
 }
 
 double HybridDart::put(const Endpoint& local, i32 app_id, TrafficClass cls,
                        const Endpoint& remote, u64 key, u64 offset,
                        std::span<const std::byte> src) {
+  ScopedSpan span(SpanCategory::kPut, src.size(),
+                  pack_loc(remote.loc.node, remote.loc.core));
   const double penalty =
       admit_op(FaultSite::kPut, local, remote, app_id, cls, src.size());
   {
@@ -110,10 +123,15 @@ double HybridDart::put(const Endpoint& local, i32 app_id, TrafficClass cls,
   }
   const double time = model_.flow_time(Flow{local.loc, remote.loc, src.size()});
   record(app_id, cls, local.loc, remote.loc, src.size(), time);
+  span.close(penalty + time);
   return penalty + time;
 }
 
 double HybridDart::pull(std::span<PullOp> ops) {
+  u64 total_bytes = 0;
+  for (const PullOp& op : ops) total_bytes += op.bytes;
+  ScopedSpan span(SpanCategory::kPull, total_bytes,
+                  static_cast<u32>(ops.size()));
   double penalty = 0.0;
   if (fault_injector() != nullptr) {
     for (const PullOp& op : ops) {
@@ -155,13 +173,19 @@ double HybridDart::pull(std::span<PullOp> ops) {
   }
   if (coalesced > 0) metrics_->add_count(0, coalesced_id_, coalesced);
   const double time = model_.batch_time(flows);
+  // Overlay leaves: each op's record shares the batch interval — the
+  // batch completes as one concurrent transfer, so per-op leaves must
+  // not stack sequentially on the virtual clock.
   for (const PullOp& op : ops) {
-    record(op.app_id, op.cls, op.remote.loc, op.local.loc, op.bytes, time);
+    record(op.app_id, op.cls, op.remote.loc, op.local.loc, op.bytes, time,
+           /*overlay=*/true);
   }
+  span.close(penalty + time);
   return penalty + time;
 }
 
 double HybridDart::rpc(const Endpoint& from, const Endpoint& to, u64 count) {
+  ScopedSpan span(SpanCategory::kRpc, 0, pack_loc(to.loc.node, to.loc.core));
   const u64 bytes =
       count * static_cast<u64>(model_.params().rpc_bytes) * 2;  // round trips
   const double penalty =
@@ -169,7 +193,9 @@ double HybridDart::rpc(const Endpoint& from, const Endpoint& to, u64 count) {
                bytes);
   metrics_->record(/*app_id=*/0, TrafficClass::kControl, bytes,
                    select_transport(from.loc, to.loc) == TransportKind::kRdma);
-  return penalty + model_.rpc_time(from.loc, to.loc, count);
+  const double time = penalty + model_.rpc_time(from.loc, to.loc, count);
+  span.close(time, bytes);
+  return time;
 }
 
 }  // namespace cods

@@ -137,6 +137,16 @@ class HybridDart {
   /// returns their modelled time.
   double rpc(const Endpoint& from, const Endpoint& to, u64 count = 1);
 
+  /// Byte-accounting funnel: metrics, the optional TransferLog journal
+  /// and (when a TraceContext is installed) a ledger trace leaf. Every
+  /// payload movement must pass through here so the three accountings
+  /// can never drift apart. `overlay` marks per-op members of a
+  /// concurrent batch: their leaves share the batch interval instead of
+  /// advancing the virtual clock.
+  void record(i32 app_id, TrafficClass cls, const CoreLoc& src,
+              const CoreLoc& dst, u64 bytes, double model_time,
+              bool overlay = false);
+
  private:
   struct Key {
     i32 client;
@@ -150,8 +160,6 @@ class HybridDart {
     }
   };
 
-  void record(i32 app_id, TrafficClass cls, const CoreLoc& src,
-              const CoreLoc& dst, u64 bytes, double model_time);
   std::span<std::byte> window_locked(i32 client_id, u64 key) const
       CODS_REQUIRES_SHARED(mutex_);
 

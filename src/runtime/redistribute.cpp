@@ -1,6 +1,7 @@
 #include "runtime/redistribute.hpp"
 
 #include "core/layout.hpp"
+#include "trace/trace.hpp"
 
 namespace cods {
 
@@ -30,6 +31,7 @@ RedistributeStats meta_redistribute_send(const Comm& world,
                                          u64 elem_size, i32 tag) {
   require_blocked(src);
   require_blocked(dst);
+  ScopedSpan span(SpanCategory::kRedistribute, 0, /*detail=*/1);
   const Box mine = single_box(src, src_rank);
   CODS_REQUIRE(data.size() >= box_bytes(mine, elem_size),
                "producer buffer too small for its owned box");
@@ -45,6 +47,7 @@ RedistributeStats meta_redistribute_send(const Comm& world,
     stats.bytes_sent += packed.size();
     ++stats.peers;
   }
+  span.close(-1.0, stats.bytes_sent);
   return stats;
 }
 
@@ -57,6 +60,7 @@ RedistributeStats meta_redistribute_recv(const Comm& world,
                                          u64 elem_size, i32 tag) {
   require_blocked(src);
   require_blocked(dst);
+  ScopedSpan span(SpanCategory::kRedistribute, 0, /*detail=*/2);
   const Box mine = single_box(dst, dst_rank);
   CODS_REQUIRE(out.size() >= box_bytes(mine, elem_size),
                "consumer buffer too small for its owned box");
@@ -72,6 +76,7 @@ RedistributeStats meta_redistribute_recv(const Comm& world,
     stats.bytes_received += m.payload.size();
     ++stats.peers;
   }
+  span.close(-1.0, stats.bytes_received);
   return stats;
 }
 

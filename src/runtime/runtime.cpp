@@ -5,6 +5,8 @@
 #include <map>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace cods {
 
 namespace {
@@ -16,6 +18,15 @@ constexpr i32 kTagBcast = (1 << kUserTagBits) + 2;
 constexpr i32 kTagSplit = (1 << kUserTagBits) + 3;
 constexpr i32 kTagScatter = (1 << kUserTagBits) + 4;
 constexpr i32 kTagAlltoall = (1 << kUserTagBits) + 5;
+
+// Collective ids carried in the kCollective span's detail field.
+constexpr u32 kOpBarrier = 1;
+constexpr u32 kOpBcast = 2;
+constexpr u32 kOpGather = 3;
+constexpr u32 kOpScatter = 4;
+constexpr u32 kOpAlltoall = 5;
+constexpr u32 kOpAllreduce = 6;
+constexpr u32 kOpSplit = 7;
 
 }  // namespace
 
@@ -67,6 +78,7 @@ void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
       if (dst_global != src_global && !payload.empty()) {
         runtime_->metrics().record(app_id_, TrafficClass::kIntraApp,
                                    payload.size(), a.node != b.node);
+        runtime_->note_transfer(app_id_, a, b, payload.size());
       }
       if (attempt > retry.max_retries) {
         runtime_->metrics().add_count(app_id_, runtime_->fault_exhausted_id());
@@ -86,11 +98,21 @@ void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
   if (dst_global != src_global && !payload.empty()) {
     runtime_->metrics().record(app_id_, TrafficClass::kIntraApp,
                                payload.size(), a.node != b.node);
+    runtime_->note_transfer(app_id_, a, b, payload.size());
   }
   runtime_->mailbox(dst_global).push(std::move(m));
 }
 
 Message Comm::recv(i32 src, i32 tag) const {
+  Message m = recv_impl(src, tag);
+  if (TraceContext* trace = TraceContext::current()) {
+    trace->instant(SpanCategory::kRecv, m.payload.size(),
+                   static_cast<u32>(m.src_global + 1));
+  }
+  return m;
+}
+
+Message Comm::recv_impl(i32 src, i32 tag) const {
   CODS_REQUIRE(valid(), "invalid communicator");
   const i32 src_global = src == kAnySource ? kAnySource : global_rank(src);
   Mailbox& box = runtime_->mailbox(global_rank(my_index_));
@@ -118,6 +140,7 @@ Message Comm::recv(i32 src, i32 tag) const {
 }
 
 void Comm::barrier() const {
+  ScopedSpan span(SpanCategory::kCollective, 0, kOpBarrier);
   // Linear gather to rank 0 followed by a broadcast release.
   gather(0, {});
   std::vector<std::byte> token;
@@ -126,6 +149,7 @@ void Comm::barrier() const {
 
 void Comm::bcast(i32 root, std::vector<std::byte>& data) const {
   CODS_REQUIRE(valid(), "invalid communicator");
+  ScopedSpan span(SpanCategory::kCollective, data.size(), kOpBcast);
   if (my_index_ == root) {
     for (i32 r = 0; r < size(); ++r) {
       if (r == root) continue;
@@ -140,6 +164,7 @@ void Comm::bcast(i32 root, std::vector<std::byte>& data) const {
 std::vector<std::vector<std::byte>> Comm::gather(
     i32 root, std::span<const std::byte> contribution) const {
   CODS_REQUIRE(valid(), "invalid communicator");
+  ScopedSpan span(SpanCategory::kCollective, contribution.size(), kOpGather);
   std::vector<std::vector<std::byte>> result;
   if (my_index_ == root) {
     result.resize(static_cast<size_t>(size()));
@@ -159,6 +184,7 @@ std::vector<std::vector<std::byte>> Comm::gather(
 std::vector<std::byte> Comm::scatter(
     i32 root, const std::vector<std::vector<std::byte>>& chunks) const {
   CODS_REQUIRE(valid(), "invalid communicator");
+  ScopedSpan span(SpanCategory::kCollective, 0, kOpScatter);
   if (my_index_ == root) {
     CODS_REQUIRE(static_cast<i32>(chunks.size()) == size(),
                  "scatter needs one chunk per rank at the root");
@@ -176,6 +202,7 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
   CODS_REQUIRE(valid(), "invalid communicator");
   CODS_REQUIRE(static_cast<i32>(send_bufs.size()) == size(),
                "alltoallv needs one buffer per rank");
+  ScopedSpan span(SpanCategory::kCollective, 0, kOpAlltoall);
   // Buffered sends: fire them all, then drain the receives.
   for (i32 r = 0; r < size(); ++r) {
     if (r == my_index_) continue;
@@ -195,6 +222,7 @@ namespace {
 
 template <typename T, typename Op>
 T allreduce(const Comm& comm, T value, Op op) {
+  ScopedSpan span(SpanCategory::kCollective, sizeof(T), kOpAllreduce);
   const auto bytes =
       std::span(reinterpret_cast<const std::byte*>(&value), sizeof(T));
   auto contributions = comm.gather(0, bytes);
@@ -240,6 +268,7 @@ double Comm::allreduce_min(double value) const {
 
 Comm Comm::split(i32 color, i32 key) const {
   CODS_REQUIRE(valid(), "invalid communicator");
+  ScopedSpan span(SpanCategory::kCollective, 0, kOpSplit);
   struct Entry {
     i32 color;
     i32 key;
@@ -371,6 +400,25 @@ std::vector<RankFailure> Runtime::run_collect(
               return a.global_rank < b.global_rank;
             });
   return failures;
+}
+
+void Runtime::note_transfer(i32 app_id, const CoreLoc& src, const CoreLoc& dst,
+                            u64 bytes) {
+  TransferLog* log = transfer_log();
+  TraceContext* trace = TraceContext::current();
+  if (log == nullptr && trace == nullptr) return;
+  const bool net = src.node != dst.node;
+  const double time = model_.flow_time(Flow{src, dst, bytes});
+  if (log != nullptr) {
+    log->record(TransferRecord{src, dst, bytes, net, TrafficClass::kIntraApp,
+                               app_id, time});
+  }
+  if (trace != nullptr) {
+    trace->leaf(net ? SpanCategory::kTransferNet : SpanCategory::kTransferShm,
+                time, bytes, TrafficClass::kIntraApp, app_id,
+                /*sequential=*/true, TraceFlags::kLedger,
+                pack_loc(src.node, src.core));
+  }
 }
 
 Mailbox& Runtime::mailbox(i32 global_rank) {

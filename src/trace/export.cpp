@@ -1,0 +1,94 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace cods {
+
+namespace {
+
+// Round-trip formatting: %.17g reproduces the exact double, making the
+// export byte-deterministic for bit-equal span streams.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+const char* to_string(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kInterApp:
+      return "inter";
+    case TrafficClass::kIntraApp:
+      return "intra";
+    case TrafficClass::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+void append_event(std::string& out, const TraceSpan& s) {
+  const bool instant = (s.flags & TraceFlags::kInstant) != 0;
+  out += R"({"name":")";
+  out += to_string(s.cat);
+  out += R"(","cat":")";
+  out += to_string(s.cat);
+  out += instant ? R"(","ph":"i","s":"t","ts":)" : R"(","ph":"X","ts":)";
+  append_double(out, s.begin * 1e6);
+  if (!instant) {
+    out += R"(,"dur":)";
+    append_double(out, s.duration * 1e6);
+  }
+  out += R"(,"pid":)";
+  out += std::to_string(s.node + 1);
+  out += R"(,"tid":)";
+  out += std::to_string(s.core + 1);
+  out += R"(,"args":{"id":)";
+  out += std::to_string(s.id);
+  out += R"(,"parent":)";
+  out += std::to_string(s.parent);
+  out += R"(,"bytes":)";
+  out += std::to_string(s.bytes);
+  out += R"(,"app":)";
+  out += std::to_string(s.app_id);
+  out += R"(,"class":")";
+  out += to_string(s.cls);
+  out += R"(","flags":)";
+  out += std::to_string(s.flags);
+  out += R"(,"detail":)";
+  out += std::to_string(s.detail);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceSpan>& spans) {
+  std::vector<TraceSpan> sorted = spans;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceSpan& a, const TraceSpan& b) { return a.id < b.id; });
+  std::string out;
+  out.reserve(sorted.size() * 160 + 64);
+  out += R"({"displayTimeUnit":"ms","traceEvents":[)";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",\n";
+    append_event(out, sorted[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string to_chrome_trace(TraceRecorder& recorder) {
+  return to_chrome_trace(recorder.snapshot());
+}
+
+void write_chrome_trace(TraceRecorder& recorder, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  CODS_REQUIRE(out.good(), "cannot open trace output file " + path);
+  out << to_chrome_trace(recorder);
+  CODS_REQUIRE(out.good(), "failed writing trace output file " + path);
+}
+
+}  // namespace cods

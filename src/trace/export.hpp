@@ -1,0 +1,25 @@
+// Chrome trace_event JSON export of a recorded span stream — loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Timelines are grouped
+// pid = node + 1 (pid 0 is the workflow server), tid = core + 1; virtual
+// seconds are exported as microseconds. The output is a canonical,
+// byte-deterministic function of the span stream: spans are ordered by
+// id and doubles are printed with round-trip precision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cods {
+
+/// Serializes spans (any order; sorted internally) to trace_event JSON.
+std::string to_chrome_trace(const std::vector<TraceSpan>& spans);
+
+/// snapshot() + to_chrome_trace.
+std::string to_chrome_trace(TraceRecorder& recorder);
+
+/// Writes the export to `path`; throws on I/O failure.
+void write_chrome_trace(TraceRecorder& recorder, const std::string& path);
+
+}  // namespace cods

@@ -155,7 +155,8 @@ Placement WorkflowServer::map_wave(
 }
 
 std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
-    const Placement& placement, const WorkflowOptions& options) {
+    const Placement& placement, const WorkflowOptions& options, i32 wave_index,
+    i32 attempt, u64 wave_span_id, double wave_start) {
   // Deterministic task order defines global ranks.
   std::vector<TaskId> tasks;
   std::vector<CoreLoc> cores;
@@ -167,9 +168,26 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
   if (options.fault != nullptr) {
     runtime.set_fault(options.fault, options.retry);
   }
+  runtime.set_transfer_log(options.transfer_log);
   const auto failures = runtime.run_collect(cores, [&](RankCtx& ctx) {
     const TaskId task = tasks[static_cast<size_t>(ctx.global_rank)];
     const RegisteredApp& reg = app(task.app_id);
+    // One trace track per (wave, attempt, rank): ids and virtual clocks
+    // are then independent of thread scheduling, and a failover re-run
+    // does not collide with the first attempt's spans.
+    std::optional<TraceContext> tctx;
+    if (options.trace != nullptr) {
+      const u64 track = (static_cast<u64>(wave_index + 1) << 24) |
+                        (static_cast<u64>(attempt) << 16) |
+                        static_cast<u64>(ctx.global_rank);
+      tctx.emplace(*options.trace, track, wave_start, wave_span_id,
+                   task.app_id, ctx.loc.node, ctx.loc.core);
+    }
+    // Declared after tctx so the task span closes before the context
+    // detaches; everything the subroutine records nests under it.
+    ScopedSpan task_span(
+        SpanCategory::kTask, 0,
+        (static_cast<u32>(task.app_id) << 16) | static_cast<u32>(task.rank));
     // Color by app id, order by task rank: the paper's dynamic grouping.
     Comm comm = ctx.world.split(task.app_id, task.rank);
     comm.set_app_id(task.app_id);
@@ -217,6 +235,19 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
   placements_.clear();
   space_.set_reexecution(false);
   space_.dart().set_batch_threshold(options.dart_batch_threshold);
+  if (options.transfer_log != nullptr) {
+    // Only attach when the caller provided a journal: tests that hook a
+    // log directly onto the transport must keep it across run().
+    space_.dart().set_transfer_log(options.transfer_log);
+  }
+  // The server's own trace track (key 0) holds the wave spans; task spans
+  // recorded by execution clients parent under them.
+  std::optional<TraceContext> server_ctx;
+  if (options.trace != nullptr) {
+    server_ctx.emplace(*options.trace, /*track_key=*/0, /*start_clock=*/0.0,
+                       /*root_parent=*/0, /*app_id=*/0, /*node=*/-1,
+                       /*core=*/-1);
+  }
   if (options.fault != nullptr) {
     // Space-side fault integration: transfers consult the injector, and
     // blocking waits are bounded so a dead producer surfaces as an Error.
@@ -251,9 +282,19 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
     std::stringstream snapshot;
     if (options.fault != nullptr) space_.save_checkpoint(snapshot);
 
+    double wave_start = 0.0;
+    u64 wave_span_id = 0;
+    if (server_ctx) {
+      wave_start = server_ctx->clock();
+      wave_span_id = server_ctx->begin(SpanCategory::kWave, 0,
+                                       static_cast<u32>(wave_index));
+    }
+
     std::vector<std::vector<i32>> to_run = wave;
     for (;;) {
-      const auto failures = execute_wave(placement, options);
+      const auto failures =
+          execute_wave(placement, options, wave_index, report.attempts - 1,
+                       wave_span_id, wave_start);
       if (failures.empty()) break;
       report.failed_tasks += static_cast<i32>(failures.size());
 
@@ -327,6 +368,14 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
       space_.set_reexecution(true);
     }
     space_.set_reexecution(false);
+    if (server_ctx) {
+      // The wave ends when its last child span ends: drain the rank rings
+      // and extend the server-side wave span to cover them.
+      options.trace->flush();
+      const double wave_end =
+          options.trace->max_end_with_parent(wave_span_id, wave_start);
+      server_ctx->end(wave_end - wave_start);
+    }
     reports_.push_back(std::move(report));
     ++wave_index;
   }

@@ -9,6 +9,7 @@
 
 #include "core/cods.hpp"
 #include "runtime/runtime.hpp"
+#include "trace/trace.hpp"
 #include "workflow/mapping.hpp"
 
 namespace cods {
@@ -42,6 +43,15 @@ struct WorkflowOptions {
   /// (HybridDart::set_batch_threshold, docs/PERF.md). 0 disables. Byte
   /// accounting and modelled times are invariant under this knob.
   u64 dart_batch_threshold = 0;
+  /// Optional structured-event tracing (docs/TRACING.md). When set, the
+  /// engine opens one span per wave and per task and every instrumented
+  /// layer (dart, runtime, cods client, lock service, redistribution)
+  /// records into the recorder. Near-zero cost when null.
+  TraceRecorder* trace = nullptr;
+  /// Optional per-transfer journal covering the whole run: attached to
+  /// the transport and to every wave's runtime so dart transfers and
+  /// point-to-point sends land in one reconcilable log.
+  TransferLog* transfer_log = nullptr;
 };
 
 /// Record of how one scheduling wave was executed.
@@ -105,7 +115,9 @@ class WorkflowServer {
                      const std::vector<i32>& allowed_nodes);
   std::vector<NodeBytes> dht_node_bytes(const RegisteredApp& consumer);
   std::vector<TaskFailure> execute_wave(const Placement& placement,
-                                        const WorkflowOptions& options);
+                                        const WorkflowOptions& options,
+                                        i32 wave_index, i32 attempt,
+                                        u64 wave_span_id, double wave_start);
   void record_placements(const std::vector<std::vector<i32>>& wave,
                          const Placement& placement);
 

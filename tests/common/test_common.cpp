@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -88,6 +89,49 @@ TEST(Rng, UniformInUnitInterval) {
     sum += u;
   }
   EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowResamplesPastTheBiasThreshold) {
+  // A bound just above 2^63 rejects about half of all 64-bit draws, so
+  // the anti-modulo-bias resampling loop actually loops while every
+  // returned value still lands in range.
+  Rng rng(123);
+  const u64 bound = (u64{1} << 63) + 1;
+  for (int i = 0; i < 64; ++i) ASSERT_LT(rng.below(bound), bound);
+}
+
+TEST(Log, ThresholdKeepsWarnDropsDebug) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  CODS_LOG_DEBUG << "dropped";
+  CODS_LOG_WARN << "kept " << 42;
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "[cods W] kept 42\n");
+  set_log_level(prev);
+}
+
+TEST(Log, EverySeverityGetsItsTag) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  CODS_LOG_DEBUG << "d";
+  CODS_LOG_INFO << "i";
+  CODS_LOG_WARN << "w";
+  CODS_LOG_ERROR << "e";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(),
+            "[cods D] d\n[cods I] i\n[cods W] w\n[cods E] e\n");
+  set_log_level(prev);
+}
+
+TEST(Log, OffSilencesTheSink) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  CODS_LOG_ERROR << "below the off threshold";
+  LogRecord(LogLevel::kOff) << "kOff records are never emitted";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  set_log_level(prev);
 }
 
 }  // namespace

@@ -192,5 +192,30 @@ TEST_F(LockOrderTest, DisabledTrackingRecordsNothing) {
   EXPECT_EQ(lock_order::cycles_reported(), 0u);
 }
 
+int g_counted_cycles = 0;
+void counting_handler(const std::string&) { ++g_counted_cycles; }
+
+TEST_F(LockOrderTest, NonAbortingHandlerLetsExecutionContinue) {
+  // A handler that merely records (a logging deployment) must not stop
+  // the acquiring thread: the inversion is reported, the offending edge
+  // is left out of the graph, and the lock is still taken.
+  lock_order::set_cycle_handler(&counting_handler);
+  g_counted_cycles = 0;
+  const std::size_t before = lock_order::cycles_reported();
+  Mutex a{"order.cont.a"};
+  Mutex b{"order.cont.b"};
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // inversion: handler fires, acquisition proceeds
+  }
+  EXPECT_EQ(g_counted_cycles, 1);
+  EXPECT_EQ(lock_order::cycles_reported(), before + 1);
+  EXPECT_EQ(lock_order::edge_count(), 1u);  // the cycle edge is not kept
+}
+
 }  // namespace
 }  // namespace cods

@@ -259,5 +259,48 @@ TEST_F(DartFaultTest, NoInjectorIsByteIdenticalToInactiveInjector) {
   EXPECT_TRUE(inactive.trace().empty());
 }
 
+TEST(FaultSite, NamesCoverEverySiteAndRejectUnknown) {
+  EXPECT_EQ(to_string(FaultSite::kGet), "get");
+  EXPECT_EQ(to_string(FaultSite::kPut), "put");
+  EXPECT_EQ(to_string(FaultSite::kPull), "pull");
+  EXPECT_EQ(to_string(FaultSite::kRpc), "rpc");
+  EXPECT_EQ(to_string(FaultSite::kSend), "send");
+  EXPECT_EQ(to_string(static_cast<FaultSite>(99)), "?");
+}
+
+TEST(FaultEvent, DefaultIsTransientWithNoNode) {
+  const FaultEvent e;
+  EXPECT_EQ(e.kind, FaultKind::kTransient);
+  EXPECT_EQ(e.node, -1);
+  EXPECT_EQ(e.op_index, 0u);
+  EXPECT_EQ(e.site, FaultSite::kGet);
+}
+
+TEST(FaultInjector, WaveAccessorTracksBeginWave) {
+  FaultInjector injector(FaultSpec{});
+  injector.begin_wave(5);
+  EXPECT_EQ(injector.wave(), 5);
+  injector.begin_wave(6);
+  EXPECT_EQ(injector.wave(), 6);
+}
+
+TEST(FaultInjector, UnknownSiteHasZeroFailureProbability) {
+  // An out-of-range site maps to probability 0: the injector treats it
+  // as infallible rather than crashing or failing spuriously.
+  FaultInjector injector(transient_spec(1.0));
+  injector.begin_wave(0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(injector.on_op(static_cast<FaultSite>(99), 0, 0, 1));
+  }
+  EXPECT_TRUE(injector.trace().empty());
+}
+
+TEST(FaultInjector, TraceStringNamesCrashes) {
+  FaultInjector injector(FaultSpec{});
+  injector.begin_wave(2);
+  injector.declare_dead(3);
+  EXPECT_EQ(injector.trace_string(), "wave 2 crash node 3\n");
+}
+
 }  // namespace
 }  // namespace cods

@@ -1,0 +1,158 @@
+// Property tests over recorded span streams: across many seeds and both
+// coupling shapes, every exported stream must satisfy the structural
+// invariants the analyzer and exporter rely on — non-negative durations,
+// unique ids, children nested inside their parents, instants of zero
+// length, and a critical path never longer than the wave that contains
+// it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+
+#include "apps/synthetic.hpp"
+#include "trace/critical_path.hpp"
+#include "workflow/engine.hpp"
+
+namespace cods {
+namespace {
+
+AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
+                 std::vector<i32> procs) {
+  AppSpec app;
+  app.app_id = id;
+  app.name = std::move(name);
+  app.dec = blocked(std::move(extents), std::move(procs));
+  return app;
+}
+
+std::vector<TraceSpan> run_workload(u64 seed) {
+  Cluster cluster(ClusterSpec{.num_nodes = 3, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  // Vary the shape with the seed: coupling style, producer decomposition
+  // and version count all change, so the invariants are checked over
+  // genuinely different span streams.
+  const bool sequential = seed % 2 == 0;
+  const i32 nversions = 1 + static_cast<i32>(seed % 3);
+  const std::vector<i32> procs =
+      seed % 3 == 0 ? std::vector<i32>{2, 2} : std::vector<i32>{4, 1};
+  server.register_app(make_app(1, "sim", {16, 16}, procs),
+                      make_pattern_producer(
+                          {{"field"}, nversions, sequential, seed}));
+  server.register_app(
+      make_app(2, "analysis", {16, 16}, {2, 1}),
+      make_pattern_consumer(
+          {{"field"}, nversions, sequential, seed, mismatches, nullptr}),
+      /*consumes_var=*/"field");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  if (sequential) {
+    dag.add_dependency(1, 2);
+  } else {
+    dag.add_bundle({1, 2});
+  }
+
+  TraceRecorder trace;
+  WorkflowOptions options;
+  options.seed = seed;
+  options.strategy = seed % 2 == 0 ? MappingStrategy::kDataCentric
+                                   : MappingStrategy::kRoundRobin;
+  options.trace = &trace;
+  server.run(dag, options);
+  EXPECT_EQ(mismatches->load(), 0u) << "seed " << seed;
+  return trace.snapshot();
+}
+
+void check_stream_invariants(const std::vector<TraceSpan>& spans) {
+  ASSERT_FALSE(spans.empty());
+  std::map<u64, const TraceSpan*> by_id;
+  for (const TraceSpan& s : spans) {
+    EXPECT_GE(s.duration, 0.0) << "span " << s.id << " ends before it begins";
+    EXPECT_NE(s.id, 0u);
+    EXPECT_TRUE(by_id.emplace(s.id, &s).second) << "id reused: " << s.id;
+    if ((s.flags & TraceFlags::kInstant) != 0) {
+      EXPECT_DOUBLE_EQ(s.duration, 0.0);
+    }
+    if ((s.flags & TraceFlags::kLedger) != 0) {
+      EXPECT_TRUE(s.cat == SpanCategory::kTransferShm ||
+                  s.cat == SpanCategory::kTransferNet);
+    }
+  }
+  size_t nested = 0;
+  for (const TraceSpan& s : spans) {
+    if (s.parent == 0) continue;
+    const auto it = by_id.find(s.parent);
+    ASSERT_NE(it, by_id.end()) << "span " << s.id << " has unknown parent";
+    const TraceSpan& p = *it->second;
+    // Strict nesting on the virtual clock: children never leak outside
+    // their container, exactly (the recorder clamps container ends over
+    // child ends, so no epsilon is needed).
+    EXPECT_GE(s.begin, p.begin) << "span " << s.id << " begins before parent";
+    EXPECT_LE(s.end(), p.end()) << "span " << s.id << " ends after parent";
+    ++nested;
+  }
+  EXPECT_GT(nested, 0u);
+}
+
+void check_analysis_invariants(const std::vector<TraceSpan>& spans) {
+  const TraceAnalysis analysis = analyze_trace(spans);
+  ASSERT_FALSE(analysis.waves.empty());
+  EXPECT_GT(analysis.total_time, 0.0);
+  EXPECT_GT(analysis.ledger_spans, 0u);
+  double wave_sum = 0.0;
+  for (const WaveBreakdown& wave : analysis.waves) {
+    wave_sum += wave.duration;
+    EXPECT_NE(wave.critical_task, 0u);
+    // The critical subtree's attributed time can never exceed the wave
+    // that contains it (modulo floating-point accumulation).
+    EXPECT_LE(wave.critical_time.total(),
+              wave.duration * (1.0 + 1e-9) + 1e-12);
+    // Serializing every task is at least as long as the critical one.
+    EXPECT_GE(wave.time.total(),
+              wave.critical_time.total() * (1.0 - 1e-9) - 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(analysis.total_time, wave_sum);
+  EXPECT_LE(analysis.critical_length,
+            analysis.total_time * (1.0 + 1e-9) + 1e-12);
+  EXPECT_GT(analysis.critical_length, 0.0);
+}
+
+TEST(SpanProperties, InvariantsHoldAcrossSeedsAndShapes) {
+  for (u64 seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::vector<TraceSpan> spans = run_workload(seed);
+    check_stream_invariants(spans);
+    check_analysis_invariants(spans);
+  }
+}
+
+TEST(SpanProperties, SnapshotIsSortedAndStable) {
+  const std::vector<TraceSpan> spans = run_workload(4);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].id, spans[i].id);
+  }
+}
+
+TEST(SpanProperties, EveryTaskBelongsToAWave) {
+  const std::vector<TraceSpan> spans = run_workload(6);
+  std::map<u64, const TraceSpan*> by_id;
+  for (const TraceSpan& s : spans) by_id[s.id] = &s;
+  size_t tasks = 0;
+  for (const TraceSpan& s : spans) {
+    if (s.cat != SpanCategory::kTask) continue;
+    ++tasks;
+    const auto it = by_id.find(s.parent);
+    ASSERT_NE(it, by_id.end());
+    EXPECT_EQ(it->second->cat, SpanCategory::kWave);
+    EXPECT_GE(s.node, 0);  // tasks carry their placement
+    EXPECT_GE(s.core, 0);
+  }
+  // 4 producer + 2 consumer tasks in the seed-6 shape.
+  EXPECT_EQ(tasks, 6u);
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage report over a gcov-instrumented build.
+
+Walks a build tree for .gcda counter files (produced by running the test
+suite against a build configured with --coverage), asks gcov for JSON
+intermediate records, merges line counts per source file (headers are
+seen by many translation units; counts add), and reports line coverage
+aggregated per top-level directory under src/.
+
+Thresholds make the report a gate: `--require src/trace=90` fails the
+run (exit 1) if src/trace's line coverage is below 90%. Repeatable.
+
+Usage:
+  tools/coverage/coverage_report.py --build-dir build-cov [repo_root]
+      [--require src/trace=90] [--gcov gcov-12]
+
+Requires only gcov (no gcovr/lcov).
+"""
+
+import argparse
+import collections
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("root", nargs="?", default=".",
+                        help="repository root (default: .)")
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree containing .gcda files")
+    parser.add_argument("--gcov", default="gcov", help="gcov executable")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="DIR=PCT",
+                        help="fail if DIR's line coverage is below PCT "
+                             "(e.g. src/trace=90); repeatable")
+    parser.add_argument("--show-files", action="store_true",
+                        help="also print per-file coverage")
+    return parser.parse_args()
+
+
+def run_gcov(gcov: str, gcda: pathlib.Path) -> list[dict]:
+    """One gcov invocation -> list of parsed JSON documents."""
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout", str(gcda)],
+        capture_output=True, text=True, cwd=gcda.parent)
+    if proc.returncode != 0:
+        print(f"coverage: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return []
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return docs
+
+
+def main() -> int:
+    args = parse_args()
+    root = pathlib.Path(args.root).resolve()
+    build = pathlib.Path(args.build_dir)
+    if not build.is_absolute():
+        build = (root / build).resolve()
+    if not build.is_dir():
+        print(f"coverage: build dir {build} does not exist", file=sys.stderr)
+        return 2
+
+    gcdas = sorted(build.rglob("*.gcda"))
+    if not gcdas:
+        print(f"coverage: no .gcda files under {build}; run the test suite "
+              "against a --coverage build first", file=sys.stderr)
+        return 2
+
+    # line counts per source file: {path: {line: count}}
+    lines: dict[str, dict[int, int]] = collections.defaultdict(
+        lambda: collections.defaultdict(int))
+    for gcda in gcdas:
+        for doc in run_gcov(args.gcov, gcda):
+            for record in doc.get("files", []):
+                path = pathlib.Path(record["file"])
+                if not path.is_absolute():
+                    # gcov records paths relative to the compilation dir;
+                    # resolve against the repo root (the common case for
+                    # in-tree sources compiled via CMake).
+                    path = (root / path).resolve()
+                try:
+                    rel = path.resolve().relative_to(root).as_posix()
+                except ValueError:
+                    continue  # system/third-party header
+                if not rel.startswith("src/"):
+                    continue
+                merged = lines[rel]
+                for entry in record.get("lines", []):
+                    merged[entry["line_number"]] += entry["count"]
+
+    if not lines:
+        print("coverage: no src/ lines found in gcov output", file=sys.stderr)
+        return 2
+
+    def top_dir(rel: str) -> str:
+        parts = rel.split("/")
+        return "/".join(parts[:2]) if len(parts) > 2 else "src"
+
+    per_dir_total: dict[str, int] = collections.defaultdict(int)
+    per_dir_covered: dict[str, int] = collections.defaultdict(int)
+    per_file = {}
+    for rel, counts in sorted(lines.items()):
+        total = len(counts)
+        covered = sum(1 for c in counts.values() if c > 0)
+        per_file[rel] = (covered, total)
+        per_dir_total[top_dir(rel)] += total
+        per_dir_covered[top_dir(rel)] += covered
+
+    print(f"{'directory':<18} {'lines':>8} {'covered':>8} {'coverage':>9}")
+    print("-" * 47)
+    grand_total = grand_covered = 0
+    pct_by_dir = {}
+    for d in sorted(per_dir_total):
+        total = per_dir_total[d]
+        covered = per_dir_covered[d]
+        pct = 100.0 * covered / total if total else 0.0
+        pct_by_dir[d] = pct
+        grand_total += total
+        grand_covered += covered
+        print(f"{d:<18} {total:>8} {covered:>8} {pct:>8.1f}%")
+    print("-" * 47)
+    grand_pct = 100.0 * grand_covered / grand_total if grand_total else 0.0
+    print(f"{'total':<18} {grand_total:>8} {grand_covered:>8} "
+          f"{grand_pct:>8.1f}%")
+
+    if args.show_files:
+        print()
+        for rel, (covered, total) in sorted(per_file.items()):
+            pct = 100.0 * covered / total if total else 0.0
+            print(f"  {rel:<48} {covered:>6}/{total:<6} {pct:>6.1f}%")
+
+    failures = []
+    for req in args.require:
+        if "=" not in req:
+            print(f"coverage: bad --require '{req}' (want DIR=PCT)",
+                  file=sys.stderr)
+            return 2
+        target_dir, _, pct_text = req.partition("=")
+        want = float(pct_text)
+        have = pct_by_dir.get(target_dir)
+        if have is None:
+            failures.append(f"{target_dir}: no coverage data")
+        elif have < want:
+            failures.append(
+                f"{target_dir}: {have:.1f}% < required {want:.1f}%")
+    if failures:
+        for f in failures:
+            print(f"coverage FAIL: {f}", file=sys.stderr)
+        return 1
+    if args.require:
+        print("coverage: all thresholds met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

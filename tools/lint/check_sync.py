@@ -21,11 +21,13 @@ tests may use raw threads freely and bench/ keeps a deliberate
 std::mutex baseline for comparison.
 
 Usage: tools/lint/check_sync.py [repo_root]   (exit 1 on any violation)
+       tools/lint/check_sync.py --self-test  (verify every rule fires)
 """
 
 import pathlib
 import re
 import sys
+import tempfile
 
 ALLOW_MARKER = "check_sync:allow"
 
@@ -102,7 +104,79 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
     return errors
 
 
+# One line that must trip each rule, in SYNC_RULES + DETERMINISM_RULES
+# order. The self-test fails if a rule regex rots and stops matching its
+# canonical violation, or if the allow-marker / exemption logic breaks.
+SELF_TEST_BAIT = [
+    "std::mutex m;",
+    "std::lock_guard g(m);",
+    "std::condition_variable cv;",
+    "#include <mutex>",
+    "auto t = std::chrono::system_clock::now();",
+    "gettimeofday(&tv, nullptr);",
+    "time(nullptr);",
+    "int r = rand();",
+    "std::random_device rd;",
+]
+
+
+def self_test() -> int:
+    """Scan a synthetic tree and verify each rule fires exactly once,
+    allow-marked lines are skipped, and SYNC_EXEMPT files only get the
+    determinism rules."""
+    rules = SYNC_RULES + DETERMINISM_RULES
+    assert len(SELF_TEST_BAIT) == len(rules), "bait list out of date"
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        # 1. Every rule must fire on its bait line, and only that rule
+        #    (baits are crafted to be mutually exclusive per rule family).
+        for i, (bait, (pattern, _)) in enumerate(zip(SELF_TEST_BAIT, rules)):
+            path = root / "src" / f"bait_{i}.cpp"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(bait + "\n", encoding="utf-8")
+            errors = check_file(path, root)
+            if len(errors) != 1:
+                failures.append(
+                    f"rule {i} ({pattern.pattern!r}): expected 1 hit on "
+                    f"{bait!r}, got {errors}")
+            path.unlink()
+        # 2. The allow marker must suppress every rule.
+        allowed = root / "src" / "allowed.cpp"
+        allowed.write_text(
+            "".join(f"{b}  // check_sync:allow\n" for b in SELF_TEST_BAIT),
+            encoding="utf-8")
+        errors = check_file(allowed, root)
+        if errors:
+            failures.append(f"allow marker did not suppress: {errors}")
+        # 3. A SYNC_EXEMPT file skips the sync rules but still gets the
+        #    determinism rules.
+        exempt = root / "src" / "common" / "sync.hpp"
+        assert exempt.relative_to(root).as_posix() in SYNC_EXEMPT
+        exempt.parent.mkdir(parents=True)
+        exempt.write_text("std::mutex m;\nint r = rand();\n", encoding="utf-8")
+        errors = check_file(exempt, root)
+        if len(errors) != 1 or "randomness" not in errors[0]:
+            failures.append(
+                f"exempt file: expected only the rand() hit, got {errors}")
+        # 4. A clean file produces nothing.
+        clean = root / "src" / "clean.cpp"
+        clean.write_text("#include \"common/sync.hpp\"\nMutex m{\"x\"};\n",
+                         encoding="utf-8")
+        errors = check_file(clean, root)
+        if errors:
+            failures.append(f"clean file flagged: {errors}")
+    for failure in failures:
+        print(f"check_sync self-test FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"check_sync: self-test OK ({len(rules)} rules verified)")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--self-test":
+        return self_test()
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     src = root / "src"
     if not src.is_dir():
