@@ -1,0 +1,17 @@
+#include "common/blocking.hpp"
+
+namespace cods::blocking {
+
+namespace {
+thread_local Observer* t_observer = nullptr;
+}  // namespace
+
+Observer* current() { return t_observer; }
+
+Observer* install(Observer* observer) {
+  Observer* previous = t_observer;
+  t_observer = observer;
+  return previous;
+}
+
+}  // namespace cods::blocking

@@ -1,0 +1,53 @@
+// Blocking-wait observer hook (docs/PERF.md "Enactment scaling").
+//
+// Every potentially-unbounded blocking wait in src/ funnels through
+// CondVar (common/sync.hpp) — mailbox receives, collectives built on
+// them, lock-service acquisitions, space waits. A component that
+// multiplexes many logical activities over few OS threads (the
+// work-stealing executor, runtime/executor.hpp) installs a thread-local
+// Observer on its worker threads; CondVar then brackets each wait with
+// on_block()/on_unblock(), so the owner learns "this thread is parked"
+// and can hand the execution slot to a spare — the tokio/Go
+// blocking-thread escalation pattern. With no observer installed (every
+// thread outside an executor) the bracket is one thread-local load and a
+// branch.
+#pragma once
+
+namespace cods::blocking {
+
+/// Receiver of block/unblock notifications for one thread. on_block() is
+/// called *before* the thread parks and may run under arbitrary caller
+/// locks, so implementations must only touch leaf locks of the hierarchy
+/// (docs/CONCURRENCY.md); on_unblock() runs right after the wait returns.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void on_block() = 0;
+  virtual void on_unblock() = 0;
+};
+
+/// The observer installed on the current thread (nullptr = none).
+Observer* current();
+
+/// Installs `observer` on the current thread and returns the previous one
+/// (restore it when the scope ends; installations nest).
+Observer* install(Observer* observer);
+
+/// RAII bracket around one blocking wait. Constructed by CondVar before
+/// parking; destroyed after the wait returns.
+class ScopedBlock {
+ public:
+  ScopedBlock() : observer_(current()) {
+    if (observer_ != nullptr) observer_->on_block();
+  }
+  ~ScopedBlock() {
+    if (observer_ != nullptr) observer_->on_unblock();
+  }
+  ScopedBlock(const ScopedBlock&) = delete;
+  ScopedBlock& operator=(const ScopedBlock&) = delete;
+
+ private:
+  Observer* observer_;
+};
+
+}  // namespace cods::blocking

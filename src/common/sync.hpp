@@ -23,6 +23,7 @@
 #include <mutex>               // check_sync:allow — wrapped by Mutex
 #include <shared_mutex>        // check_sync:allow — wrapped by SharedMutex
 
+#include "common/blocking.hpp"
 #include "common/lock_order.hpp"
 
 // Clang exposes the analysis through attributes; other compilers see
@@ -182,12 +183,20 @@ class CODS_SCOPED_CAPABILITY ReaderLock {
 /// Condition variable paired with Mutex/MutexLock. Waiting re-acquires
 /// through the raw handle (the capability state is unchanged across a
 /// wait, matching the analysis' view).
+///
+/// Every wait is bracketed by blocking::ScopedBlock: CondVar is the one
+/// place all unbounded waits in src/ pass through, so notifying the
+/// thread's blocking::Observer here covers mailbox receives, collectives,
+/// lock-service and space waits without per-site instrumentation. The
+/// on_block() callback runs while the caller's mutex is still held, so
+/// observers may only take leaf locks (see blocking.hpp).
 class CondVar {
  public:
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }
 
   void wait(MutexLock& lock) {
+    blocking::ScopedBlock block;
     std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
     cv_.wait(native);
     native.release();
@@ -195,6 +204,7 @@ class CondVar {
 
   template <typename Pred>
   void wait(MutexLock& lock, Pred pred) {
+    blocking::ScopedBlock block;
     std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
     cv_.wait(native, std::move(pred));
     native.release();
@@ -203,6 +213,7 @@ class CondVar {
   template <typename Clock, typename Duration>
   std::cv_status wait_until(
       MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    blocking::ScopedBlock block;
     std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
     const std::cv_status status = cv_.wait_until(native, tp);
     native.release();

@@ -31,14 +31,23 @@ IndexSpan CodsDht::node_interval(i32 node) const {
 }
 
 std::vector<i32> CodsDht::owner_nodes(const Box& query) const {
-  std::set<i32> nodes;
+  // On the path of every insert and query. Each span covers a contiguous
+  // [first, last] owner range, so sorting the few ranges and emitting the
+  // uncovered suffix of each keeps the output ascending and unique
+  // without funnelling node ids one by one through a std::set.
+  std::vector<std::pair<i32, i32>> ranges;
   for (const IndexSpan& span :
        box_spans(curve_, query, granularity_log2_)) {
-    const i32 first = owner_node(span.lo);
-    const i32 last = owner_node(span.hi);
-    for (i32 n = first; n <= last; ++n) nodes.insert(n);
+    ranges.emplace_back(owner_node(span.lo), owner_node(span.hi));
   }
-  return {nodes.begin(), nodes.end()};
+  std::sort(ranges.begin(), ranges.end());
+  std::vector<i32> nodes;
+  for (const auto& [first, last] : ranges) {
+    const i32 start =
+        nodes.empty() ? first : std::max(first, nodes.back() + 1);
+    for (i32 n = start; n <= last; ++n) nodes.push_back(n);
+  }
+  return nodes;
 }
 
 i32 CodsDht::insert(const std::string& var, i32 version,

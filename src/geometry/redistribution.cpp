@@ -13,8 +13,13 @@ struct DimAdjacency {
   std::vector<std::vector<std::pair<i32, i64>>> adj;
 };
 
-DimAdjacency dim_adjacency(const Decomposition& src, const Decomposition& dst,
-                           int d, i64 lo, i64 hi) {
+/// Reference build: every (ra, rb) pair, closed-form overlap count per
+/// src segment. O(pa * pb * segs-per-proc); kept as the oracle for the
+/// sweep (tests/geometry/test_redistribution_sweep.cpp) and as the
+/// better choice when one side has few procs but many segments.
+DimAdjacency dim_adjacency_allpairs(const Decomposition& src,
+                                    const Decomposition& dst, int d, i64 lo,
+                                    i64 hi) {
   DimAdjacency out;
   const i32 pa = src.dim(d).nprocs;
   const i32 pb = dst.dim(d).nprocs;
@@ -32,24 +37,109 @@ DimAdjacency dim_adjacency(const Decomposition& src, const Decomposition& dst,
   return out;
 }
 
+/// Sweep build: ownership partitions [lo, hi] on each side, so the two
+/// tagged segment lists are disjoint and, once sorted, a two-pointer
+/// merge emits every overlapping (src seg, dst seg) piece — at most
+/// Sa + Sb of them — in O((Sa + Sb) log(Sa + Sb)) total, instead of
+/// touching all pa * pb pairs.
+DimAdjacency dim_adjacency_sweep(const Decomposition& src,
+                                 const Decomposition& dst, int d, i64 lo,
+                                 i64 hi) {
+  struct TaggedSeg {
+    i64 lo;
+    i64 hi;
+    i32 proc;
+  };
+  const i32 pa = src.dim(d).nprocs;
+  const i32 pb = dst.dim(d).nprocs;
+  std::vector<TaggedSeg> sa;
+  std::vector<TaggedSeg> sb;
+  for (i32 ra = 0; ra < pa; ++ra) {
+    for (const Segment& s : src.owned_segments_dim(d, ra, lo, hi)) {
+      sa.push_back(TaggedSeg{s.first, s.second, ra});
+    }
+  }
+  for (i32 rb = 0; rb < pb; ++rb) {
+    for (const Segment& s : dst.owned_segments_dim(d, rb, lo, hi)) {
+      sb.push_back(TaggedSeg{s.first, s.second, rb});
+    }
+  }
+  const auto by_lo = [](const TaggedSeg& a, const TaggedSeg& b) {
+    return a.lo < b.lo;
+  };
+  std::sort(sa.begin(), sa.end(), by_lo);
+  std::sort(sb.begin(), sb.end(), by_lo);
+
+  DimAdjacency out;
+  out.adj.resize(static_cast<size_t>(pa));
+  size_t i = 0;
+  size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const i64 l = std::max(sa[i].lo, sb[j].lo);
+    const i64 h = std::min(sa[i].hi, sb[j].hi);
+    if (l <= h) {
+      out.adj[static_cast<size_t>(sa[i].proc)].emplace_back(sb[j].proc,
+                                                            h - l + 1);
+    }
+    if (sa[i].hi < sb[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  // A cyclic layout visits the same (ra, rb) pair once per cycle; fold
+  // the pieces so each row is ascending in rb with one entry per dst
+  // proc — byte-identical to the all-pairs build.
+  for (auto& row : out.adj) {
+    std::sort(row.begin(), row.end());
+    size_t w = 0;
+    for (size_t k = 0; k < row.size(); ++k) {
+      if (w > 0 && row[w - 1].first == row[k].first) {
+        row[w - 1].second += row[k].second;
+      } else {
+        row[w++] = row[k];
+      }
+    }
+    row.resize(w);
+  }
+  return out;
+}
+
+/// Upper-bound estimate of the tagged segment count one side contributes
+/// to the sweep: one segment per (proc, cycle) intersecting [lo, hi].
+i64 segment_estimate(const Decomposition& dec, int d, i64 lo, i64 hi) {
+  const i64 len = hi - lo + 1;
+  if (len <= 0) return 0;
+  const i64 cycle = dec.effective_block(d) * dec.dim(d).nprocs;
+  const i64 cycles = len / cycle + 2;
+  return std::min<i64>(len, cycles * dec.dim(d).nprocs);
+}
+
+DimAdjacency dim_adjacency(const Decomposition& src, const Decomposition& dst,
+                           int d, i64 lo, i64 hi) {
+  const i64 src_segs = segment_estimate(src, d, lo, hi);
+  const i64 sweep_cost = src_segs + segment_estimate(dst, d, lo, hi);
+  const i64 allpairs_cost =
+      static_cast<i64>(src.dim(d).nprocs) * dst.dim(d).nprocs +
+      static_cast<i64>(dst.dim(d).nprocs) * src_segs;
+  // The sweep wins whenever segment counts track proc counts (blocked
+  // layouts — the common case). An element-cyclic dst over a huge domain
+  // with few procs is the one shape where enumerating its segments costs
+  // more than the closed-form pair table; keep the old build there.
+  if (sweep_cost <= allpairs_cost) {
+    return dim_adjacency_sweep(src, dst, d, lo, hi);
+  }
+  return dim_adjacency_allpairs(src, dst, d, lo, hi);
+}
+
 }  // namespace
 
-std::vector<TransferVolume> redistribution_volumes(
-    const Decomposition& src, const Decomposition& dst,
-    const std::optional<Box>& region) {
-  CODS_REQUIRE(src.ndim() == dst.ndim(),
-               "coupled decompositions must share dimensionality");
+namespace {
+
+std::vector<TransferVolume> volumes_from_adjacency(
+    const std::vector<DimAdjacency>& per_dim, const Decomposition& src,
+    const Decomposition& dst) {
   const int nd = src.ndim();
-  const Box window = region ? *region : src.domain_box();
-  CODS_REQUIRE(window.ndim() == nd, "region dimensionality mismatch");
-
-  std::vector<DimAdjacency> per_dim;
-  per_dim.reserve(static_cast<size_t>(nd));
-  for (int d = 0; d < nd; ++d) {
-    per_dim.push_back(
-        dim_adjacency(src, dst, d, window.lb[d], window.ub[d]));
-  }
-
   std::vector<TransferVolume> out;
   // Enumerate src ranks; for each, walk the product of its per-dim adjacency
   // lists, so only non-zero (src, dst) pairs are ever touched.
@@ -90,6 +180,41 @@ std::vector<TransferVolume> redistribution_volumes(
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<TransferVolume> redistribution_volumes(
+    const Decomposition& src, const Decomposition& dst,
+    const std::optional<Box>& region) {
+  CODS_REQUIRE(src.ndim() == dst.ndim(),
+               "coupled decompositions must share dimensionality");
+  const int nd = src.ndim();
+  const Box window = region ? *region : src.domain_box();
+  CODS_REQUIRE(window.ndim() == nd, "region dimensionality mismatch");
+  std::vector<DimAdjacency> per_dim;
+  per_dim.reserve(static_cast<size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    per_dim.push_back(dim_adjacency(src, dst, d, window.lb[d], window.ub[d]));
+  }
+  return volumes_from_adjacency(per_dim, src, dst);
+}
+
+std::vector<TransferVolume> redistribution_volumes_allpairs(
+    const Decomposition& src, const Decomposition& dst,
+    const std::optional<Box>& region) {
+  CODS_REQUIRE(src.ndim() == dst.ndim(),
+               "coupled decompositions must share dimensionality");
+  const int nd = src.ndim();
+  const Box window = region ? *region : src.domain_box();
+  CODS_REQUIRE(window.ndim() == nd, "region dimensionality mismatch");
+  std::vector<DimAdjacency> per_dim;
+  per_dim.reserve(static_cast<size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    per_dim.push_back(
+        dim_adjacency_allpairs(src, dst, d, window.lb[d], window.ub[d]));
+  }
+  return volumes_from_adjacency(per_dim, src, dst);
 }
 
 std::vector<Segment> intersect_segments(const std::vector<Segment>& a,

@@ -198,37 +198,67 @@ std::vector<i32> initial_partition(const Graph& g, i32 nparts,
   return part;
 }
 
-/// Greedy boundary refinement (FM-style single-vertex moves).
+/// Per-vertex connectivity to each neighbouring part: a small vector of
+/// (part, summed edge weight), ascending by part, entries > 0 only.
+using PartConn = std::vector<std::pair<i32, i64>>;
+
+void conn_add(PartConn& row, i32 p, i64 w) {
+  auto it = std::lower_bound(
+      row.begin(), row.end(), p,
+      [](const std::pair<i32, i64>& a, i32 b) { return a.first < b; });
+  if (it != row.end() && it->first == p) {
+    it->second += w;
+    if (it->second == 0) row.erase(it);
+  } else {
+    row.insert(it, {p, w});
+  }
+}
+
+i64 conn_to(const PartConn& row, i32 p) {
+  auto it = std::lower_bound(
+      row.begin(), row.end(), p,
+      [](const std::pair<i32, i64>& a, i32 b) { return a.first < b; });
+  return (it != row.end() && it->first == p) ? it->second : 0;
+}
+
+/// Greedy boundary refinement (FM-style single-vertex moves) with
+/// incrementally maintained gains: each vertex's part-connectivity row is
+/// built once, O(E), and a move only touches the mover's neighbours'
+/// rows. Interior vertices — one row entry, their own part — are
+/// rejected in O(1) per pass instead of re-scanning their edges, which
+/// is most of the graph once the partition is locally good.
 void refine(const Graph& g, std::vector<i32>& part, i32 nparts,
             std::span<const i64> caps, int passes, Rng& rng) {
   if (nparts <= 1 || g.nvtx == 0) return;
   std::vector<i64> weight = part_weights(g, part, nparts);
+  std::vector<PartConn> conn(static_cast<size_t>(g.nvtx));
+  for (i32 v = 0; v < g.nvtx; ++v) {
+    for (i64 e = g.xadj[static_cast<size_t>(v)];
+         e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
+      conn_add(conn[static_cast<size_t>(v)],
+               part[static_cast<size_t>(g.adjncy[static_cast<size_t>(e)])],
+               g.adjwgt[static_cast<size_t>(e)]);
+    }
+  }
   std::vector<i32> order(static_cast<size_t>(g.nvtx));
   std::iota(order.begin(), order.end(), 0);
-  std::vector<i64> conn(static_cast<size_t>(nparts), 0);
-  std::vector<i32> touched;
   for (int pass = 0; pass < passes; ++pass) {
     std::shuffle(order.begin(), order.end(), rng);
     bool moved = false;
     for (i32 v : order) {
       const i32 from = part[static_cast<size_t>(v)];
-      // Connectivity of v to each neighbouring part.
-      touched.clear();
-      for (i64 e = g.xadj[static_cast<size_t>(v)];
-           e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
-        const i32 p = part[static_cast<size_t>(g.adjncy[static_cast<size_t>(e)])];
-        if (conn[static_cast<size_t>(p)] == 0) touched.push_back(p);
-        conn[static_cast<size_t>(p)] += g.adjwgt[static_cast<size_t>(e)];
-      }
+      const PartConn& row = conn[static_cast<size_t>(v)];
+      if (row.empty()) continue;  // isolated vertex: no gain anywhere
+      if (row.size() == 1 && row.front().first == from) continue;  // interior
+      const i64 conn_from = conn_to(row, from);
       i32 best = from;
       i64 best_gain = 0;
-      for (i32 p : touched) {
+      for (const auto& [p, w] : row) {
         if (p == from) continue;
         if (weight[static_cast<size_t>(p)] + g.vwgt[static_cast<size_t>(v)] >
             caps[static_cast<size_t>(p)])
           continue;
-        const i64 gain = conn[static_cast<size_t>(p)] -
-                         conn[static_cast<size_t>(from)];
+        const i64 gain = w - conn_from;
         const bool better =
             gain > best_gain ||
             (gain == best_gain && gain > 0 &&
@@ -239,11 +269,17 @@ void refine(const Graph& g, std::vector<i32>& part, i32 nparts,
           best = p;
         }
       }
-      for (i32 p : touched) conn[static_cast<size_t>(p)] = 0;
       if (best != from) {
         part[static_cast<size_t>(v)] = best;
         weight[static_cast<size_t>(from)] -= g.vwgt[static_cast<size_t>(v)];
         weight[static_cast<size_t>(best)] += g.vwgt[static_cast<size_t>(v)];
+        for (i64 e = g.xadj[static_cast<size_t>(v)];
+             e < g.xadj[static_cast<size_t>(v) + 1]; ++e) {
+          PartConn& u_row =
+              conn[static_cast<size_t>(g.adjncy[static_cast<size_t>(e)])];
+          conn_add(u_row, from, -g.adjwgt[static_cast<size_t>(e)]);
+          conn_add(u_row, best, g.adjwgt[static_cast<size_t>(e)]);
+        }
         moved = true;
       }
     }

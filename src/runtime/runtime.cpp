@@ -372,29 +372,45 @@ std::vector<RankFailure> Runtime::run_collect(
   for (i32 r = 0; r < n; ++r) (*members)[static_cast<size_t>(r)] = r;
   const i64 world_id = alloc_comm_id();
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(n));
   Mutex error_mutex{"runtime.errors"};
   std::vector<RankFailure> failures;
-  for (i32 r = 0; r < n; ++r) {
-    threads.emplace_back([&, r] {
-      RankCtx ctx;
-      ctx.global_rank = r;
-      ctx.loc = placement_[static_cast<size_t>(r)];
-      ctx.runtime = this;
-      ctx.world.runtime_ = this;
-      ctx.world.comm_id_ = world_id;
-      ctx.world.my_index_ = r;
-      ctx.world.members_ = members;
-      try {
-        body(ctx);
-      } catch (...) {
-        MutexLock lock(error_mutex);
-        failures.push_back(RankFailure{r, std::current_exception()});
-      }
-    });
+  // One rank body, shared by both dispatch modes: everything a rank can
+  // observe (mailboxes, communicators, trace contexts, failure capture)
+  // is identical whether the thread under it is pooled or dedicated.
+  const auto rank_main = [&](i32 r) {
+    RankCtx ctx;
+    ctx.global_rank = r;
+    ctx.loc = placement_[static_cast<size_t>(r)];
+    ctx.runtime = this;
+    ctx.world.runtime_ = this;
+    ctx.world.comm_id_ = world_id;
+    ctx.world.my_index_ = r;
+    ctx.world.members_ = members;
+    try {
+      body(ctx);
+    } catch (...) {
+      MutexLock lock(error_mutex);
+      failures.push_back(RankFailure{r, std::current_exception()});
+    }
+  };
+  if (exec_mode_ == ExecMode::kPooled) {
+    WorkStealingExecutor executor(exec_pool_size_);
+    executor.run(n, rank_main);
+    last_exec_stats_ = executor.stats();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(n));
+    for (i32 r = 0; r < n; ++r) {
+      threads.emplace_back([&rank_main, r] { rank_main(r); });
+    }
+    for (auto& t : threads) t.join();
+    last_exec_stats_ = ExecutorStats{};
+    last_exec_stats_.pool_size = n;
+    last_exec_stats_.total_spawned = n;
+    last_exec_stats_.peak_live = n;
   }
-  for (auto& t : threads) t.join();
+  // Failure order must not depend on which thread reported first in
+  // either mode.
   std::sort(failures.begin(), failures.end(),
             [](const RankFailure& a, const RankFailure& b) {
               return a.global_rank < b.global_rank;

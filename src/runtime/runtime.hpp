@@ -19,9 +19,23 @@
 #include "platform/cost_model.hpp"
 #include "platform/metrics.hpp"
 #include "platform/transfer_log.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/mailbox.hpp"
 
 namespace cods {
+
+/// How run_collect dispatches rank bodies onto OS threads.
+enum class ExecMode {
+  /// Bounded work-stealing pool with blocking-aware escalation
+  /// (WorkStealingExecutor). The default: thread count scales with
+  /// hardware concurrency plus concurrently-blocked ranks, not with the
+  /// rank count.
+  kPooled,
+  /// One std::thread per rank — the pre-pool dispatch, kept for one
+  /// release as a fallback and as the benchmark baseline. Identical
+  /// observable behaviour (traces, ledgers, failure order).
+  kThreadPerRank,
+};
 
 class Runtime;
 
@@ -221,6 +235,21 @@ class Runtime {
       const std::vector<CoreLoc>& placement,
       const std::function<void(RankCtx&)>& body);
 
+  /// Dispatch strategy for run()/run_collect(). Set between waves, not
+  /// while ranks are running.
+  void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
+  ExecMode exec_mode() const { return exec_mode_; }
+
+  /// Worker cap for ExecMode::kPooled; <= 0 (the default) selects
+  /// WorkStealingExecutor::default_pool_size().
+  void set_exec_pool_size(i32 pool_size) { exec_pool_size_ = pool_size; }
+  i32 exec_pool_size() const { return exec_pool_size_; }
+
+  /// Thread accounting of the most recent run()/run_collect(). Under
+  /// kThreadPerRank only pool_size/total_spawned/peak_live are filled
+  /// (all equal to the rank count).
+  const ExecutorStats& last_exec_stats() const { return last_exec_stats_; }
+
   // --- internals used by Comm ---
   Mailbox& mailbox(i32 global_rank);
   CoreLoc loc(i32 global_rank) const;
@@ -242,6 +271,9 @@ class Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CoreLoc> placement_;
   std::atomic<i64> next_comm_id_{1};
+  ExecMode exec_mode_ = ExecMode::kPooled;
+  i32 exec_pool_size_ = 0;  ///< <= 0: default_pool_size()
+  ExecutorStats last_exec_stats_;
 };
 
 }  // namespace cods

@@ -44,11 +44,11 @@ const WorkflowServer::RegisteredApp& WorkflowServer::app(i32 app_id) const {
 }
 
 std::vector<NodeBytes> WorkflowServer::dht_node_bytes(
-    const RegisteredApp& consumer) {
+    const RegisteredApp& consumer, const WorkflowOptions& options) {
   // Client-side mapping input: for each task, how many bytes of its
   // required region are stored on each node (Data Lookup service, §IV-B).
   std::vector<NodeBytes> out(static_cast<size_t>(consumer.spec.ntasks()));
-  for (i32 rank = 0; rank < consumer.spec.ntasks(); ++rank) {
+  const auto rank_bytes = [&](i32 rank) {
     NodeBytes& bytes = out[static_cast<size_t>(rank)];
     for (const Box& box : consumer.spec.dec.owned_boxes(rank)) {
       const LookupResult lookup = space_.dht().query(
@@ -59,6 +59,17 @@ std::vector<NodeBytes> WorkflowServer::dht_node_bytes(
         bytes[loc.owner_loc.node] +=
             overlap->volume() * consumer.spec.elem_size;
       }
+    }
+  };
+  // Every task's lookup is independent (the DHT locks per table, each
+  // task writes only its own slot), so fan the queries out on the wave
+  // executor instead of walking thousands of tasks serially.
+  if (consumer.spec.ntasks() > 1 && options.exec_mode == ExecMode::kPooled) {
+    WorkStealingExecutor executor(options.exec_pool_size);
+    executor.run(consumer.spec.ntasks(), rank_bytes);
+  } else {
+    for (i32 rank = 0; rank < consumer.spec.ntasks(); ++rank) {
+      rank_bytes(rank);
     }
   }
   return out;
@@ -105,7 +116,7 @@ Placement WorkflowServer::map_wave(
     const RegisteredApp& reg = app(bundle.front());
     bool has_data = false;
     if (!reg.consumes_var.empty()) {
-      auto bytes = dht_node_bytes(reg);
+      auto bytes = dht_node_bytes(reg, options);
       for (const NodeBytes& nb : bytes) {
         if (!nb.empty()) has_data = true;
       }
@@ -169,6 +180,8 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
     runtime.set_fault(options.fault, options.retry);
   }
   runtime.set_transfer_log(options.transfer_log);
+  runtime.set_exec_mode(options.exec_mode);
+  runtime.set_exec_pool_size(options.exec_pool_size);
   const auto failures = runtime.run_collect(cores, [&](RankCtx& ctx) {
     const TaskId task = tasks[static_cast<size_t>(ctx.global_rank)];
     const RegisteredApp& reg = app(task.app_id);

@@ -52,6 +52,14 @@ struct WorkflowOptions {
   /// the transport and to every wave's runtime so dart transfers and
   /// point-to-point sends land in one reconcilable log.
   TransferLog* transfer_log = nullptr;
+  /// Rank dispatch for every wave (docs/PERF.md "Enactment scaling").
+  /// kPooled runs ranks on a bounded work-stealing pool; kThreadPerRank
+  /// restores the legacy one-thread-per-rank dispatch. All observable
+  /// outputs (traces, ledgers, failure handling) are identical.
+  ExecMode exec_mode = ExecMode::kPooled;
+  /// Worker cap for kPooled; <= 0 selects the hardware-concurrency
+  /// default. Also sizes the mapping-stage DHT lookup parallel-for.
+  i32 exec_pool_size = 0;
 };
 
 /// Record of how one scheduling wave was executed.
@@ -113,7 +121,8 @@ class WorkflowServer {
   Placement map_wave(const std::vector<std::vector<i32>>& wave,
                      const WorkflowOptions& options, WaveReport& report,
                      const std::vector<i32>& allowed_nodes);
-  std::vector<NodeBytes> dht_node_bytes(const RegisteredApp& consumer);
+  std::vector<NodeBytes> dht_node_bytes(const RegisteredApp& consumer,
+                                        const WorkflowOptions& options);
   std::vector<TaskFailure> execute_wave(const Placement& placement,
                                         const WorkflowOptions& options,
                                         i32 wave_index, i32 attempt,

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "core/dht.hpp"
+#include "sfc/curve.hpp"
 
 namespace cods {
 namespace {
@@ -142,6 +147,41 @@ TEST_F(DhtTest, CoarseGranularityStillFindsData) {
   coarse.insert("v", 1, l);
   const auto result = coarse.query("v", 1, Box{{6, 6}, {7, 7}});
   ASSERT_EQ(result.locations.size(), 1u);
+}
+
+/// Reference implementation of owner_nodes, the per-call std::set
+/// version the merge-based build replaced. The new build must stay
+/// element-for-element identical (ascending, unique).
+std::vector<i32> owner_nodes_via_set(const CodsDht& dht, const Box& box,
+                                     int granularity_log2) {
+  std::set<i32> nodes;
+  for (const IndexSpan& span :
+       box_spans(dht.curve(), box, granularity_log2)) {
+    for (u64 idx = span.lo; idx <= span.hi; ++idx) {
+      nodes.insert(dht.owner_node(idx));
+    }
+  }
+  return std::vector<i32>(nodes.begin(), nodes.end());
+}
+
+TEST_F(DhtTest, OwnerNodesMatchSetBasedReference) {
+  CodsDht coarse(cluster_, SfcCurve(CurveKind::kHilbert, 2, 5),
+                 /*granularity_log2=*/2);
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const i64 y0 = static_cast<i64>(rng() % 32);
+    const i64 x0 = static_cast<i64>(rng() % 32);
+    const i64 y1 = y0 + static_cast<i64>(rng() % (32 - y0));
+    const i64 x1 = x0 + static_cast<i64>(rng() % (32 - x0));
+    const Box box{{y0, x0}, {y1, x1}};
+    EXPECT_EQ(dht_.owner_nodes(box),
+              owner_nodes_via_set(dht_, box, /*granularity_log2=*/0))
+        << "trial " << trial << " box " << y0 << "," << x0 << ".." << y1
+        << "," << x1;
+    EXPECT_EQ(coarse.owner_nodes(box),
+              owner_nodes_via_set(coarse, box, /*granularity_log2=*/2))
+        << "trial " << trial << " (coarse)";
+  }
 }
 
 TEST_F(DhtTest, InsertEmptyBoxRejected) {

@@ -5,9 +5,11 @@
 // journal and the Metrics registry recorded by the same run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <set>
+#include <tuple>
 
 #include "apps/synthetic.hpp"
 #include "trace/critical_path.hpp"
@@ -37,7 +39,8 @@ struct TracedRun {
 
 /// Fig. 12 shape, scaled down: producer wave then consumer wave,
 /// sequentially coupled through put_seq/get_seq.
-TracedRun run_sequential_shape(u64 seed, TraceRecorder* shared = nullptr) {
+TracedRun run_sequential_shape(u64 seed, TraceRecorder* shared = nullptr,
+                               ExecMode exec_mode = ExecMode::kPooled) {
   Cluster cluster(ClusterSpec{.num_nodes = 3, .cores_per_node = 4});
   Metrics metrics;
   WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
@@ -62,6 +65,7 @@ TracedRun run_sequential_shape(u64 seed, TraceRecorder* shared = nullptr) {
   options.seed = seed;
   options.trace = &trace;
   options.transfer_log = &log;
+  options.exec_mode = exec_mode;
   server.run(dag, options);
 
   TracedRun out;
@@ -78,7 +82,7 @@ TracedRun run_sequential_shape(u64 seed, TraceRecorder* shared = nullptr) {
 
 /// Fig. 8 shape: producer and consumer bundled into one concurrent wave,
 /// coupled through put_cont/get_cont.
-TracedRun run_bundle_shape(u64 seed) {
+TracedRun run_bundle_shape(u64 seed, ExecMode exec_mode = ExecMode::kPooled) {
   Cluster cluster(ClusterSpec{.num_nodes = 3, .cores_per_node = 4});
   Metrics metrics;
   WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
@@ -101,6 +105,7 @@ TracedRun run_bundle_shape(u64 seed) {
   options.seed = seed;
   options.trace = &trace;
   options.transfer_log = &log;
+  options.exec_mode = exec_mode;
   server.run(dag, options);
 
   TracedRun out;
@@ -130,6 +135,62 @@ TEST(GoldenTrace, BundleShapeExportIsBitIdentical) {
   const TracedRun b = run_bundle_shape(11);
   EXPECT_EQ(a.mismatches, 0u);
   EXPECT_EQ(a.json, b.json);
+}
+
+/// The journal is appended concurrently, so its order is scheduling
+/// noise in both modes; compare it as a sorted multiset.
+std::vector<TransferRecord> normalized(std::vector<TransferRecord> journal) {
+  std::sort(journal.begin(), journal.end(),
+            [](const TransferRecord& a, const TransferRecord& b) {
+              return std::tie(a.src.node, a.src.core, a.dst.node, a.dst.core,
+                              a.bytes, a.via_network, a.cls, a.app_id,
+                              a.model_time) <
+                     std::tie(b.src.node, b.src.core, b.dst.node, b.dst.core,
+                              b.bytes, b.via_network, b.cls, b.app_id,
+                              b.model_time);
+            });
+  return journal;
+}
+
+void expect_same_run(const TracedRun& pooled, const TracedRun& legacy) {
+  EXPECT_EQ(pooled.mismatches, 0u);
+  EXPECT_EQ(legacy.mismatches, 0u);
+  ASSERT_FALSE(pooled.spans.empty());
+  // Span ids and virtual clocks are keyed by (wave, attempt, rank)
+  // tracks, never by threads, so the Chrome export must be bit-identical
+  // whether ranks ran on dedicated threads or on the bounded pool.
+  EXPECT_EQ(pooled.json, legacy.json);
+  const auto pooled_journal = normalized(pooled.journal);
+  const auto legacy_journal = normalized(legacy.journal);
+  ASSERT_EQ(pooled_journal.size(), legacy_journal.size());
+  for (size_t i = 0; i < pooled_journal.size(); ++i) {
+    const TransferRecord& p = pooled_journal[i];
+    const TransferRecord& l = legacy_journal[i];
+    EXPECT_EQ(p.src.node, l.src.node);
+    EXPECT_EQ(p.src.core, l.src.core);
+    EXPECT_EQ(p.dst.node, l.dst.node);
+    EXPECT_EQ(p.dst.core, l.dst.core);
+    EXPECT_EQ(p.bytes, l.bytes);
+    EXPECT_EQ(p.via_network, l.via_network);
+    EXPECT_EQ(p.app_id, l.app_id);
+  }
+  for (i32 app = 0; app < 3; ++app) {
+    EXPECT_EQ(pooled.inter[app].shm_bytes, legacy.inter[app].shm_bytes);
+    EXPECT_EQ(pooled.inter[app].net_bytes, legacy.inter[app].net_bytes);
+    EXPECT_EQ(pooled.intra[app].shm_bytes, legacy.intra[app].shm_bytes);
+    EXPECT_EQ(pooled.intra[app].net_bytes, legacy.intra[app].net_bytes);
+  }
+}
+
+TEST(GoldenTrace, SequentialShapeIdenticalAcrossExecModes) {
+  expect_same_run(
+      run_sequential_shape(21, nullptr, ExecMode::kPooled),
+      run_sequential_shape(21, nullptr, ExecMode::kThreadPerRank));
+}
+
+TEST(GoldenTrace, BundleShapeIdenticalAcrossExecModes) {
+  expect_same_run(run_bundle_shape(23, ExecMode::kPooled),
+                  run_bundle_shape(23, ExecMode::kThreadPerRank));
 }
 
 TEST(GoldenTrace, LedgerReconcilesExactlyWithTransferLog) {
