@@ -1,13 +1,17 @@
 // Binary checkpoint/restart for the CoDS sequential object store.
 // Format (little-endian, native field widths):
-//   magic "CODSCKP1" | u64 object_count
+//   magic "CODSCKP2" | u64 object_count
 //   per object: u64 var_len | var bytes | i32 version | i32 node |
 //               i32 ndim | i64 lb[ndim] | i64 ub[ndim] |
-//               u64 data_len | data bytes
+//               u64 data_len | data bytes | u32 crc32(data)
+// The v1 format ("CODSCKP1", no per-object CRC footer) is still readable;
+// new checkpoints are always written as v2.
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <tuple>
 
 #include "core/cods.hpp"
@@ -16,7 +20,27 @@ namespace cods {
 
 namespace {
 
-constexpr char kMagic[8] = {'C', 'O', 'D', 'S', 'C', 'K', 'P', '1'};
+constexpr char kMagicV1[8] = {'C', 'O', 'D', 'S', 'C', 'K', 'P', '1'};
+constexpr char kMagicV2[8] = {'C', 'O', 'D', 'S', 'C', 'K', 'P', '2'};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven. Guards each
+/// object's payload against silent corruption between save and restore.
+u32 crc32(std::span<const std::byte> data) {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      t[i] = c;
+    }
+    return t;
+  }();
+  u32 crc = 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<u32>(b)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 /// Largest plausible element size: bounds data_len against the box volume
 /// so a corrupted length field cannot drive an arbitrary allocation.
@@ -67,7 +91,7 @@ u64 CodsSpace::save_checkpoint(std::ostream& out) const {
               return std::tie(a.var, a.version, a.box.lb.c, a.box.ub.c) <
                      std::tie(b.var, b.version, b.box.lb.c, b.box.ub.c);
             });
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
   write_pod<u64>(out, entries.size());
   for (const Entry& e : entries) {
     write_pod<u64>(out, e.var.size());
@@ -80,6 +104,7 @@ u64 CodsSpace::save_checkpoint(std::ostream& out) const {
     write_pod<u64>(out, e.data.size());
     out.write(reinterpret_cast<const char*>(e.data.data()),
               static_cast<std::streamsize>(e.data.size()));
+    write_pod<u32>(out, crc32(std::span(e.data)));
   }
   CODS_CHECK(out.good(), "checkpoint write failed");
   return entries.size();
@@ -96,10 +121,13 @@ u64 CodsSpace::save_checkpoint(const std::string& path) const {
 
 CodsSpace::RestoreResult CodsSpace::restore_from_stream(
     std::istream& in, const std::function<std::optional<i32>(i32)>& remap) {
-  char magic[sizeof(kMagic)];
+  char magic[sizeof(kMagicV2)];
   in.read(magic, sizeof(magic));
-  CODS_REQUIRE(in.good() && std::equal(std::begin(magic), std::end(magic),
-                                       std::begin(kMagic)),
+  CODS_REQUIRE(in.good(), "not a CoDS checkpoint (bad magic)");
+  const bool has_crc = std::equal(std::begin(magic), std::end(magic),
+                                  std::begin(kMagicV2));
+  CODS_REQUIRE(has_crc || std::equal(std::begin(magic), std::end(magic),
+                                     std::begin(kMagicV1)),
                "not a CoDS checkpoint (bad magic)");
   const u64 count = read_pod<u64>(in);
   RestoreResult result;
@@ -141,8 +169,9 @@ CodsSpace::RestoreResult CodsSpace::restore_from_stream(
     }
     const std::optional<i32> target = exists ? std::nullopt : remap(node);
     if (!target) {
-      // Not selected for restore: skip the payload.
+      // Not selected for restore: skip the payload (and its CRC footer).
       in.ignore(static_cast<std::streamsize>(data_len));
+      if (has_crc) read_pod<u32>(in);
       CODS_CHECK(in.good(), "truncated checkpoint stream");
       continue;
     }
@@ -152,6 +181,17 @@ CodsSpace::RestoreResult CodsSpace::restore_from_stream(
     in.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(data_len));
     CODS_CHECK(in.good(), "truncated checkpoint stream");
+    if (has_crc) {
+      const u32 expected = read_pod<u32>(in);
+      if (crc32(std::span<const std::byte>(data)) != expected) {
+        // A corrupt object loses that object, not the whole restore: the
+        // caller sees the count and decides whether the wave can proceed.
+        ++result.corrupt;
+        dart_.metrics().add_count(
+            /*app_id=*/0, dart_.metrics().intern("ckpt.corrupt_skipped"));
+        continue;
+      }
+    }
     const DataLocation loc =
         store_object(*target, var, version, box, std::move(data));
     dht_.insert(var, version, loc);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "health/task_clock.hpp"
 #include "trace/trace.hpp"
 
 namespace cods {
@@ -68,9 +69,11 @@ u64 CodsSpace::window_key(const std::string& var, i32 version,
 
 DataLocation CodsSpace::store_object(i32 node, const std::string& var,
                                      i32 version, const Box& box,
-                                     std::vector<std::byte> data) {
+                                     std::vector<std::byte> data,
+                                     bool* stored) {
   const i32 client = storage_client(node);
   const u64 key = window_key(var, version, box);
+  if (stored != nullptr) *stored = true;
   std::span<std::byte> window;
   std::optional<i32> replaced_client;
   {
@@ -80,15 +83,41 @@ DataLocation CodsSpace::store_object(i32 node, const std::string& var,
         std::find_if(index.begin(), index.end(),
                      [&](const auto& e) { return e.second == key; });
     if (existing != index.end()) {
+      if (speculation_.load() && !reexec_.load()) {
+        // First completion wins: a speculative re-put of an object that
+        // already landed keeps the original (wherever it lives). The
+        // caller's traffic was already accounted; only the store and the
+        // DHT registration are skipped.
+        if (stored != nullptr) *stored = false;
+        const auto it = store_.find({existing->first, key});
+        CODS_CHECK(it != store_.end(), "store index out of sync");
+        DataLocation kept;
+        kept.box = box;
+        kept.owner_client = existing->first;
+        kept.owner_loc = CoreLoc{it->second.node, 0};
+        kept.window_key = key;
+        return kept;
+      }
       // Same (var, version, box) again: rejected, unless the engine is
       // re-executing tasks after a failure — then the re-put replaces the
       // object (possibly on a different node).
       CODS_CHECK(reexec_.load(),
                  "object already stored for this (var, version, box)");
       replaced_client = existing->first;
+      const auto it = store_.find({existing->first, key});
+      if (it != store_.end()) stored_total_ -= it->second.data.size();
       store_.erase({existing->first, key});
       index.erase(existing);
     }
+    // Shed-load watermark: recovery re-puts are exempt (restoring lost
+    // objects must never be refused for the memory they already held).
+    const u64 hard = hard_watermark_.load(std::memory_order_relaxed);
+    if (hard > 0 && !reexec_.load() && stored_total_ + data.size() > hard) {
+      const u64 held = stored_total_;
+      lock.unlock();
+      throw OverloadError(data.size(), held, hard);
+    }
+    stored_total_ += data.size();
     auto [it, inserted] =
         store_.insert({{client, key}, StoredObject{node, box, std::move(data)}});
     CODS_CHECK(inserted, "object already stored for this (var, version, box)");
@@ -118,6 +147,9 @@ void CodsSpace::post_cont(const std::string& var, i32 version, const Box& box,
                      [&](const ContRecord& r) { return r.window_key == key; });
     std::optional<Endpoint> replaced;
     if (existing != records.end()) {
+      // First completion wins under speculation: the original publication
+      // stays authoritative and the duplicate is dropped on the floor.
+      if (speculation_.load() && !reexec_.load()) return;
       // Re-publication of the same region: only valid while the engine is
       // re-executing a failed wave (the producer may have moved nodes).
       CODS_CHECK(reexec_.load(),
@@ -183,7 +215,11 @@ void CodsSpace::retire(const std::string& var, i32 version) {
     if (it != store_index_.end()) {
       for (const auto& [client, key] : it->second) {
         dart_.withdraw(client, key);
-        store_.erase({client, key});
+        const auto obj = store_.find({client, key});
+        if (obj != store_.end()) {
+          stored_total_ -= obj->second.data.size();
+          store_.erase(obj);
+        }
       }
       store_index_.erase(it);
     }
@@ -206,6 +242,31 @@ u64 CodsSpace::stored_bytes() const {
   u64 total = 0;
   for (const auto& [key, object] : store_) total += object.data.size();
   return total;
+}
+
+void CodsSpace::set_watermarks(u64 soft, u64 hard) {
+  CODS_REQUIRE(hard == 0 || soft <= hard,
+               "soft watermark must not exceed hard watermark");
+  soft_watermark_.store(soft, std::memory_order_relaxed);
+  hard_watermark_.store(hard, std::memory_order_relaxed);
+}
+
+double CodsSpace::backpressure_penalty(u64 incoming_bytes) const {
+  const u64 soft = soft_watermark_.load(std::memory_order_relaxed);
+  if (soft == 0) return 0.0;
+  u64 held;
+  {
+    MutexLock lock(store_mutex_);
+    held = stored_total_;
+  }
+  const u64 after = held + incoming_bytes;
+  if (after <= soft) return 0.0;
+  // Penalty grows linearly with overshoot past the soft watermark, in
+  // units of the shared-memory latency per soft-watermark's worth of
+  // overshoot — smooth backpressure, deterministic, no wall clocks.
+  const double unit = dart_.cost_model().params().shm_latency;
+  return unit * (static_cast<double>(after - soft) /
+                 static_cast<double>(soft));
 }
 
 void CodsSpace::note_version(const std::string& var, i32 version) {
@@ -317,6 +378,7 @@ u64 CodsSpace::drop_node(i32 node) {
     for (auto it = store_.begin(); it != store_.end();) {
       if (it->second.node == node) {
         lost += it->second.data.size();
+        stored_total_ -= it->second.data.size();
         windows.push_back(it->first);
         it = store_.erase(it);
       } else {
@@ -373,24 +435,40 @@ PutResult CodsClient::put_seq(const std::string& var, i32 version,
                "data size does not match box");
   ScopedSpan span(SpanCategory::kPut, data.size(), /*detail=*/1);
   const i32 node = self_.loc.node;
+  // Graceful degradation: above the soft watermark the space slows the
+  // producer down instead of refusing it (docs/FAULT_MODEL.md).
+  const double backpressure = space_->backpressure_penalty(data.size());
+  bool stored = true;
   const DataLocation loc = space_->store_object(
-      node, var, version, box, {data.begin(), data.end()});
+      node, var, version, box, {data.begin(), data.end()}, &stored);
   // The store lands on the producer's own node: a shared-memory movement,
   // accounted through the dart funnel so the journal and trace see it too.
-  double time = space_->dart().cost_model().flow_time(
-      Flow{self_.loc, loc.owner_loc, data.size()});
+  // A speculative put whose twin already landed still pays this movement
+  // (the bytes crossed cores before the duplicate was detected).
+  double time = backpressure +
+                space_->dart().cost_model().flow_time(
+                    Flow{self_.loc, loc.owner_loc, data.size()});
   space_->dart().record(app_id_, TrafficClass::kInterApp, self_.loc,
                         loc.owner_loc, data.size(), time);
+  TaskClock::advance(time);  // rpc() below advances its own share
+  if (backpressure > 0.0) {
+    space_->dart().metrics().add_time(
+        app_id_, space_->dart().metrics().intern("health.backpressure"),
+        backpressure);
+  }
   // Register with every responsible DHT core (control RPCs).
   const auto nodes = space_->dht().owner_nodes(box);
   for (i32 dht_node : nodes) {
     time += space_->dart().rpc(self_, space_->storage_endpoint(dht_node));
   }
-  space_->dht().insert(var, version, loc);
+  // First completion won: the original object stays authoritative, so the
+  // DHT already points at it — re-inserting would duplicate the location.
+  if (stored) space_->dht().insert(var, version, loc);
   PutResult result;
   result.model_time = time;
   result.bytes = data.size();
   result.dht_cores = static_cast<i32>(nodes.size());
+  result.stored = stored;
   span.close(result.model_time);
   return result;
 }

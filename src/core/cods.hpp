@@ -41,6 +41,32 @@ struct PutResult {
   double model_time = 0.0;  ///< modelled completion time
   u64 bytes = 0;
   i32 dht_cores = 0;  ///< DHT cores updated (seq only)
+  /// False when a speculative re-put found the object already stored and
+  /// kept the original (first-completion-wins, docs/FAULT_MODEL.md).
+  bool stored = true;
+};
+
+/// Thrown when a put would push the sequential store past its hard byte
+/// watermark (graceful degradation: shed load instead of exhausting
+/// memory). Typed so callers can distinguish shedding from data errors.
+class OverloadError : public Error {
+ public:
+  OverloadError(u64 attempted, u64 stored, u64 hard_watermark)
+      : Error("put of " + std::to_string(attempted) +
+              " bytes shed: store holds " + std::to_string(stored) +
+              " of " + std::to_string(hard_watermark) + " hard-watermark " +
+              "bytes"),
+        attempted_(attempted),
+        stored_(stored),
+        hard_watermark_(hard_watermark) {}
+  u64 attempted() const { return attempted_; }
+  u64 stored() const { return stored_; }
+  u64 hard_watermark() const { return hard_watermark_; }
+
+ private:
+  u64 attempted_;
+  u64 stored_;
+  u64 hard_watermark_;
 };
 
 /// Outcome of a get operation.
@@ -79,9 +105,13 @@ class CodsSpace {
   static u64 window_key(const std::string& var, i32 version, const Box& box);
 
   /// Stores an object in the node's in-memory store, exposes its window and
-  /// returns its location record. Takes ownership of the bytes.
+  /// returns its location record. Takes ownership of the bytes. When a
+  /// speculative re-put finds the (var, version, box) already stored, the
+  /// original is kept, `*stored` (if given) is set false and the original's
+  /// location is returned. Throws OverloadError past the hard watermark.
   DataLocation store_object(i32 node, const std::string& var, i32 version,
-                            const Box& box, std::vector<std::byte> data);
+                            const Box& box, std::vector<std::byte> data,
+                            bool* stored = nullptr);
 
   /// Registers a concurrently-published region (put_cont side).
   void post_cont(const std::string& var, i32 version, const Box& box,
@@ -185,6 +215,25 @@ class CodsSpace {
   void set_reexecution(bool on) { reexec_.store(on); }
   bool reexecution() const { return reexec_.load(); }
 
+  /// Speculation mode (straggler mitigation): a put whose (var, version,
+  /// box) already exists *keeps the original* — first completion wins —
+  /// instead of throwing or replacing. The speculative attempt's traffic
+  /// is still accounted; only the store and the DHT stay untouched.
+  void set_speculation(bool on) { speculation_.store(on); }
+  bool speculation() const { return speculation_.load(); }
+
+  // --- graceful degradation under memory pressure (docs/FAULT_MODEL.md) ---
+
+  /// Byte watermarks over the sequential store (0 = disabled). Above
+  /// `soft`, every put pays a modelled backpressure delay; a put that
+  /// would push the store past `hard` is shed with OverloadError.
+  void set_watermarks(u64 soft, u64 hard);
+
+  /// Modelled backpressure delay for admitting `incoming_bytes` now:
+  /// 0 below the soft watermark, growing linearly with the overshoot.
+  /// Pure function of the store occupancy, so replays are deterministic.
+  double backpressure_penalty(u64 incoming_bytes) const;
+
  private:
   struct StoredObject {
     i32 node = -1;
@@ -195,6 +244,7 @@ class CodsSpace {
   struct RestoreResult {
     u64 objects = 0;
     u64 bytes = 0;
+    u64 corrupt = 0;  ///< objects rejected by the CRC32 integrity footer
   };
   /// Shared checkpoint parser behind load_checkpoint and restore_lost.
   RestoreResult restore_from_stream(
@@ -209,6 +259,9 @@ class CodsSpace {
   // (storage client, window key) -> object
   std::map<std::pair<i32, u64>, StoredObject> store_
       CODS_GUARDED_BY(store_mutex_);
+  /// Running payload total of store_ (kept incrementally so the watermark
+  /// check on the put hot path never walks the map).
+  u64 stored_total_ CODS_GUARDED_BY(store_mutex_) = 0;
   // (var, version) -> store keys
   std::map<std::pair<std::string, i32>, std::vector<std::pair<i32, u64>>>
       store_index_ CODS_GUARDED_BY(store_mutex_);
@@ -231,6 +284,9 @@ class CodsSpace {
   std::map<std::string, i32> latest_ CODS_GUARDED_BY(meta_mutex_);
 
   std::atomic<bool> reexec_{false};
+  std::atomic<bool> speculation_{false};
+  std::atomic<u64> soft_watermark_{0};
+  std::atomic<u64> hard_watermark_{0};
   std::atomic<std::chrono::seconds> op_timeout_{std::chrono::seconds(120)};
 };
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <tuple>
 
+#include "health/task_clock.hpp"
 #include "trace/trace.hpp"
 
 namespace cods {
@@ -51,6 +52,12 @@ void HybridDart::record(i32 app_id, TrafficClass cls, const CoreLoc& src,
   }
 }
 
+double HybridDart::slowdown_factor(i32 node) const {
+  FaultInjector* fault = fault_injector();
+  if (fault == nullptr || !fault->has_slowdowns()) return 1.0;
+  return fault->slowdown(node);
+}
+
 double HybridDart::admit_op(FaultSite site, const Endpoint& local,
                             const Endpoint& remote, i32 app_id,
                             TrafficClass cls, u64 bytes) {
@@ -69,8 +76,7 @@ double HybridDart::admit_op(FaultSite site, const Endpoint& local,
     record(app_id, cls, remote.loc, local.loc, bytes, attempt_time);
     if (attempt > retry_.max_retries) {
       metrics_->add_count(app_id, fault_exhausted_id_);
-      fail("transient " + to_string(site) + " failure persisted after " +
-           std::to_string(retry_.max_retries) + " retries");
+      throw RetriesExhaustedError(site, retry_.max_retries);
     }
     metrics_->add_count(app_id, fault_retries_id_);
     const double delay =
@@ -101,9 +107,12 @@ double HybridDart::get(const Endpoint& local, i32 app_id, TrafficClass cls,
                  "get exceeds remote window bounds");
     std::memcpy(dst.data(), win.data() + offset, dst.size());
   }
-  const double time = model_.flow_time(Flow{remote.loc, local.loc, dst.size()});
+  const double time =
+      model_.flow_time(Flow{remote.loc, local.loc, dst.size()}) *
+      slowdown_factor(local.loc.node);
   record(app_id, cls, remote.loc, local.loc, dst.size(), time);
   span.close(penalty + time);
+  TaskClock::advance(penalty + time);
   return penalty + time;
 }
 
@@ -121,9 +130,12 @@ double HybridDart::put(const Endpoint& local, i32 app_id, TrafficClass cls,
                  "put exceeds remote window bounds");
     std::memcpy(win.data() + offset, src.data(), src.size());
   }
-  const double time = model_.flow_time(Flow{local.loc, remote.loc, src.size()});
+  const double time =
+      model_.flow_time(Flow{local.loc, remote.loc, src.size()}) *
+      slowdown_factor(local.loc.node);
   record(app_id, cls, local.loc, remote.loc, src.size(), time);
   span.close(penalty + time);
+  TaskClock::advance(penalty + time);
   return penalty + time;
 }
 
@@ -172,7 +184,9 @@ double HybridDart::pull(std::span<PullOp> ops) {
     }
   }
   if (coalesced > 0) metrics_->add_count(0, coalesced_id_, coalesced);
-  const double time = model_.batch_time(flows);
+  const double straggle =
+      ops.empty() ? 1.0 : slowdown_factor(ops.front().local.loc.node);
+  const double time = model_.batch_time(flows) * straggle;
   // Overlay leaves: each op's record shares the batch interval — the
   // batch completes as one concurrent transfer, so per-op leaves must
   // not stack sequentially on the virtual clock.
@@ -181,6 +195,7 @@ double HybridDart::pull(std::span<PullOp> ops) {
            /*overlay=*/true);
   }
   span.close(penalty + time);
+  TaskClock::advance(penalty + time);
   return penalty + time;
 }
 
@@ -193,8 +208,10 @@ double HybridDart::rpc(const Endpoint& from, const Endpoint& to, u64 count) {
                bytes);
   metrics_->record(/*app_id=*/0, TrafficClass::kControl, bytes,
                    select_transport(from.loc, to.loc) == TransportKind::kRdma);
-  const double time = penalty + model_.rpc_time(from.loc, to.loc, count);
+  const double time = penalty + model_.rpc_time(from.loc, to.loc, count) *
+                                    slowdown_factor(from.loc.node);
   span.close(time, bytes);
+  TaskClock::advance(time);
   return time;
 }
 

@@ -163,6 +163,11 @@ class HybridDart {
   std::span<std::byte> window_locked(i32 client_id, u64 key) const
       CODS_REQUIRES_SHARED(mutex_);
 
+  /// Straggler injection (docs/FAULT_MODEL.md): modelled-time multiplier
+  /// for ops issued from `node`. 1.0 unless the attached injector
+  /// schedules a Slowdown for the current wave.
+  double slowdown_factor(i32 node) const;
+
   /// Consults the injector until one attempt is admitted; accounts every
   /// failed attempt (its traffic and its backoff delay) and returns the
   /// accumulated modelled penalty. Throws when retries are exhausted or a

@@ -15,6 +15,7 @@ std::string to_string(FaultSite site) {
     case FaultSite::kPull: return "pull";
     case FaultSite::kRpc: return "rpc";
     case FaultSite::kSend: return "send";
+    case FaultSite::kHeartbeat: return "heartbeat";
   }
   return "?";
 }
@@ -85,8 +86,51 @@ double FaultInjector::probability(FaultSite site) const {
       return spec_.p_rpc;
     case FaultSite::kSend:
       return spec_.p_send;
+    case FaultSite::kHeartbeat:
+      return spec_.p_heartbeat;  // consulted via heartbeat_fate, not on_op
   }
   return 0.0;
+}
+
+HeartbeatFate FaultInjector::heartbeat_fate(i32 node, i64 round) const {
+  HeartbeatFate fate;
+  i32 wave;
+  {
+    MutexLock lock(mutex_);
+    if (dead_.contains(node)) {
+      fate.crashed = true;
+      return fate;
+    }
+    wave = wave_;
+  }
+  // Distinct salts keep the drop and delay streams independent of each
+  // other and of every on_op() stream (which keys on real op counts).
+  const u64 r = static_cast<u64>(round);
+  if (spec_.p_heartbeat > 0.0 &&
+      hash01(spec_.seed ^ 0x48427472u, wave, FaultSite::kHeartbeat, node, r) <
+          spec_.p_heartbeat) {
+    fate.dropped = true;
+    return fate;
+  }
+  if (spec_.p_heartbeat_delay > 0.0 &&
+      hash01(spec_.seed ^ 0x4842646cu, wave, FaultSite::kHeartbeat, node, r) <
+          spec_.p_heartbeat_delay) {
+    fate.delay_frac = spec_.heartbeat_delay_frac;
+  }
+  return fate;
+}
+
+double FaultInjector::slowdown(i32 node) const {
+  i32 wave;
+  {
+    MutexLock lock(mutex_);
+    wave = wave_;
+  }
+  double factor = 1.0;
+  for (const Slowdown& s : spec_.slowdowns) {
+    if (s.wave == wave && s.node == node) factor = std::max(factor, s.factor);
+  }
+  return factor;
 }
 
 void FaultInjector::check_crashes_locked(i32 local_node) {

@@ -34,11 +34,12 @@ namespace cods {
 
 /// Where in the stack an operation is intercepted.
 enum class FaultSite : i32 {
-  kGet = 0,   ///< HybridDart::get (one-sided read)
-  kPut = 1,   ///< HybridDart::put (one-sided write)
-  kPull = 2,  ///< one op of a HybridDart::pull batch
-  kRpc = 3,   ///< control round-trip (DHT query/registration)
-  kSend = 4,  ///< vmpi point-to-point send
+  kGet = 0,        ///< HybridDart::get (one-sided read)
+  kPut = 1,        ///< HybridDart::put (one-sided write)
+  kPull = 2,       ///< one op of a HybridDart::pull batch
+  kRpc = 3,        ///< control round-trip (DHT query/registration)
+  kSend = 4,       ///< vmpi point-to-point send
+  kHeartbeat = 5,  ///< health-layer heartbeat delivery (src/health)
 };
 
 std::string to_string(FaultSite site);
@@ -57,6 +58,16 @@ struct NodeCrash {
   u64 after_ops = 0;
 };
 
+/// A scheduled straggler: during wave `wave`, every transport operation
+/// issued from `node` takes `factor` times its modelled time. Models a
+/// slow-but-alive node (thermal throttling, a noisy neighbour) for the
+/// health layer's straggler mitigation to catch.
+struct Slowdown {
+  i32 wave = 0;
+  i32 node = 0;
+  double factor = 1.0;
+};
+
 /// Declarative fault schedule. All probabilities are per-attempt.
 struct FaultSpec {
   u64 seed = 1;
@@ -64,6 +75,19 @@ struct FaultSpec {
   double p_rpc = 0.0;       ///< control RPC transient failure probability
   double p_send = 0.0;      ///< vmpi send transient failure probability
   std::vector<NodeCrash> crashes;
+  // --- health-layer injection (src/health, docs/FAULT_MODEL.md) ---
+  double p_heartbeat = 0.0;        ///< heartbeat drop probability
+  double p_heartbeat_delay = 0.0;  ///< heartbeat late-delivery probability
+  /// A delayed heartbeat arrives this fraction of a period late.
+  double heartbeat_delay_frac = 0.5;
+  std::vector<Slowdown> slowdowns;
+};
+
+/// What happened to one node's heartbeat of one detection round.
+struct HeartbeatFate {
+  bool crashed = false;     ///< the node is dead; no heartbeat was sent
+  bool dropped = false;     ///< sent but lost in the fabric
+  double delay_frac = 0.0;  ///< fraction of a period the delivery is late
 };
 
 /// One entry of the failure trace.
@@ -89,6 +113,24 @@ class NodeDownError : public Error {
 
  private:
   i32 node_;
+};
+
+/// Thrown when a transient failure persisted through every allowed retry
+/// of one operation. Carries the site and the retry budget so callers can
+/// distinguish exhaustion from other task errors without string matching.
+class RetriesExhaustedError : public Error {
+ public:
+  RetriesExhaustedError(FaultSite site, i32 retries)
+      : Error("transient " + to_string(site) + " failure persisted after " +
+              std::to_string(retries) + " retries"),
+        site_(site),
+        retries_(retries) {}
+  FaultSite site() const { return site_; }
+  i32 retries() const { return retries_; }
+
+ private:
+  FaultSite site_;
+  i32 retries_;
 };
 
 /// Bounded-retry policy with exponential backoff and deterministic jitter.
@@ -133,6 +175,20 @@ class FaultInjector {
   /// for data-plane sites (everything but kRpc) — when the remote node is
   /// dead. Returns true when the attempt must fail transiently.
   bool on_op(FaultSite site, i32 actor, i32 local_node, i32 remote_node);
+
+  /// Fate of `node`'s heartbeat for detection round `round`. Pure function
+  /// of {seed, wave, node, round} on its own hash stream: it never touches
+  /// the crash-schedule op clock or the per-site op counts, so attaching a
+  /// health monitor cannot shift where scheduled crashes trigger.
+  HeartbeatFate heartbeat_fate(i32 node, i64 round) const;
+
+  /// True when the spec schedules any straggler slowdowns (lock-free;
+  /// lets the transport hot path skip the slowdown() lookup entirely).
+  bool has_slowdowns() const { return !spec_.slowdowns.empty(); }
+
+  /// Modelled-time multiplier for operations issued from `node` during the
+  /// current wave (1.0 = full speed).
+  double slowdown(i32 node) const;
 
   /// The failure trace so far, in deterministic order (sorted by wave,
   /// site, actor, op index) — the replay-comparison artifact.

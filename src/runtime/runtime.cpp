@@ -5,6 +5,7 @@
 #include <map>
 #include <thread>
 
+#include "health/task_clock.hpp"
 #include "trace/trace.hpp"
 
 namespace cods {
@@ -82,8 +83,7 @@ void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
       }
       if (attempt > retry.max_retries) {
         runtime_->metrics().add_count(app_id_, runtime_->fault_exhausted_id());
-        fail("transient send failure persisted after " +
-             std::to_string(retry.max_retries) + " retries");
+        throw RetriesExhaustedError(FaultSite::kSend, retry.max_retries);
       }
       runtime_->metrics().add_count(app_id_, runtime_->fault_retries_id());
       runtime_->metrics().add_time(
@@ -377,6 +377,7 @@ std::vector<RankFailure> Runtime::run_collect(
   // One rank body, shared by both dispatch modes: everything a rank can
   // observe (mailboxes, communicators, trace contexts, failure capture)
   // is identical whether the thread under it is pooled or dedicated.
+  last_task_times_.assign(static_cast<size_t>(n), 0.0);
   const auto rank_main = [&](i32 r) {
     RankCtx ctx;
     ctx.global_rank = r;
@@ -386,12 +387,17 @@ std::vector<RankFailure> Runtime::run_collect(
     ctx.world.comm_id_ = world_id;
     ctx.world.my_index_ = r;
     ctx.world.members_ = members;
+    // Each rank carries a modelled-time clock: the transport layers
+    // advance it per operation, and the totals feed straggler detection.
+    TaskClock::install(task_deadline_);
     try {
       body(ctx);
     } catch (...) {
       MutexLock lock(error_mutex);
       failures.push_back(RankFailure{r, std::current_exception()});
     }
+    last_task_times_[static_cast<size_t>(r)] = TaskClock::elapsed();
+    TaskClock::uninstall();
   };
   if (exec_mode_ == ExecMode::kPooled) {
     WorkStealingExecutor executor(exec_pool_size_);

@@ -250,6 +250,18 @@ class Runtime {
   /// (all equal to the rank count).
   const ExecutorStats& last_exec_stats() const { return last_exec_stats_; }
 
+  /// Per-task deadline in modelled seconds installed into every rank's
+  /// TaskClock (src/health/task_clock.hpp); 0 = none. Set between waves.
+  void set_task_deadline(double deadline) { task_deadline_ = deadline; }
+  double task_deadline() const { return task_deadline_; }
+
+  /// Modelled seconds each rank of the most recent run()/run_collect()
+  /// accumulated on its TaskClock, indexed by global rank — the health
+  /// layer's straggler-detection input.
+  const std::vector<double>& last_task_times() const {
+    return last_task_times_;
+  }
+
   // --- internals used by Comm ---
   Mailbox& mailbox(i32 global_rank);
   CoreLoc loc(i32 global_rank) const;
@@ -274,6 +286,9 @@ class Runtime {
   ExecMode exec_mode_ = ExecMode::kPooled;
   i32 exec_pool_size_ = 0;  ///< <= 0: default_pool_size()
   ExecutorStats last_exec_stats_;
+  double task_deadline_ = 0.0;  ///< set between waves (see set_task_deadline)
+  // Written per-rank into disjoint slots while ranks run; read after join.
+  std::vector<double> last_task_times_;
 };
 
 }  // namespace cods

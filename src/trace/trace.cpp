@@ -44,6 +44,8 @@ const char* to_string(SpanCategory cat) {
       return "transfer_net";
     case SpanCategory::kRecv:
       return "recv";
+    case SpanCategory::kHealth:
+      return "health";
   }
   return "unknown";
 }

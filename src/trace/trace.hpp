@@ -46,6 +46,7 @@ enum class SpanCategory : u8 {
   kTransferShm,   ///< one byte-accounted shared-memory movement (leaf)
   kTransferNet,   ///< one byte-accounted network movement (leaf)
   kRecv,          ///< message delivery (instant)
+  kHealth,        ///< a health-monitor detection/settling sweep (server)
 };
 
 const char* to_string(SpanCategory cat);

@@ -167,7 +167,8 @@ Placement WorkflowServer::map_wave(
 
 std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
     const Placement& placement, const WorkflowOptions& options, i32 wave_index,
-    i32 attempt, u64 wave_span_id, double wave_start) {
+    i32 attempt, u64 wave_span_id, double wave_start,
+    std::vector<std::pair<TaskId, double>>* task_times) {
   // Deterministic task order defines global ranks.
   std::vector<TaskId> tasks;
   std::vector<CoreLoc> cores;
@@ -217,6 +218,15 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
     app_ctx.cluster = cluster_;
     reg.fn(app_ctx);
   });
+  if (task_times != nullptr) {
+    // Straggler-detection input: each rank's TaskClock total (modelled
+    // seconds it spent in dart/runtime operations), keyed by task.
+    task_times->clear();
+    const std::vector<double>& times = runtime.last_task_times();
+    for (size_t i = 0; i < tasks.size() && i < times.size(); ++i) {
+      task_times->push_back({tasks[i], times[i]});
+    }
+  }
   std::vector<TaskFailure> out;
   out.reserve(failures.size());
   for (const RankFailure& f : failures) {
@@ -224,6 +234,85 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
         TaskFailure{tasks[static_cast<size_t>(f.global_rank)], f.error});
   }
   return out;
+}
+
+void WorkflowServer::mitigate_stragglers(
+    const std::vector<std::pair<TaskId, double>>& task_times,
+    const Placement& placement, const WorkflowOptions& options,
+    const std::vector<i32>& allowed, i32 wave_index, WaveReport& report) {
+  if (task_times.size() < 2 || allowed.empty()) return;
+  std::vector<double> sorted;
+  sorted.reserve(task_times.size());
+  for (const auto& [task, time] : task_times) sorted.push_back(time);
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  if (median <= 0.0) return;
+  const double deadline = options.health.straggler_multiplier * median;
+  for (const auto& [task, time] : task_times) {
+    if (time <= deadline) continue;
+    ++report.straggler_tasks;
+    metrics_->add_count(0, "health.stragglers");
+    if (!options.health.speculation) continue;
+    // Speculative re-execution, first completion wins: the copy runs the
+    // subroutine alone in a one-rank world on a healthy node; its puts
+    // are dropped whenever the original's output already landed (the
+    // space keeps the original — see CodsSpace::set_speculation), so the
+    // duplicate execution is idempotent. Only subroutines that derive
+    // their work purely from ctx.task qualify (no intra-app collectives);
+    // speculation is therefore opt-in.
+    const i32 origin = placement.loc(task).node;
+    i32 target = allowed.front();
+    for (i32 n : allowed) {
+      if (n != origin) {
+        target = n;
+        break;
+      }
+    }
+    Runtime runtime(*cluster_, *metrics_, options.cost);
+    if (options.fault != nullptr) {
+      runtime.set_fault(options.fault, options.retry);
+    }
+    runtime.set_transfer_log(options.transfer_log);
+    runtime.set_exec_mode(ExecMode::kThreadPerRank);  // a single rank
+    space_.set_speculation(true);
+    const std::vector<CoreLoc> cores{CoreLoc{target, 0}};
+    const TaskId spec_task = task;
+    const auto spec_failures = runtime.run_collect(cores, [&](RankCtx& ctx) {
+      const RegisteredApp& reg = app(spec_task.app_id);
+      ScopedSpan task_span(SpanCategory::kTask, 0,
+                           (static_cast<u32>(spec_task.app_id) << 16) |
+                               static_cast<u32>(spec_task.rank));
+      // The copy's world has exactly one rank, so comm.rank() is 0 even
+      // when spec_task.rank is not — the subroutine must key off ctx.task.
+      Comm comm = ctx.world.split(spec_task.app_id, spec_task.rank);
+      comm.set_app_id(spec_task.app_id);
+      CodsClient cods(space_,
+                      Endpoint{cluster_->global_core(ctx.loc), ctx.loc},
+                      spec_task.app_id);
+      AppCtx app_ctx;
+      app_ctx.spec = &reg.spec;
+      app_ctx.task = spec_task;
+      app_ctx.comm = comm;
+      app_ctx.cods = &cods;
+      app_ctx.cluster = cluster_;
+      reg.fn(app_ctx);
+    });
+    space_.set_speculation(false);
+    ++report.speculated_tasks;
+    metrics_->add_count(0, "health.speculated");
+    // A failed copy is simply discarded — the original's output stands.
+    if (!spec_failures.empty()) continue;
+    const std::vector<double>& spec_times = runtime.last_task_times();
+    const double spec_time = spec_times.empty() ? time : spec_times.front();
+    if (spec_time < time) {
+      ++report.speculation_wins;
+      metrics_->add_count(0, "health.spec_wins");
+    }
+    CODS_LOG_INFO << "speculated straggler task (app " << task.app_id
+                  << ", rank " << task.rank << ") of wave " << wave_index
+                  << " on node " << target << ": " << spec_time << "s vs "
+                  << time << "s";
+  }
 }
 
 void WorkflowServer::record_placements(
@@ -267,10 +356,18 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
     space_.dart().set_fault(options.fault, options.retry);
     space_.set_op_timeout(options.retry.op_timeout);
   }
+  space_.set_watermarks(options.health.soft_watermark,
+                        options.health.hard_watermark);
 
+  // The engine's only source of node-death knowledge: heartbeat-driven
+  // phi-accrual detection (docs/FAULT_MODEL.md). The injector's crash
+  // schedule drives *injection* (dropped heartbeats, failed ops); the
+  // verdicts the recovery path acts on all come from the monitor.
   std::set<i32> dead;
+  std::optional<HealthMonitor> monitor;
   if (options.fault != nullptr) {
-    for (i32 n : options.fault->dead_nodes()) dead.insert(n);
+    monitor.emplace(options.health, *options.fault, space_.dart(),
+                    cluster_->num_nodes());
   }
   const auto alive_nodes = [&] {
     std::vector<i32> alive;
@@ -279,12 +376,33 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
     }
     return alive;
   };
+  // Nodes the mapper may target: alive minus quarantined/probation. A
+  // fully-untrusted cluster still runs on the alive set — suspicion must
+  // not leave a wave with nowhere to execute.
+  const auto allowed_nodes = [&] {
+    std::vector<i32> alive = alive_nodes();
+    if (!monitor) return alive;
+    const std::vector<i32> untrusted = monitor->untrusted();
+    std::vector<i32> allowed;
+    for (i32 n : alive) {
+      if (std::find(untrusted.begin(), untrusted.end(), n) ==
+          untrusted.end()) {
+        allowed.push_back(n);
+      }
+    }
+    return allowed.empty() ? alive : allowed;
+  };
 
   i32 wave_index = 0;
   for (const auto& wave : dag.waves()) {
     if (options.fault != nullptr) options.fault->begin_wave(wave_index);
+    // Wave-boundary settling: quarantined nodes that kept heartbeating
+    // earn probation and eventually readmission. No-op (zero heartbeat
+    // traffic) while every node is settled — which keeps clean runs
+    // bit-identical with the health layer attached.
+    if (monitor) monitor->settle();
     WaveReport report;
-    Placement placement = map_wave(wave, options, report, alive_nodes());
+    Placement placement = map_wave(wave, options, report, allowed_nodes());
     CODS_CHECK(placement.valid(*cluster_), "wave placement is invalid");
     record_placements(wave, placement);
     CODS_LOG_INFO << "wave with " << placement.size() << " tasks mapped via "
@@ -304,18 +422,24 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
     }
 
     std::vector<std::vector<i32>> to_run = wave;
+    std::vector<std::pair<TaskId, double>> task_times;
     for (;;) {
       const auto failures =
           execute_wave(placement, options, wave_index, report.attempts - 1,
-                       wave_span_id, wave_start);
+                       wave_span_id, wave_start, &task_times);
       if (failures.empty()) break;
       report.failed_tasks += static_cast<i32>(failures.size());
 
+      // Task failures are the detector's trigger: sweep heartbeat rounds
+      // until suspicion resolves and take the *detector's* verdict on who
+      // is dead. A failure with no dead node (transient exhaustion, an
+      // application error) settles within a round and declares nobody.
       std::vector<i32> newly_dead;
-      if (options.fault != nullptr) {
-        for (i32 n : options.fault->dead_nodes()) {
-          if (!dead.contains(n)) newly_dead.push_back(n);
-        }
+      if (monitor) {
+        newly_dead = monitor->run_detection();
+        report.detection_rounds += monitor->last_detection_rounds();
+        report.detection_latency = std::max(
+            report.detection_latency, monitor->last_detection_latency());
       }
       if (newly_dead.empty() ||
           report.attempts >= options.retry.max_wave_attempts) {
@@ -333,6 +457,12 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
       }
       const std::vector<i32> alive = alive_nodes();
       CODS_CHECK(!alive.empty(), "every node in the cluster has failed");
+      // Re-homing targets: healthy nodes first (falls back to the whole
+      // alive set — possibly a single survivor — when every survivor is
+      // under suspicion). The cursor wraps over whatever set remains, so
+      // a singleton survivor absorbs every lost object.
+      const std::vector<i32> rehome = allowed_nodes();
+      CODS_CHECK(!rehome.empty(), "no node left to re-home lost objects");
 
       // 1. Drop space state homed on the dead nodes (windows, store, DHT).
       for (i32 n : newly_dead) space_.drop_node(n);
@@ -346,7 +476,7 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
       size_t cursor = 0;
       const u64 recovered =
           space_.restore_lost(snapshot, [&](i32) -> std::optional<i32> {
-            return alive[cursor++ % alive.size()];
+            return rehome[cursor++ % rehome.size()];
           });
       report.recovered_bytes += recovered;
       metrics_->add_count(0, "fault.recovery_bytes", recovered);
@@ -371,16 +501,25 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
       CODS_CHECK(!rerun.empty(), "wave failed without an affected bundle");
       to_run = std::move(rerun);
 
-      // 4. Re-map the affected bundles over the surviving nodes and re-run
-      //    with idempotent puts (outputs of the failed attempt are replaced).
+      // 4. Re-map the affected bundles over the healthy survivors and
+      //    re-run with idempotent puts (outputs of the failed attempt are
+      //    replaced).
       WaveReport remap_report;  // mapping stats of the retry are not kept
-      placement = map_wave(to_run, options, remap_report, alive);
+      placement = map_wave(to_run, options, remap_report, rehome);
       CODS_CHECK(placement.valid(*cluster_), "failover placement is invalid");
       record_placements(to_run, placement);
       report.reexecuted_tasks += static_cast<i32>(placement.size());
       space_.set_reexecution(true);
     }
     space_.set_reexecution(false);
+    // Post-wave straggler pass: flag tasks far over the wave's median
+    // modelled time and (opt-in) speculatively re-execute them on healthy
+    // nodes, first completion winning.
+    if (options.fault != nullptr &&
+        (options.health.speculation || options.fault->has_slowdowns())) {
+      mitigate_stragglers(task_times, placement, options, allowed_nodes(),
+                          wave_index, report);
+    }
     if (server_ctx) {
       // The wave ends when its last child span ends: drain the rank rings
       // and extend the server-side wave span to cover them.

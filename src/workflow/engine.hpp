@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/cods.hpp"
+#include "health/monitor.hpp"
 #include "runtime/runtime.hpp"
 #include "trace/trace.hpp"
 #include "workflow/mapping.hpp"
@@ -60,6 +61,13 @@ struct WorkflowOptions {
   /// Worker cap for kPooled; <= 0 selects the hardware-concurrency
   /// default. Also sizes the mapping-stage DHT lookup parallel-for.
   i32 exec_pool_size = 0;
+  /// Health subsystem (docs/FAULT_MODEL.md "Failure detection"): when
+  /// `fault` is set the engine learns of node deaths exclusively through
+  /// a heartbeat-driven phi-accrual detector configured here — it never
+  /// reads the injector's crash schedule. Also carries the straggler
+  /// deadline multiplier, the speculation opt-in and the CodsSpace byte
+  /// watermarks.
+  HealthConfig health;
 };
 
 /// Record of how one scheduling wave was executed.
@@ -71,10 +79,16 @@ struct WaveReport {
   i64 comm_graph_cut_bytes = -1;
   // --- failure recovery (only non-default when fault injection is on) ---
   i32 attempts = 1;                ///< execution attempts (1 = no failure)
-  std::vector<i32> failed_nodes;   ///< nodes that died during this wave
+  std::vector<i32> failed_nodes;   ///< nodes declared dead during this wave
   i32 failed_tasks = 0;            ///< task executions that raised an error
   i32 reexecuted_tasks = 0;        ///< tasks re-run after failover
   u64 recovered_bytes = 0;         ///< checkpoint bytes restored to survivors
+  // --- health subsystem (docs/FAULT_MODEL.md "Failure detection") ---
+  i32 detection_rounds = 0;        ///< heartbeat rounds swept this wave
+  double detection_latency = 0.0;  ///< worst first-miss -> declared-dead gap
+  i32 straggler_tasks = 0;         ///< tasks over the wave deadline
+  i32 speculated_tasks = 0;        ///< stragglers speculatively re-executed
+  i32 speculation_wins = 0;  ///< speculative copies beating the original
 };
 
 class WorkflowServer {
@@ -123,10 +137,14 @@ class WorkflowServer {
                      const std::vector<i32>& allowed_nodes);
   std::vector<NodeBytes> dht_node_bytes(const RegisteredApp& consumer,
                                         const WorkflowOptions& options);
-  std::vector<TaskFailure> execute_wave(const Placement& placement,
-                                        const WorkflowOptions& options,
-                                        i32 wave_index, i32 attempt,
-                                        u64 wave_span_id, double wave_start);
+  std::vector<TaskFailure> execute_wave(
+      const Placement& placement, const WorkflowOptions& options,
+      i32 wave_index, i32 attempt, u64 wave_span_id, double wave_start,
+      std::vector<std::pair<TaskId, double>>* task_times = nullptr);
+  void mitigate_stragglers(
+      const std::vector<std::pair<TaskId, double>>& task_times,
+      const Placement& placement, const WorkflowOptions& options,
+      const std::vector<i32>& allowed, i32 wave_index, WaveReport& report);
   void record_placements(const std::vector<std::vector<i32>>& wave,
                          const Placement& placement);
 

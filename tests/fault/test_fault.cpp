@@ -211,6 +211,52 @@ TEST_F(DartFaultTest, ExhaustedRetriesThrow) {
   EXPECT_EQ(metrics_.count(1, "fault.retries"), 2u);
 }
 
+TEST_F(DartFaultTest, ExhaustionThrowsTypedError) {
+  // Exhaustion is a *typed* error carrying the site and the retry budget,
+  // so recovery code can tell it apart from crashes without string-matching.
+  std::vector<std::byte> window(16);
+  dart_.expose(remote_.client_id, 3, window);
+  std::vector<std::byte> dst(16);
+  FaultInjector injector(transient_spec(1.0));
+  injector.begin_wave(0);
+  RetryPolicy retry;
+  retry.max_retries = 2;
+  dart_.set_fault(&injector, retry);
+  try {
+    dart_.get(local_, 1, TrafficClass::kInterApp, remote_, 3, 0, dst);
+    FAIL() << "expected RetriesExhaustedError";
+  } catch (const RetriesExhaustedError& e) {
+    EXPECT_EQ(e.site(), FaultSite::kGet);
+    EXPECT_EQ(e.retries(), 2);
+    EXPECT_STREQ(e.what(),
+                 "transient get failure persisted after 2 retries");
+  }
+  // Every site reports itself: exhaust an rpc too.
+  try {
+    (void)dart_.rpc(local_, remote_, 3);
+    FAIL() << "expected RetriesExhaustedError";
+  } catch (const RetriesExhaustedError& e) {
+    EXPECT_EQ(e.site(), FaultSite::kRpc);
+  }
+}
+
+TEST(RetryPolicy, BackoffIsPureFunctionOfAttemptAndKey) {
+  // Two independently constructed policies with equal parameters must agree
+  // on every (attempt, key): backoff is replay-deterministic state-free.
+  RetryPolicy a;
+  RetryPolicy b;
+  for (i32 attempt = 1; attempt <= 6; ++attempt) {
+    for (const u64 key : {u64{0}, u64{1}, u64{0xdeadbeef}, ~u64{0}}) {
+      EXPECT_EQ(a.backoff(attempt, key), b.backoff(attempt, key))
+          << "attempt " << attempt << " key " << key;
+      const double nominal =
+          a.backoff_base * std::pow(a.backoff_multiplier, attempt - 1);
+      EXPECT_GE(a.backoff(attempt, key), nominal * (1.0 - a.jitter_frac));
+      EXPECT_LE(a.backoff(attempt, key), nominal * (1.0 + a.jitter_frac));
+    }
+  }
+}
+
 TEST_F(DartFaultTest, DeadRemoteThrowsNodeDown) {
   std::vector<std::byte> window(16);
   dart_.expose(remote_.client_id, 3, window);

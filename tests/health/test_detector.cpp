@@ -1,0 +1,210 @@
+// Unit tests for the phi-accrual FailureDetector: suspicion accrual, the
+// alive -> suspect -> quarantined -> dead state machine, the consecutive-
+// miss death gate, and the quarantine -> probation -> readmission path
+// (docs/FAULT_MODEL.md "Failure detection").
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "health/detector.hpp"
+
+namespace cods {
+namespace {
+
+constexpr double kPeriod = 1e-3;
+
+DetectorConfig config() {
+  DetectorConfig c;
+  c.heartbeat_period = kPeriod;
+  return c;
+}
+
+/// Drives `rounds` heartbeat rounds for one node, each `beat(round)`
+/// deciding whether the heartbeat arrived. Returns the final virtual time.
+double drive(FailureDetector& d, i32 node, i32 rounds, double start,
+             const std::function<bool(i32)>& beat) {
+  double now = start;
+  for (i32 r = 0; r < rounds; ++r) {
+    now += kPeriod;
+    const bool arrived = beat(r);
+    if (arrived) d.heartbeat(node, now);
+    d.evaluate(node, now, !arrived);
+  }
+  return now;
+}
+
+TEST(FailureDetector, PhiGrowsWithSilence) {
+  FailureDetector d(config(), 1);
+  const double t = drive(d, 0, 8, 0.0, [](i32) { return true; });
+  const double fresh = d.phi(0, t);
+  const double one_late = d.phi(0, t + kPeriod);
+  const double five_late = d.phi(0, t + 5 * kPeriod);
+  EXPECT_LT(fresh, one_late);
+  EXPECT_LT(one_late, five_late);
+  EXPECT_LE(five_late, 40.0);  // the documented clamp
+}
+
+TEST(FailureDetector, RegularHeartbeatsStayAlive) {
+  FailureDetector d(config(), 2);
+  drive(d, 0, 100, 0.0, [](i32) { return true; });
+  EXPECT_EQ(d.state(0), NodeHealth::kAlive);
+  EXPECT_EQ(d.consecutive_missed(0), 0);
+  EXPECT_LT(d.first_missing_time(0), 0.0);
+  EXPECT_FALSE(d.unsettled());
+}
+
+TEST(FailureDetector, NeverHeardNodeStillAccruesSuspicion) {
+  // A node that crashes before its first heartbeat must be detectable:
+  // suspicion anchors on the detector's own start (virtual time 0) and the
+  // bootstrapped nominal interval.
+  FailureDetector d(config(), 1);
+  const double t = drive(d, 0, 10, 0.0, [](i32) { return false; });
+  EXPECT_EQ(d.state(0), NodeHealth::kDead);
+  EXPECT_GT(d.phi(0, t), d.config().phi_dead);
+}
+
+TEST(FailureDetector, DeathGatedOnConsecutiveMisses) {
+  FailureDetector d(config(), 1);
+  double now = drive(d, 0, 8, 0.0, [](i32) { return true; });
+  // Silence: phi passes every threshold within a few periods, but death
+  // must wait for min_missed_dead consecutive missed rounds.
+  i32 rounds_to_death = 0;
+  while (d.state(0) != NodeHealth::kDead && rounds_to_death < 64) {
+    now += kPeriod;
+    d.evaluate(0, now, /*missed=*/true);
+    ++rounds_to_death;
+  }
+  EXPECT_EQ(d.state(0), NodeHealth::kDead);
+  EXPECT_GE(rounds_to_death, d.config().min_missed_dead);
+  // Latency anchors: first miss to declaration.
+  EXPECT_GE(d.first_missing_time(0), 0.0);
+  EXPECT_GT(d.declared_dead_time(0), d.first_missing_time(0));
+}
+
+TEST(FailureDetector, DeadIsTerminal) {
+  FailureDetector d(config(), 1);
+  drive(d, 0, 20, 0.0, [](i32) { return false; });
+  ASSERT_EQ(d.state(0), NodeHealth::kDead);
+  const double declared = d.declared_dead_time(0);
+  // A zombie heartbeat must not resurrect the node.
+  d.heartbeat(0, 1.0);
+  d.evaluate(0, 1.0, /*missed=*/false);
+  EXPECT_EQ(d.state(0), NodeHealth::kDead);
+  EXPECT_EQ(d.declared_dead_time(0), declared);
+}
+
+TEST(FailureDetector, SuspectRecoversOnHeartbeat) {
+  // With a jittery heartbeat history the stddev is wide enough that
+  // suspicion climbs gradually: the node passes through kSuspect (not
+  // straight to quarantine) and a fresh heartbeat clears it back to alive.
+  DetectorConfig c = config();
+  FailureDetector d(c, 1);
+  double now = 0.0;
+  for (i32 r = 0; r < 12; ++r) {
+    now += (r % 2 == 0) ? 0.5 * kPeriod : 1.5 * kPeriod;  // jitter
+    d.heartbeat(0, now);
+    d.evaluate(0, now, /*missed=*/false);
+  }
+  ASSERT_EQ(d.state(0), NodeHealth::kAlive);
+  // Grow suspicion round by round until it first leaves kAlive.
+  i32 guard = 0;
+  while (d.state(0) == NodeHealth::kAlive && guard++ < 64) {
+    now += kPeriod;
+    d.evaluate(0, now, /*missed=*/true);
+  }
+  ASSERT_EQ(d.state(0), NodeHealth::kSuspect);
+  EXPECT_TRUE(d.unsettled());
+  now += kPeriod;
+  d.heartbeat(0, now);
+  d.evaluate(0, now, /*missed=*/false);
+  EXPECT_EQ(d.state(0), NodeHealth::kAlive);
+  EXPECT_FALSE(d.unsettled());
+}
+
+TEST(FailureDetector, QuarantineProbationReadmission) {
+  FailureDetector d(config(), 1);
+  double now = drive(d, 0, 8, 0.0, [](i32) { return true; });
+  // Go silent long enough to be quarantined (but short of the death gate).
+  for (i32 r = 0; r < d.config().min_missed_dead - 1; ++r) {
+    now += kPeriod;
+    d.evaluate(0, now, /*missed=*/true);
+  }
+  ASSERT_EQ(d.state(0), NodeHealth::kQuarantined);
+  // The node speaks again: probation, then full readmission after
+  // probation_rounds on-time beats.
+  now += kPeriod;
+  d.heartbeat(0, now);
+  d.evaluate(0, now, /*missed=*/false);
+  ASSERT_EQ(d.state(0), NodeHealth::kProbation);
+  // The readmitting tick itself served one on-time round; the node must
+  // stay on probation for the remaining probation_rounds - 1 beats.
+  for (i32 r = 0; r < d.config().probation_rounds - 1; ++r) {
+    EXPECT_TRUE(d.unsettled());
+    EXPECT_EQ(d.state(0), NodeHealth::kProbation);
+    now += kPeriod;
+    d.heartbeat(0, now);
+    d.evaluate(0, now, /*missed=*/false);
+  }
+  EXPECT_EQ(d.state(0), NodeHealth::kAlive);
+  EXPECT_FALSE(d.unsettled());
+}
+
+TEST(FailureDetector, ProbationRelapseReturnsToQuarantine) {
+  FailureDetector d(config(), 1);
+  double now = drive(d, 0, 8, 0.0, [](i32) { return true; });
+  for (i32 r = 0; r < d.config().min_missed_dead - 1; ++r) {
+    now += kPeriod;
+    d.evaluate(0, now, /*missed=*/true);
+  }
+  ASSERT_EQ(d.state(0), NodeHealth::kQuarantined);
+  now += kPeriod;
+  d.heartbeat(0, now);
+  d.evaluate(0, now, /*missed=*/false);
+  ASSERT_EQ(d.state(0), NodeHealth::kProbation);
+  // Relapse: renewed silence during probation throws the node back to
+  // quarantine. The readmission gap widened the interval window, so phi
+  // climbs more slowly now — allow a bounded number of missed rounds.
+  i32 rounds = 0;
+  while (d.state(0) == NodeHealth::kProbation && rounds++ < 32) {
+    now += kPeriod;
+    d.evaluate(0, now, /*missed=*/true);
+  }
+  EXPECT_EQ(d.state(0), NodeHealth::kQuarantined);
+  EXPECT_LE(rounds, 16);
+}
+
+TEST(FailureDetector, NoFalseDeathAtFivePercentLoss) {
+  // The false-positive acceptance bound: at p(loss) = 0.05, the default
+  // consecutive-miss gate (5) makes a false declaration a ~3e-7 event per
+  // window — across 20k rounds of seeded drops, a live node must never be
+  // declared dead.
+  FailureDetector d(config(), 1);
+  Rng rng(20260809);
+  double now = 0.0;
+  for (i32 r = 0; r < 20000; ++r) {
+    now += kPeriod;
+    const bool dropped = (rng() % 100) < 5;
+    if (!dropped) d.heartbeat(0, now);
+    d.evaluate(0, now, dropped);
+    ASSERT_NE(d.state(0), NodeHealth::kDead) << "round " << r;
+  }
+}
+
+TEST(FailureDetector, NodesInAndValidation) {
+  FailureDetector d(config(), 3);
+  EXPECT_EQ(d.nodes_in(NodeHealth::kAlive), (std::vector<i32>{0, 1, 2}));
+  drive(d, 1, 20, 0.0, [](i32) { return false; });
+  EXPECT_EQ(d.nodes_in(NodeHealth::kDead), (std::vector<i32>{1}));
+  EXPECT_EQ(d.nodes_in(NodeHealth::kAlive), (std::vector<i32>{0, 2}));
+  EXPECT_STREQ(to_string(NodeHealth::kQuarantined), "quarantined");
+
+  DetectorConfig bad = config();
+  bad.phi_suspect = 9.0;  // out of order with phi_quarantine
+  EXPECT_THROW(FailureDetector(bad, 1), Error);
+  EXPECT_THROW(FailureDetector(config(), 0), Error);
+}
+
+}  // namespace
+}  // namespace cods
