@@ -7,12 +7,170 @@
 // larger scale); SAP2/SAP3 grow faster than CAP2 because the sequential
 // scenario issues twice as many concurrent retrieve requests and the two
 // consumers pull simultaneously.
+//
+// Usage:
+//   fig16_weak_scaling                              modeled sweep (above)
+//   fig16_weak_scaling --simulate [--smoke] [--out BENCH_simulate.json]
+//
+// --simulate switches to a live-enactment weak-scaling sweep under
+// ExecMode::kSimulate (docs/SIMULATION.md): every rank of a sequentially
+// coupled producer -> consumer workflow actually executes — puts, DHT
+// registration, redistribution pulls, pattern verification — as
+// discrete-event fibers on one thread, up to 81,920 ranks. Per-task
+// payloads are small (the point is rank-count scaling, not bandwidth).
+// --smoke caps the ladder for the CI Release job; the JSON schema is
+// unchanged.
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+#include "apps/synthetic.hpp"
 #include "paper_config.hpp"
 
 using namespace cods;
 using namespace cods::bench;
 
-int main() {
+namespace {
+
+struct SimulatePoint {
+  i32 side = 0;  ///< producer task grid is side x side
+  i32 producer_tasks = 0;
+  i32 consumer_tasks = 0;
+  i32 ranks = 0;
+  double wall_seconds = 0.0;
+  u64 inter_shm = 0;
+  u64 inter_net = 0;
+  u64 stored_bytes = 0;
+  u64 mismatches = 0;
+};
+
+/// One weak-scaling rung: side^2 producer ranks each put a 2x2-cell
+/// block (32 B), then a side^2/4-rank consumer wave pulls and verifies
+/// the redistributed field, all enacted under ExecMode::kSimulate.
+SimulatePoint run_simulate_point(i32 side) {
+  SimulatePoint point;
+  point.side = side;
+  point.producer_tasks = side * side;
+  point.consumer_tasks = (side / 2) * (side / 2);
+  point.ranks = point.producer_tasks + point.consumer_tasks;
+
+  const i64 extent = 2 * static_cast<i64>(side);
+  Cluster cluster(cluster_for_cores(point.producer_tasks));
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics,
+                        Box{{0, 0}, {extent - 1, extent - 1}});
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server.register_app(
+      app(1, "producer", {extent, extent}, {side, side}),
+      make_pattern_producer({{"field"}, 1, /*sequential=*/true, 1}));
+  server.register_app(
+      app(2, "consumer", {extent, extent}, {side / 2, side / 2}),
+      make_pattern_consumer(
+          {{"field"}, 1, /*sequential=*/true, 1, mismatches, nullptr}),
+      /*consumes_var=*/"field");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kRoundRobin;  // mapping stays O(n)
+  options.exec_mode = ExecMode::kSimulate;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.run(dag, options);
+  point.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  const ByteCounters inter = metrics.counters(2, TrafficClass::kInterApp);
+  point.inter_shm = inter.shm_bytes;
+  point.inter_net = inter.net_bytes;
+  point.stored_bytes = server.space().stored_bytes();
+  point.mismatches = mismatches->load();
+  return point;
+}
+
+int run_simulate_sweep(bool smoke, const std::string& out_path) {
+  std::printf("Figure 16 (simulate mode): live weak-scaling enactment "
+              "under ExecMode::kSimulate\n");
+  rule(86);
+  std::printf("%-7s %-10s %-10s %-8s %12s %12s %12s\n", "side",
+              "producers", "consumers", "ranks", "wall s", "inter MiB",
+              "bad cells");
+  rule(86);
+  std::vector<SimulatePoint> points;
+  for (const i32 side : std::vector<i32>{32, 64, 128, 256}) {
+    if (smoke && side > 64) break;
+    const SimulatePoint p = run_simulate_point(side);
+    points.push_back(p);
+    std::printf("%-7d %-10d %-10d %-8d %12.2f %12.2f %12llu\n", p.side,
+                p.producer_tasks, p.consumer_tasks, p.ranks, p.wall_seconds,
+                static_cast<double>(p.inter_shm + p.inter_net) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(p.mismatches));
+    if (p.mismatches != 0) {
+      std::fprintf(stderr, "pattern verification failed\n");
+      return 1;
+    }
+  }
+  rule(86);
+  std::printf("one OS thread enacted every rank; the largest rung runs "
+              "%d ranks\n", points.back().ranks);
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"fig16_weak_scaling_simulate\",\n"
+               "  \"exec_mode\": \"kSimulate\",\n  \"smoke\": %s,\n"
+               "  \"points\": [\n",
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SimulatePoint& p = points[i];
+    std::fprintf(
+        out,
+        "    {\"side\": %d, \"producer_tasks\": %d, \"consumer_tasks\": %d,"
+        " \"ranks\": %d, \"wall_seconds\": %.3f, \"inter_shm_bytes\": %llu,"
+        " \"inter_net_bytes\": %llu, \"stored_bytes\": %llu,"
+        " \"mismatches\": %llu}%s\n",
+        p.side, p.producer_tasks, p.consumer_tasks, p.ranks, p.wall_seconds,
+        static_cast<unsigned long long>(p.inter_shm),
+        static_cast<unsigned long long>(p.inter_net),
+        static_cast<unsigned long long>(p.stored_bytes),
+        static_cast<unsigned long long>(p.mismatches),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool simulate = false;
+  bool smoke = false;
+  std::string out_path = "BENCH_simulate.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--simulate") == 0) {
+      simulate = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--simulate [--smoke] [--out file.json]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (simulate) return run_simulate_sweep(smoke, out_path);
+
   std::printf("Figure 16: weak scaling of the data retrieve time "
               "(data-centric mapping)\n");
   rule(86);

@@ -4,6 +4,7 @@ namespace cods::blocking {
 
 namespace {
 thread_local Observer* t_observer = nullptr;
+thread_local SimHook* t_sim_hook = nullptr;
 }  // namespace
 
 Observer* current() { return t_observer; }
@@ -11,6 +12,14 @@ Observer* current() { return t_observer; }
 Observer* install(Observer* observer) {
   Observer* previous = t_observer;
   t_observer = observer;
+  return previous;
+}
+
+SimHook* sim_hook() { return t_sim_hook; }
+
+SimHook* install_sim_hook(SimHook* hook) {
+  SimHook* previous = t_sim_hook;
+  t_sim_hook = hook;
   return previous;
 }
 

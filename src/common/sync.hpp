@@ -71,13 +71,26 @@ class CODS_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+  // Under ExecMode::kSimulate (runtime/sim.hpp) a thread-local SimHook
+  // diverts acquisition: the hook spins on try_lock(), suspending the
+  // calling fiber between attempts, and unlock() reports the release so
+  // the engine can wake fiber waiters. Everything stays on one OS
+  // thread, so the native mutex is never contended there; the hook path
+  // exists to keep *fiber* interleavings live-accurate.
   void lock() CODS_ACQUIRE() {
+    if (blocking::SimHook* sim = blocking::sim_hook(); sim != nullptr) {
+      sim->lock(*this);
+      return;
+    }
     lock_order::on_acquire(order_id_);
     impl_.lock();
   }
   void unlock() CODS_RELEASE() {
     impl_.unlock();
     lock_order::on_release(order_id_);
+    if (blocking::SimHook* sim = blocking::sim_hook(); sim != nullptr) {
+      sim->unlock(*this);
+    }
   }
   bool try_lock() CODS_TRY_ACQUIRE(true) {
     if (!impl_.try_lock()) return false;
@@ -190,12 +203,34 @@ class CODS_SCOPED_CAPABILITY ReaderLock {
 /// lock-service and space waits without per-site instrumentation. The
 /// on_block() callback runs while the caller's mutex is still held, so
 /// observers may only take leaf locks (see blocking.hpp).
+/// Under ExecMode::kSimulate the same funnel property carries the whole
+/// discrete-event mode: a thread-local blocking::SimHook diverts every
+/// wait and notification into the engine's virtual event queue (waits
+/// suspend the calling fiber; timeouts become virtual deadlines measured
+/// from the time left until `tp`), so simulated ranks block and wake
+/// with live semantics without ever parking the OS thread.
 class CondVar {
  public:
-  void notify_one() { cv_.notify_one(); }
-  void notify_all() { cv_.notify_all(); }
+  void notify_one() {
+    if (blocking::SimHook* sim = blocking::sim_hook(); sim != nullptr) {
+      sim->notify(this, /*all=*/false);
+      return;
+    }
+    cv_.notify_one();
+  }
+  void notify_all() {
+    if (blocking::SimHook* sim = blocking::sim_hook(); sim != nullptr) {
+      sim->notify(this, /*all=*/true);
+      return;
+    }
+    cv_.notify_all();
+  }
 
   void wait(MutexLock& lock) {
+    if (blocking::SimHook* sim = blocking::sim_hook(); sim != nullptr) {
+      sim->wait(this, *lock.mu_);
+      return;
+    }
     blocking::ScopedBlock block;
     std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
     cv_.wait(native);
@@ -204,6 +239,10 @@ class CondVar {
 
   template <typename Pred>
   void wait(MutexLock& lock, Pred pred) {
+    if (blocking::SimHook* sim = blocking::sim_hook(); sim != nullptr) {
+      while (!pred()) sim->wait(this, *lock.mu_);
+      return;
+    }
     blocking::ScopedBlock block;
     std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
     cv_.wait(native, std::move(pred));
@@ -213,6 +252,13 @@ class CondVar {
   template <typename Clock, typename Duration>
   std::cv_status wait_until(
       MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    if (blocking::SimHook* sim = blocking::sim_hook(); sim != nullptr) {
+      const double seconds =
+          std::chrono::duration<double>(tp - Clock::now()).count();
+      return sim->wait_until(this, *lock.mu_, seconds)
+                 ? std::cv_status::timeout
+                 : std::cv_status::no_timeout;
+    }
     blocking::ScopedBlock block;
     std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
     const std::cv_status status = cv_.wait_until(native, tp);

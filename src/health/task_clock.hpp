@@ -15,6 +15,28 @@ namespace cods {
 
 class TaskClock {
  public:
+  /// The full thread-local clock state. ExecMode::kSimulate multiplexes
+  /// many rank fibers over one OS thread, so the discrete-event engine
+  /// swaps the state in and out around every fiber switch with
+  /// exchange(); each fiber then sees a private clock exactly as if it
+  /// ran on its own thread.
+  struct Snapshot {
+    bool active = false;
+    double elapsed = 0.0;
+    double deadline = 0.0;
+  };
+
+  /// Replaces the thread's clock state with `next` and returns the
+  /// previous state (restore it when the fiber switches back out).
+  static Snapshot exchange(const Snapshot& next) {
+    State& s = state();
+    const Snapshot previous{s.active, s.elapsed, s.deadline};
+    s.active = next.active;
+    s.elapsed = next.elapsed;
+    s.deadline = next.deadline;
+    return previous;
+  }
+
   /// Installs a fresh clock on this thread with an optional deadline in
   /// modelled seconds (0 = none). The runtime calls this per rank body.
   static void install(double deadline = 0.0) {

@@ -282,7 +282,10 @@ Comm Comm::split(i32 color, i32 key) const {
     i64 comm_id;
     i32 my_index;
     i32 group_size;
-    // followed by group_size global ranks in the payload
+    // The member list itself travels out of band: the root registers
+    // each group's global-rank vector with the shared Runtime and peers
+    // attach by comm id, so the split protocol stays O(n) in mailbox
+    // bytes instead of mailing every member an O(group)-sized copy.
   };
 
   std::vector<std::byte> my_assignment;
@@ -306,17 +309,16 @@ Comm Comm::split(i32 color, i32 key) const {
         return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
       });
       const i64 comm_id = runtime_->alloc_comm_id();
-      std::vector<i32> globals;
-      globals.reserve(group.size());
-      for (const Entry& e : group) globals.push_back(global_rank(e.old_rank));
+      auto globals = std::make_shared<std::vector<i32>>();
+      globals->reserve(group.size());
+      for (const Entry& e : group) globals->push_back(global_rank(e.old_rank));
+      runtime_->register_comm_group(comm_id, globals);
       for (size_t i = 0; i < group.size(); ++i) {
         Assignment a{comm_id, static_cast<i32>(i),
                      static_cast<i32>(group.size())};
         const auto* head = reinterpret_cast<const std::byte*>(&a);
-        const auto* tail = reinterpret_cast<const std::byte*>(globals.data());
-        std::vector<std::byte> buf(head, head + sizeof(Assignment));
-        buf.insert(buf.end(), tail, tail + globals.size() * sizeof(i32));
-        assignments[static_cast<size_t>(group[i].old_rank)] = std::move(buf);
+        assignments[static_cast<size_t>(group[i].old_rank)] =
+            std::vector<std::byte>(head, head + sizeof(Assignment));
       }
     }
     // Colorless ranks get an empty assignment.
@@ -334,10 +336,10 @@ Comm Comm::split(i32 color, i32 key) const {
   if (my_assignment.empty()) return Comm{};  // negative color
   Assignment a;
   std::memcpy(&a, my_assignment.data(), sizeof(Assignment));
-  auto members = std::make_shared<std::vector<i32>>(
-      static_cast<size_t>(a.group_size));
-  std::memcpy(members->data(), my_assignment.data() + sizeof(Assignment),
-              static_cast<size_t>(a.group_size) * sizeof(i32));
+  auto members = runtime_->comm_group(a.comm_id);
+  CODS_CHECK(members != nullptr &&
+                 static_cast<i32>(members->size()) == a.group_size,
+             "split: comm group not registered");
   Comm out;
   out.runtime_ = runtime_;
   out.comm_id_ = a.comm_id;
@@ -345,6 +347,18 @@ Comm Comm::split(i32 color, i32 key) const {
   out.app_id_ = app_id_;
   out.members_ = std::move(members);
   return out;
+}
+
+void Runtime::register_comm_group(
+    i64 comm_id, std::shared_ptr<const std::vector<i32>> members) {
+  MutexLock lock(comm_groups_mutex_);
+  comm_groups_[comm_id] = std::move(members);
+}
+
+std::shared_ptr<const std::vector<i32>> Runtime::comm_group(i64 comm_id) {
+  MutexLock lock(comm_groups_mutex_);
+  const auto it = comm_groups_.find(comm_id);
+  return it == comm_groups_.end() ? nullptr : it->second;
 }
 
 void Runtime::run(const std::vector<CoreLoc>& placement,
@@ -366,6 +380,13 @@ std::vector<RankFailure> Runtime::run_collect(
   placement_ = placement;
   mailboxes_.clear();
   for (i32 r = 0; r < n; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  {
+    // Groups registered by previous waves' splits are unreachable once
+    // their Comm handles die with the rank bodies; drop them here so the
+    // registry does not grow over a long campaign.
+    MutexLock lock(comm_groups_mutex_);
+    comm_groups_.clear();
+  }
 
   auto members = std::make_shared<std::vector<i32>>();
   members->resize(static_cast<size_t>(n));
@@ -399,10 +420,20 @@ std::vector<RankFailure> Runtime::run_collect(
     last_task_times_[static_cast<size_t>(r)] = TaskClock::elapsed();
     TaskClock::uninstall();
   };
+  last_sim_stats_ = SimStats{};
   if (exec_mode_ == ExecMode::kPooled) {
     WorkStealingExecutor executor(exec_pool_size_);
     executor.run(n, rank_main);
     last_exec_stats_ = executor.stats();
+  } else if (exec_mode_ == ExecMode::kSimulate) {
+    SimEngine sim(sim_stack_bytes_);
+    sim.run(n, rank_main);
+    last_sim_stats_ = sim.stats();
+    last_exec_stats_ = ExecutorStats{};
+    last_exec_stats_.pool_size = 1;  // the calling scheduler thread
+    last_exec_stats_.total_spawned = 0;
+    last_exec_stats_.peak_live = 1;
+    last_exec_stats_.peak_blocked = last_sim_stats_.peak_blocked;
   } else {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(n));

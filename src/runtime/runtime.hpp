@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 
@@ -21,6 +22,7 @@
 #include "platform/transfer_log.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/sim.hpp"
 
 namespace cods {
 
@@ -35,6 +37,11 @@ enum class ExecMode {
   /// release as a fallback and as the benchmark baseline. Identical
   /// observable behaviour (traces, ledgers, failure order).
   kThreadPerRank,
+  /// Single-threaded discrete-event enactment (runtime/sim.hpp,
+  /// docs/SIMULATION.md): ranks run as cooperative fibers scheduled by
+  /// virtual timestamp, so 100k-rank scenarios enact in seconds with the
+  /// same traces, ledgers and failure order as the live modes.
+  kSimulate,
 };
 
 class Runtime;
@@ -247,8 +254,19 @@ class Runtime {
 
   /// Thread accounting of the most recent run()/run_collect(). Under
   /// kThreadPerRank only pool_size/total_spawned/peak_live are filled
-  /// (all equal to the rank count).
+  /// (all equal to the rank count); under kSimulate no rank threads are
+  /// spawned at all (total_spawned = 0, peak_live = 1 scheduler thread)
+  /// and the event-loop accounting lives in last_sim_stats().
   const ExecutorStats& last_exec_stats() const { return last_exec_stats_; }
+
+  /// Discrete-event accounting of the most recent kSimulate
+  /// run()/run_collect(); zeroed by the live modes.
+  const SimStats& last_sim_stats() const { return last_sim_stats_; }
+
+  /// Per-fiber stack bytes for ExecMode::kSimulate; <= 0 (the default)
+  /// selects SimEngine::kDefaultStackBytes. Set between waves.
+  void set_sim_stack_bytes(i64 bytes) { sim_stack_bytes_ = bytes; }
+  i64 sim_stack_bytes() const { return sim_stack_bytes_; }
 
   /// Per-task deadline in modelled seconds installed into every rank's
   /// TaskClock (src/health/task_clock.hpp); 0 = none. Set between waves.
@@ -267,6 +285,15 @@ class Runtime {
   CoreLoc loc(i32 global_rank) const;
   i64 alloc_comm_id() { return next_comm_id_.fetch_add(1); }
 
+  /// Communicator member-list registry. All ranks live in one process,
+  /// so a split's root registers each group's global-rank vector once
+  /// and peers attach by comm id — keeping the split protocol O(n)
+  /// instead of mailing every member an O(group) copy (65,536-rank
+  /// worlds made that quadratic buffering the enactment memory bound).
+  void register_comm_group(i64 comm_id,
+                           std::shared_ptr<const std::vector<i32>> members);
+  std::shared_ptr<const std::vector<i32>> comm_group(i64 comm_id);
+
  private:
   const Cluster* cluster_;
   Metrics* metrics_;
@@ -283,9 +310,14 @@ class Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CoreLoc> placement_;
   std::atomic<i64> next_comm_id_{1};
+  Mutex comm_groups_mutex_{"runtime.comm_groups"};
+  std::map<i64, std::shared_ptr<const std::vector<i32>>> comm_groups_
+      CODS_GUARDED_BY(comm_groups_mutex_);
   ExecMode exec_mode_ = ExecMode::kPooled;
   i32 exec_pool_size_ = 0;  ///< <= 0: default_pool_size()
+  i64 sim_stack_bytes_ = 0;  ///< <= 0: SimEngine::kDefaultStackBytes
   ExecutorStats last_exec_stats_;
+  SimStats last_sim_stats_;
   double task_deadline_ = 0.0;  ///< set between waves (see set_task_deadline)
   // Written per-rank into disjoint slots while ranks run; read after join.
   std::vector<double> last_task_times_;

@@ -1,0 +1,433 @@
+#include "runtime/sim.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/blocking.hpp"
+#include "common/error.hpp"
+#include "common/sync.hpp"
+#include "health/task_clock.hpp"
+#include "trace/trace.hpp"
+
+// Fiber-switch annotations keep the sanitizers' shadow state coherent
+// while many stacks share one OS thread. ASan must retire a fiber's fake
+// frames on every switch; TSan tracks each fiber as its own logical
+// thread (flag 0 = switches synchronize, matching the cooperative
+// scheduler's sequential semantics).
+#if defined(__SANITIZE_ADDRESS__)
+#define CODS_SIM_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define CODS_SIM_TSAN 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CODS_SIM_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define CODS_SIM_TSAN 1
+#endif
+#endif
+#if defined(CODS_SIM_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(CODS_SIM_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace cods {
+namespace {
+
+struct Impl;
+
+/// Entry point of every fiber (reached through makecontext, which takes
+/// a plain `void (*)()`; the engine and fiber identity travel through
+/// the scheduler's thread-locals instead of makecontext varargs).
+void fiber_trampoline();
+
+thread_local Impl* t_impl = nullptr;
+
+/// One switchable execution context: the scheduler (the thread's native
+/// stack) or a rank fiber.
+struct ContextRec {
+  ucontext_t ctx{};
+  void* fake_stack = nullptr;         // ASan fake-frame save slot
+  const void* stack_bottom = nullptr;  // lowest stack address
+  std::size_t stack_size = 0;
+  void* tsan = nullptr;  // TSan logical-thread handle
+};
+
+struct Fiber {
+  enum class State { kNew, kReady, kRunning, kBlocked, kDone };
+
+  i32 index = -1;
+  State state = State::kNew;
+  ContextRec rec;
+  std::unique_ptr<std::byte[]> stack;
+  /// Virtual timestamp: the modelled seconds this rank's TaskClock had
+  /// accumulated when it last yielded. Orders the ready queue.
+  double vtime = 0.0;
+  /// Thread-local state parked here while the fiber is switched out.
+  TaskClock::Snapshot clock{};
+  TraceContext* trace = nullptr;
+  // Blocking bookkeeping (valid while State::kBlocked on a condvar).
+  const void* wait_cv = nullptr;
+  double deadline = 0.0;
+  bool timed = false;
+  bool timed_out = false;
+  bool cancelled = false;
+  std::exception_ptr error;
+};
+
+/// Ready-queue key: (virtual time, FIFO sequence) — a deterministic
+/// total order, so one seed replays one schedule on any host.
+struct ReadyItem {
+  double vtime = 0.0;
+  u64 seq = 0;
+  i32 index = -1;
+};
+struct ReadyAfter {
+  bool operator()(const ReadyItem& a, const ReadyItem& b) const {
+    if (a.vtime != b.vtime) return a.vtime > b.vtime;
+    return a.seq > b.seq;
+  }
+};
+
+struct Impl : blocking::SimHook {
+  Impl(i64 stack_bytes, SimStats* stats,
+       const std::function<void(i32)>& body)
+      : stack_bytes_(static_cast<std::size_t>(stack_bytes)),
+        stats_(stats),
+        body_(body) {}
+
+  // ---- scheduler ----
+
+  void run(i32 ntasks) {
+    fibers_.resize(static_cast<std::size_t>(ntasks));
+    stats_->fibers = ntasks;
+#if defined(CODS_SIM_TSAN)
+    sched_.tsan = __tsan_get_current_fiber();
+#endif
+    blocking::SimHook* prev_hook = blocking::install_sim_hook(this);
+    Impl* prev_impl = t_impl;
+    t_impl = this;
+    for (i32 index = 0; index < ntasks; ++index) {
+      fibers_[static_cast<std::size_t>(index)].index = index;
+      ready_.push(ReadyItem{0.0, next_seq_++, index});
+    }
+    try {
+      while (completed_ < ntasks) {
+        if (!ready_.empty()) {
+          const ReadyItem item = ready_.top();
+          ready_.pop();
+          dispatch(fibers_[static_cast<std::size_t>(item.index)]);
+          continue;
+        }
+        if (!timed_waiters_.empty()) {
+          fire_earliest_deadline();
+          continue;
+        }
+        // Quiescent with no deadline pending: a true discrete-event
+        // deadlock. Cancel every blocked fiber; their waits throw and
+        // the ranks unwind like any failed operation.
+        CODS_CHECK(blocked_ > 0,
+                   "simulate: scheduler stalled with no blocked fibers");
+        cancel_blocked();
+      }
+    } catch (...) {
+      t_impl = prev_impl;
+      blocking::install_sim_hook(prev_hook);
+      throw;
+    }
+    t_impl = prev_impl;
+    blocking::install_sim_hook(prev_hook);
+    // Surface the lowest-index escaped exception, mirroring the pooled
+    // executor's run() contract.
+    for (Fiber& f : fibers_) {
+      if (f.error != nullptr) std::rethrow_exception(f.error);
+    }
+  }
+
+  void dispatch(Fiber& f) {
+    CODS_CHECK(f.state == Fiber::State::kNew || f.state == Fiber::State::kReady,
+               "simulate: dispatched a fiber that is not runnable");
+    if (f.state == Fiber::State::kNew) prepare(f);
+    f.state = Fiber::State::kRunning;
+    cur_ = &f;
+    // Each fiber owns private thread-local clock and trace state; swap
+    // it in for the fiber's slice and back out for the scheduler's.
+    const TaskClock::Snapshot sched_clock = TaskClock::exchange(f.clock);
+    TraceContext* sched_trace = TraceContext::exchange_current(f.trace);
+    switch_context(sched_, f.rec);
+    f.trace = TraceContext::exchange_current(sched_trace);
+    f.clock = TaskClock::exchange(sched_clock);
+    cur_ = nullptr;
+    stats_->switches += 2;
+    f.vtime = std::max(f.vtime, f.clock.elapsed);
+    stats_->final_vtime = std::max(stats_->final_vtime, f.vtime);
+    if (f.state == Fiber::State::kDone) {
+      ++completed_;
+      retire(f);
+    }
+  }
+
+  void prepare(Fiber& f) {
+    if (!free_stacks_.empty()) {
+      f.stack = std::move(free_stacks_.back());
+      free_stacks_.pop_back();
+    } else {
+      f.stack = std::make_unique<std::byte[]>(stack_bytes_);
+      ++stats_->stacks;
+    }
+    CODS_CHECK(getcontext(&f.rec.ctx) == 0, "simulate: getcontext failed");
+    f.rec.ctx.uc_stack.ss_sp = f.stack.get();
+    f.rec.ctx.uc_stack.ss_size = stack_bytes_;
+    f.rec.ctx.uc_link = &sched_.ctx;
+    f.rec.stack_bottom = f.stack.get();
+    f.rec.stack_size = stack_bytes_;
+#if defined(CODS_SIM_TSAN)
+    f.rec.tsan = __tsan_create_fiber(0);
+#endif
+    makecontext(&f.rec.ctx, fiber_trampoline, 0);
+  }
+
+  void retire(Fiber& f) {
+#if defined(CODS_SIM_TSAN)
+    __tsan_destroy_fiber(f.rec.tsan);
+    f.rec.tsan = nullptr;
+#endif
+    // Recycle the stack for not-yet-started fibers: peak allocation
+    // tracks co-resident ranks, not total ranks, so pipeline-shaped
+    // workloads enact 100k ranks in a handful of stacks.
+    free_stacks_.push_back(std::move(f.stack));
+  }
+
+  /// Swaps execution from `from` to `to`, keeping the sanitizers' view
+  /// of the stacks coherent. `exiting` = `from` never runs again.
+  void switch_context(ContextRec& from, ContextRec& to,
+                      [[maybe_unused]] bool exiting = false) {
+#if defined(CODS_SIM_ASAN)
+    __sanitizer_start_switch_fiber(exiting ? nullptr : &from.fake_stack,
+                                   to.stack_bottom, to.stack_size);
+#endif
+#if defined(CODS_SIM_TSAN)
+    __tsan_switch_to_fiber(to.tsan, 0);
+#endif
+    CODS_CHECK(swapcontext(&from.ctx, &to.ctx) == 0,
+               "simulate: swapcontext failed");
+#if defined(CODS_SIM_ASAN)
+    __sanitizer_finish_switch_fiber(from.fake_stack, nullptr, nullptr);
+#endif
+  }
+
+  void make_ready(Fiber& f) {
+    f.state = Fiber::State::kReady;
+    --blocked_;
+    ready_.push(ReadyItem{f.vtime, next_seq_++, f.index});
+  }
+
+  void fire_earliest_deadline() {
+    const auto it = timed_waiters_.begin();
+    const double deadline = it->first;
+    Fiber& f = fibers_[static_cast<std::size_t>(it->second)];
+    timed_waiters_.erase(it);
+    remove_cv_waiter(f);
+    f.timed_out = true;
+    f.vtime = std::max(f.vtime, deadline);
+    ++stats_->timeouts;
+    make_ready(f);
+  }
+
+  void cancel_blocked() {
+    for (Fiber& f : fibers_) {
+      if (f.state != Fiber::State::kBlocked) continue;
+      f.cancelled = true;
+      ++stats_->cancellations;
+      make_ready(f);
+    }
+    cv_waiters_.clear();
+    mutex_waiters_.clear();
+  }
+
+  void remove_cv_waiter(Fiber& f) {
+    const auto it = cv_waiters_.find(f.wait_cv);
+    CODS_CHECK(it != cv_waiters_.end(), "simulate: waiter not registered");
+    std::vector<i32>& waiters = it->second;
+    waiters.erase(std::find(waiters.begin(), waiters.end(), f.index));
+    if (waiters.empty()) cv_waiters_.erase(it);
+  }
+
+  /// Parks the current fiber and returns once the scheduler resumes it.
+  void suspend() {
+    Fiber& f = *cur_;
+    f.state = Fiber::State::kBlocked;
+    ++blocked_;
+    stats_->peak_blocked = std::max(stats_->peak_blocked, blocked_);
+    switch_context(f.rec, sched_);
+  }
+
+  Fiber& require_fiber() {
+    CODS_CHECK(cur_ != nullptr,
+               "simulate: blocking wait outside any simulated rank");
+    return *cur_;
+  }
+
+  [[noreturn]] static void throw_cancelled() {
+    throw Error(
+        "simulate: rank cancelled to break a discrete-event deadlock "
+        "(every fiber blocked, no virtual deadline pending)");
+  }
+
+  // ---- blocking::SimHook (called from inside fibers) ----
+  // The bodies intentionally acquire and release capabilities across
+  // suspension points, which Clang's thread-safety analysis cannot
+  // model; the fibers are cooperatively scheduled on one OS thread, so
+  // the lock discipline the analysis protects still holds dynamically.
+
+  void lock(Mutex& mu) CODS_NO_THREAD_SAFETY_ANALYSIS override {
+    if (cur_ == nullptr) {
+      // Scheduler-context acquisition: single-threaded, so any holder
+      // would be a suspended fiber and the acquisition would deadlock.
+      CODS_CHECK(mu.try_lock(),
+                 "simulate: scheduler-context lock would block");
+      return;
+    }
+    Fiber& f = *cur_;
+    while (!mu.try_lock()) {
+      ++stats_->mutex_waits;
+      mutex_waiters_[&mu].push_back(f.index);
+      suspend();
+      if (f.cancelled) throw_cancelled();
+    }
+  }
+
+  void unlock(Mutex& mu) override {
+    const auto it = mutex_waiters_.find(&mu);
+    if (it == mutex_waiters_.end()) return;
+    // Wake every waiter; they re-contend deterministically in virtual
+    // ready order and losers re-park.
+    const std::vector<i32> waiters = std::move(it->second);
+    mutex_waiters_.erase(it);
+    for (const i32 index : waiters) {
+      make_ready(fibers_[static_cast<std::size_t>(index)]);
+    }
+  }
+
+  void wait(const void* cv, Mutex& mu)
+      CODS_NO_THREAD_SAFETY_ANALYSIS override {
+    Fiber& f = require_fiber();
+    if (f.cancelled) throw_cancelled();
+    mu.unlock();
+    f.wait_cv = cv;
+    f.timed = false;
+    f.timed_out = false;
+    cv_waiters_[cv].push_back(f.index);
+    suspend();
+    f.wait_cv = nullptr;
+    mu.lock();
+    if (f.cancelled) throw_cancelled();
+  }
+
+  bool wait_until(const void* cv, Mutex& mu, double seconds)
+      CODS_NO_THREAD_SAFETY_ANALYSIS override {
+    Fiber& f = require_fiber();
+    if (f.cancelled) throw_cancelled();
+    if (seconds <= 0.0) {
+      ++stats_->timeouts;
+      return true;
+    }
+    mu.unlock();
+    f.wait_cv = cv;
+    f.timed = true;
+    f.timed_out = false;
+    // TaskClock::elapsed() is the fiber's live virtual clock (its state
+    // is swapped into the thread while the fiber runs).
+    f.deadline = TaskClock::elapsed() + seconds;
+    cv_waiters_[cv].push_back(f.index);
+    timed_waiters_.insert({f.deadline, f.index});
+    suspend();
+    f.wait_cv = nullptr;
+    f.timed = false;
+    const bool timed_out = f.timed_out;
+    mu.lock();
+    if (!timed_out && f.cancelled) throw_cancelled();
+    return timed_out;
+  }
+
+  void notify(const void* cv, bool all) override {
+    ++stats_->notifies;
+    const auto it = cv_waiters_.find(cv);
+    if (it == cv_waiters_.end()) return;
+    std::vector<i32>& waiters = it->second;
+    // FIFO wakeup: notify_one resumes the longest-parked waiter, the
+    // deterministic counterpart of the native "some waiter" contract.
+    std::size_t wake = all ? waiters.size() : std::size_t{1};
+    while (wake-- > 0 && !waiters.empty()) {
+      Fiber& f = fibers_[static_cast<std::size_t>(waiters.front())];
+      waiters.erase(waiters.begin());
+      if (f.timed) timed_waiters_.erase({f.deadline, f.index});
+      make_ready(f);
+    }
+    if (waiters.empty()) cv_waiters_.erase(it);
+  }
+
+  // ---- state ----
+
+  const std::size_t stack_bytes_;
+  SimStats* stats_;
+  const std::function<void(i32)>& body_;
+  std::vector<Fiber> fibers_;
+  std::vector<std::unique_ptr<std::byte[]>> free_stacks_;
+  ContextRec sched_;
+  Fiber* cur_ = nullptr;
+  std::priority_queue<ReadyItem, std::vector<ReadyItem>, ReadyAfter> ready_;
+  std::map<const void*, std::vector<i32>> cv_waiters_;
+  std::map<const Mutex*, std::vector<i32>> mutex_waiters_;
+  std::set<std::pair<double, i32>> timed_waiters_;
+  u64 next_seq_ = 0;
+  i32 blocked_ = 0;
+  i32 completed_ = 0;
+};
+
+void fiber_trampoline() {
+  Impl* impl = t_impl;
+#if defined(CODS_SIM_ASAN)
+  // First entry to this fiber: complete the scheduler's switch and learn
+  // the native stack's bounds for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &impl->sched_.stack_bottom,
+                                  &impl->sched_.stack_size);
+#endif
+  Fiber* f = impl->cur_;
+  try {
+    impl->body_(f->index);
+  } catch (...) {
+    f->error = std::current_exception();
+  }
+  f->state = Fiber::State::kDone;
+  impl->switch_context(f->rec, impl->sched_, /*exiting=*/true);
+  // Unreachable: a done fiber is never resumed.
+}
+
+}  // namespace
+
+SimEngine::SimEngine(i64 stack_bytes)
+    : stack_bytes_(stack_bytes > 0 ? stack_bytes : kDefaultStackBytes) {}
+
+void SimEngine::run(i32 ntasks, const std::function<void(i32)>& body) {
+  stats_ = SimStats{};
+  if (ntasks <= 0) return;
+  CODS_CHECK(blocking::sim_hook() == nullptr,
+             "simulate: nested SimEngine runs on one thread");
+  Impl impl(stack_bytes_, &stats_, body);
+  impl.run(ntasks);
+}
+
+}  // namespace cods

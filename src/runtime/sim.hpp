@@ -1,0 +1,75 @@
+// Discrete-event rank enactment for ExecMode::kSimulate (docs/SIMULATION.md).
+//
+// SimEngine runs every rank body of one run_collect() as a cooperative
+// fiber (ucontext) on the calling OS thread, scheduled by a central
+// event queue keyed by virtual timestamp. A fiber's virtual time is the
+// modelled time its TaskClock accumulated — the same per-operation costs
+// the live modes charge — so event order follows the cost model, not the
+// host scheduler. Blocking never parks the thread: every CondVar wait,
+// Mutex acquisition and notification in src/ diverts through the
+// thread-local blocking::SimHook this engine installs (common/
+// blocking.hpp), suspending the calling fiber until the matching wakeup
+// event. Transports, byte ledgers, fault injection, traces and health
+// heartbeats therefore run byte-for-byte unchanged; the golden-trace and
+// equivalence suites pin simulate-mode output to kPooled's exactly.
+//
+// Timed waits (mailbox receives, space/lock-service waits bounded by
+// RetryPolicy::op_timeout) become virtual deadlines that fire only at
+// quiescence — when no fiber is runnable — mirroring live execution
+// where a timeout can only win once its wakeup is never coming. A
+// quiescent state with no pending deadline is a genuine deadlock; the
+// engine breaks it deterministically by cancelling every blocked fiber
+// (their waits throw cods::Error, unwinding the rank like any failed
+// operation).
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace cods {
+
+/// Accounting of one SimEngine::run(): the discrete-event counterpart of
+/// ExecutorStats (runtime/executor.hpp).
+struct SimStats {
+  i32 fibers = 0;         ///< rank fibers created (== the rank count)
+  u64 switches = 0;       ///< fiber context switches (in + out)
+  u64 notifies = 0;       ///< cv notifications routed through the hook
+  u64 timeouts = 0;       ///< waits resolved by a virtual deadline
+  u64 mutex_waits = 0;    ///< contended Mutex acquisitions (fiber parked)
+  u64 cancellations = 0;  ///< fibers unwound to break a deadlock
+  i32 peak_blocked = 0;   ///< max fibers simultaneously suspended
+  i32 stacks = 0;  ///< stacks allocated (recycling caps this at co-residency)
+  double final_vtime = 0.0;  ///< largest virtual clock any fiber reached
+};
+
+/// Single-threaded discrete-event executor with the same run(n, body)
+/// surface as WorkStealingExecutor. One instance enacts one task set;
+/// stats() describes the most recent run. Bodies must funnel all
+/// blocking through CondVar/Mutex (common/sync.hpp) — true of every
+/// transport and service in src/ — and must not spin-poll without
+/// blocking, since fibers are never preempted.
+class SimEngine {
+ public:
+  /// Stack bytes reserved per fiber; <= 0 selects kDefaultStackBytes.
+  /// Kept below the allocator's mmap threshold so a 100k-rank enactment
+  /// stays within the kernel's memory-map budget; only pages a rank
+  /// actually touches become resident.
+  explicit SimEngine(i64 stack_bytes = 0);
+
+  /// Runs bodies 0..ntasks-1 to completion on the calling thread.
+  /// Rethrows the lowest-index escaped exception after the run drains
+  /// (run_collect's rank wrapper catches per-rank, so engine-driven
+  /// enactments never rethrow here).
+  void run(i32 ntasks, const std::function<void(i32)>& body);
+
+  const SimStats& stats() const { return stats_; }
+
+  static constexpr i64 kDefaultStackBytes = 96 * 1024;
+
+ private:
+  i64 stack_bytes_;
+  SimStats stats_;
+};
+
+}  // namespace cods

@@ -162,6 +162,12 @@ TraceContext::~TraceContext() {
 
 TraceContext* TraceContext::current() { return t_current; }
 
+TraceContext* TraceContext::exchange_current(TraceContext* next) {
+  TraceContext* previous = t_current;
+  t_current = next;
+  return previous;
+}
+
 u64 TraceContext::next_id() {
   const u64 seq = ++track_->seq;
   CODS_CHECK(seq < (u64{1} << TraceRecorder::kSeqBits),

@@ -180,6 +180,13 @@ class TraceContext {
   /// The context installed on the current thread (nullptr = disabled).
   static TraceContext* current();
 
+  /// Replaces the thread's installed context with `next` and returns the
+  /// previous one. ExecMode::kSimulate's engine (runtime/sim.hpp) calls
+  /// this around every fiber switch so each simulated rank keeps its own
+  /// track despite sharing one OS thread; ordinary code should install
+  /// contexts by constructing them instead.
+  static TraceContext* exchange_current(TraceContext* next);
+
   double clock() const { return track_->clock; }
 
   /// Opens a container span at the current clock; returns its id.

@@ -183,6 +183,7 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
   runtime.set_transfer_log(options.transfer_log);
   runtime.set_exec_mode(options.exec_mode);
   runtime.set_exec_pool_size(options.exec_pool_size);
+  runtime.set_sim_stack_bytes(options.sim_stack_bytes);
   const auto failures = runtime.run_collect(cores, [&](RankCtx& ctx) {
     const TaskId task = tasks[static_cast<size_t>(ctx.global_rank)];
     const RegisteredApp& reg = app(task.app_id);
@@ -273,7 +274,12 @@ void WorkflowServer::mitigate_stragglers(
       runtime.set_fault(options.fault, options.retry);
     }
     runtime.set_transfer_log(options.transfer_log);
-    runtime.set_exec_mode(ExecMode::kThreadPerRank);  // a single rank
+    // The copy's world has one rank, but the caller's exec mode still
+    // governs: kSimulate must never fall back to a live thread (its
+    // cross-mode guarantees cover speculation), and a one-rank pool
+    // costs the same as a dedicated thread.
+    runtime.set_exec_mode(options.exec_mode);
+    runtime.set_sim_stack_bytes(options.sim_stack_bytes);
     space_.set_speculation(true);
     const std::vector<CoreLoc> cores{CoreLoc{target, 0}};
     const TaskId spec_task = task;

@@ -55,12 +55,20 @@ struct WorkflowOptions {
   TransferLog* transfer_log = nullptr;
   /// Rank dispatch for every wave (docs/PERF.md "Enactment scaling").
   /// kPooled runs ranks on a bounded work-stealing pool; kThreadPerRank
-  /// restores the legacy one-thread-per-rank dispatch. All observable
-  /// outputs (traces, ledgers, failure handling) are identical.
+  /// restores the legacy one-thread-per-rank dispatch; kSimulate enacts
+  /// ranks as discrete events on one thread (docs/SIMULATION.md). All
+  /// observable outputs (traces, ledgers, failure handling) are
+  /// identical — the cross-mode equivalence suites pin this. Applies to
+  /// every enactment the engine runs, including one-rank speculative
+  /// straggler copies.
   ExecMode exec_mode = ExecMode::kPooled;
   /// Worker cap for kPooled; <= 0 selects the hardware-concurrency
   /// default. Also sizes the mapping-stage DHT lookup parallel-for.
   i32 exec_pool_size = 0;
+  /// Per-fiber stack bytes for kSimulate; <= 0 selects
+  /// SimEngine::kDefaultStackBytes. A memory/depth trade-off knob for
+  /// 100k-rank enactments.
+  i64 sim_stack_bytes = 0;
   /// Health subsystem (docs/FAULT_MODEL.md "Failure detection"): when
   /// `fault` is set the engine learns of node deaths exclusively through
   /// a heartbeat-driven phi-accrual detector configured here — it never

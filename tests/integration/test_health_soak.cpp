@@ -47,7 +47,7 @@ struct SoakResult {
   std::vector<WaveReport> reports;
 };
 
-SoakResult run_soak(u64 seed) {
+SoakResult run_soak(u64 seed, ExecMode mode = ExecMode::kPooled) {
   FaultSpec spec;
   spec.seed = seed;
   spec.p_heartbeat = 0.05;  // the acceptance-criterion loss rate
@@ -75,6 +75,7 @@ SoakResult run_soak(u64 seed) {
   options.fault = &injector;
   options.retry.max_retries = 50;
   options.retry.op_timeout = std::chrono::seconds(2);
+  options.exec_mode = mode;
   server.run(dag, options);
 
   SoakResult result;
@@ -101,6 +102,25 @@ void check_soak(u64 seed) {
   }
   // After both recoveries the space holds the field exactly once.
   EXPECT_EQ(r.stored_bytes, kFieldBytes);
+
+  // Cross-mode soak (docs/SIMULATION.md): the same chaos schedule under
+  // ExecMode::kSimulate must produce the same recovery story — detection
+  // rounds, re-homed ranks and final ledgers — as the live run above.
+  const SoakResult sim = run_soak(seed, ExecMode::kSimulate);
+  EXPECT_EQ(sim.mismatches, r.mismatches);
+  EXPECT_EQ(sim.stored_bytes, r.stored_bytes);
+  ASSERT_EQ(sim.reports.size(), r.reports.size());
+  for (size_t w = 0; w < r.reports.size(); ++w) {
+    SCOPED_TRACE("wave " + std::to_string(w));
+    EXPECT_EQ(sim.reports[w].failed_nodes, r.reports[w].failed_nodes);
+    EXPECT_EQ(sim.reports[w].attempts, r.reports[w].attempts);
+    EXPECT_EQ(sim.reports[w].failed_tasks, r.reports[w].failed_tasks);
+    EXPECT_EQ(sim.reports[w].reexecuted_tasks, r.reports[w].reexecuted_tasks);
+    EXPECT_EQ(sim.reports[w].recovered_bytes, r.reports[w].recovered_bytes);
+    EXPECT_EQ(sim.reports[w].detection_rounds, r.reports[w].detection_rounds);
+    EXPECT_EQ(sim.reports[w].detection_latency,
+              r.reports[w].detection_latency);
+  }
 }
 
 TEST(HealthSoak, SeededChaosRunReconciles) { check_soak(soak_seed()); }

@@ -1,0 +1,784 @@
+// Cross-mode equivalence for ExecMode::kSimulate (docs/SIMULATION.md):
+// the discrete-event engine must be observationally indistinguishable
+// from the live dispatch modes. SimEngine unit tests pin the event
+// semantics (deterministic order, virtual deadlines, FIFO wakeups,
+// deadlock cancellation, stack recycling); runtime-level tests pin rank
+// enactment; and a property suite drives seeded random topologies —
+// fork-join, pipeline, montage-like fanout, fault-injected recovery and
+// straggler speculation — through kSimulate vs kPooled, exact-comparing
+// Chrome exports, WaveReports, ByteCounters and critical-path phase
+// decompositions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "common/error.hpp"
+#include "common/sync.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/sim.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/export.hpp"
+#include "workflow/engine.hpp"
+
+namespace cods {
+namespace {
+
+// ---------------------------------------------------------------------
+// SimEngine unit tests: event semantics in isolation.
+// ---------------------------------------------------------------------
+
+TEST(SimEngine, RunsEveryTaskExactlyOnceInIndexOrder) {
+  SimEngine sim;
+  std::vector<i32> order;
+  sim.run(64, [&](i32 task) { order.push_back(task); });
+  ASSERT_EQ(order.size(), 64u);
+  for (i32 t = 0; t < 64; ++t) EXPECT_EQ(order[static_cast<size_t>(t)], t);
+  const SimStats& stats = sim.stats();
+  EXPECT_EQ(stats.fibers, 64);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.cancellations, 0u);
+  EXPECT_EQ(stats.peak_blocked, 0);
+}
+
+TEST(SimEngine, RecyclesStacksOfRetiredFibers) {
+  // Non-blocking bodies run to completion one after another, so every
+  // fiber after the first reuses the retired predecessor's stack: peak
+  // allocation tracks co-residency, not the rank count.
+  SimEngine sim;
+  i32 ran = 0;
+  sim.run(256, [&](i32) { ++ran; });
+  EXPECT_EQ(ran, 256);
+  EXPECT_EQ(sim.stats().fibers, 256);
+  EXPECT_EQ(sim.stats().stacks, 1);
+}
+
+TEST(SimEngine, RendezvousWakesWaitersInFifoOrder) {
+  // All fibers park until the last arrives; notify_all must release them
+  // in registration order — the deterministic counterpart of "some
+  // waiter wins" — and every parked fiber needs its own stack.
+  constexpr i32 kN = 32;
+  Mutex mu{"test.sim_rendezvous"};
+  CondVar cv;
+  i32 arrived = 0;
+  std::vector<i32> wake_order;
+  SimEngine sim;
+  sim.run(kN, [&](i32 task) {
+    MutexLock lock(mu);
+    ++arrived;
+    if (arrived == kN) cv.notify_all();
+    while (arrived < kN) cv.wait(lock);
+    wake_order.push_back(task);
+  });
+  ASSERT_EQ(wake_order.size(), static_cast<size_t>(kN));
+  EXPECT_EQ(wake_order[0], kN - 1);  // the last arriver never blocked
+  for (i32 i = 1; i < kN; ++i) {
+    EXPECT_EQ(wake_order[static_cast<size_t>(i)], i - 1);
+  }
+  const SimStats& stats = sim.stats();
+  EXPECT_EQ(stats.peak_blocked, kN - 1);
+  EXPECT_EQ(stats.stacks, kN);
+  EXPECT_EQ(stats.cancellations, 0u);
+  EXPECT_GE(stats.notifies, 1u);
+}
+
+TEST(SimEngine, VirtualDeadlineFiresOnlyAtQuiescence) {
+  // A one-hour timed wait resolves instantly — but only after every
+  // runnable fiber has drained, mirroring live execution where a timeout
+  // can only win once its wakeup is never coming.
+  Mutex mu{"test.sim_timed"};
+  CondVar cv;
+  std::vector<std::string> events;
+  SimEngine sim;
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run(2, [&](i32 task) {
+    if (task == 0) {
+      MutexLock lock(mu);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::hours(1);
+      EXPECT_EQ(cv.wait_until(lock, deadline), std::cv_status::timeout);
+      events.push_back("timeout");
+    } else {
+      events.push_back("work");
+    }
+  });
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  EXPECT_EQ(events, (std::vector<std::string>{"work", "timeout"}));
+  EXPECT_EQ(sim.stats().timeouts, 1u);
+  EXPECT_LT(wall_seconds, 60.0);  // virtual, not wall-clock
+}
+
+TEST(SimEngine, NotificationBeatsTheVirtualDeadline) {
+  Mutex mu{"test.sim_notify"};
+  CondVar cv;
+  SimEngine sim;
+  sim.run(2, [&](i32 task) {
+    if (task == 0) {
+      MutexLock lock(mu);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::hours(1);
+      EXPECT_EQ(cv.wait_until(lock, deadline), std::cv_status::no_timeout);
+    } else {
+      MutexLock lock(mu);
+      cv.notify_one();
+    }
+  });
+  EXPECT_EQ(sim.stats().timeouts, 0u);
+  EXPECT_GE(sim.stats().notifies, 1u);
+}
+
+TEST(SimEngine, ContendedMutexParksTheFiber) {
+  // Fiber 0 suspends on a cv while holding `a`, so fiber 1's MutexLock
+  // must park in the hook (a live thread would block in pthreads) and
+  // resume only after fiber 0 unwinds and releases.
+  Mutex a{"test.sim_contended_a"};
+  Mutex b{"test.sim_contended_b"};
+  CondVar cv;
+  std::vector<i32> order;
+  SimEngine sim;
+  sim.run(3, [&](i32 task) {
+    if (task == 0) {
+      MutexLock la(a);
+      {
+        MutexLock lb(b);
+        cv.wait(lb);  // suspends while still holding `a`
+      }
+      order.push_back(0);
+    } else if (task == 1) {
+      MutexLock la(a);  // contended: fiber 0 holds `a` across its wait
+      order.push_back(1);
+    } else {
+      MutexLock lb(b);
+      cv.notify_one();
+      order.push_back(2);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<i32>{2, 0, 1}));
+  EXPECT_GE(sim.stats().mutex_waits, 1u);
+}
+
+TEST(SimEngine, DeadlockIsCancelledDeterministically) {
+  // Nobody ever notifies: quiescence with no pending deadline is a
+  // genuine deadlock, broken by cancelling every blocked fiber. The
+  // waits throw cods::Error; run() rethrows the lowest-index failure.
+  Mutex mu{"test.sim_deadlock"};
+  CondVar cv;
+  SimEngine sim;
+  try {
+    sim.run(2, [&](i32) {
+      MutexLock lock(mu);
+      cv.wait(lock);
+    });
+    FAIL() << "expected cods::Error from the cancelled waits";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(sim.stats().cancellations, 2u);
+}
+
+TEST(SimEngine, RethrowsTheLowestIndexFailure) {
+  SimEngine sim;
+  i32 survivors = 0;
+  try {
+    sim.run(8, [&](i32 task) {
+      if (task == 3 || task == 5) {
+        throw Error("boom " + std::to_string(task));
+      }
+      ++survivors;
+    });
+    FAIL() << "expected cods::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "boom 3");
+  }
+  EXPECT_EQ(survivors, 6);  // failures never stop the other fibers
+  EXPECT_EQ(sim.stats().fibers, 8);
+}
+
+TEST(SimEngine, RejectsNestedRuns) {
+  SimEngine outer;
+  EXPECT_THROW(outer.run(1,
+                         [](i32) {
+                           SimEngine inner;
+                           inner.run(1, [](i32) {});
+                         }),
+               Error);
+}
+
+// ---------------------------------------------------------------------
+// Runtime-level: rank enactment under kSimulate.
+// ---------------------------------------------------------------------
+
+std::vector<CoreLoc> grid_placement(const Cluster& cluster, i32 n) {
+  std::vector<CoreLoc> placement;
+  for (i32 r = 0; r < n; ++r) {
+    placement.push_back(
+        CoreLoc{r / cluster.cores_per_node(), r % cluster.cores_per_node()});
+  }
+  return placement;
+}
+
+struct RingRun {
+  i64 checksum = 0;
+  std::vector<double> task_times;
+  size_t failures = 0;
+};
+
+RingRun run_ring(ExecMode mode) {
+  const i32 n = 64;
+  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 16});
+  Metrics metrics;
+  Runtime runtime(cluster, metrics);
+  runtime.set_exec_mode(mode);
+  runtime.set_exec_pool_size(8);
+  std::atomic<i64> checksum{0};
+  const auto failures =
+      runtime.run_collect(grid_placement(cluster, n), [&](RankCtx& ctx) {
+        const i32 r = ctx.global_rank;
+        const i32 group = r / 8;
+        const i32 next = group * 8 + (r + 1) % 8;
+        const i32 prev = group * 8 + (r + 7) % 8;
+        ctx.world.send_value<i32>(next, /*tag=*/group, r);
+        const i32 got = ctx.world.recv_value<i32>(prev, /*tag=*/group);
+        checksum.fetch_add(got);
+      });
+  RingRun out;
+  out.checksum = checksum.load();
+  out.task_times = runtime.last_task_times();
+  out.failures = failures.size();
+  if (mode == ExecMode::kSimulate) {
+    EXPECT_EQ(runtime.last_sim_stats().fibers, n);
+    EXPECT_EQ(runtime.last_exec_stats().total_spawned, 0);
+  }
+  return out;
+}
+
+TEST(SimulateRuntime, RingPipelineMatchesPooled) {
+  const RingRun pooled = run_ring(ExecMode::kPooled);
+  const RingRun sim = run_ring(ExecMode::kSimulate);
+  EXPECT_EQ(pooled.failures, 0u);
+  EXPECT_EQ(sim.failures, 0u);
+  EXPECT_EQ(pooled.checksum, sim.checksum);
+  // Modelled per-rank seconds are a pure function of the op sequence, so
+  // they must agree bit for bit across dispatch modes.
+  ASSERT_EQ(pooled.task_times.size(), sim.task_times.size());
+  for (size_t r = 0; r < pooled.task_times.size(); ++r) {
+    EXPECT_EQ(pooled.task_times[r], sim.task_times[r]) << "rank " << r;
+  }
+}
+
+TEST(SimulateRuntime, SingleRankHonorsSimulateMode) {
+  // Regression for the engine's old one-rank fast path that silently
+  // forced kThreadPerRank: a single rank must still run as a fiber.
+  Cluster cluster(ClusterSpec{.num_nodes = 1, .cores_per_node = 4});
+  Metrics metrics;
+  Runtime runtime(cluster, metrics);
+  runtime.set_exec_mode(ExecMode::kSimulate);
+  bool ran = false;
+  const auto failures =
+      runtime.run_collect({CoreLoc{0, 0}}, [&](RankCtx& ctx) {
+        ran = ctx.global_rank == 0;
+      });
+  EXPECT_TRUE(failures.empty());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(runtime.last_sim_stats().fibers, 1);
+  EXPECT_EQ(runtime.last_exec_stats().total_spawned, 0);
+}
+
+TEST(SimulateRuntime, FailureOrderingMatchesPooled) {
+  const auto run_failing = [](ExecMode mode) {
+    Cluster cluster(ClusterSpec{.num_nodes = 2, .cores_per_node = 32});
+    Metrics metrics;
+    Runtime runtime(cluster, metrics);
+    runtime.set_exec_mode(mode);
+    runtime.set_exec_pool_size(4);
+    return runtime.run_collect(
+        grid_placement(cluster, 64), [&](RankCtx& ctx) {
+          if (ctx.global_rank % 7 == 3) {
+            throw Error("rank " + std::to_string(ctx.global_rank));
+          }
+        });
+  };
+  const auto pooled = run_failing(ExecMode::kPooled);
+  const auto sim = run_failing(ExecMode::kSimulate);
+  ASSERT_EQ(pooled.size(), sim.size());
+  ASSERT_FALSE(pooled.empty());
+  for (size_t i = 0; i < pooled.size(); ++i) {
+    EXPECT_EQ(pooled[i].global_rank, sim[i].global_rank);
+    std::string pooled_what;
+    std::string sim_what;
+    try {
+      std::rethrow_exception(pooled[i].error);
+    } catch (const std::exception& e) {
+      pooled_what = e.what();
+    }
+    try {
+      std::rethrow_exception(sim[i].error);
+    } catch (const std::exception& e) {
+      sim_what = e.what();
+    }
+    EXPECT_EQ(pooled_what, sim_what);
+  }
+}
+
+TEST(SimulateRuntime, RecvFromSilentPeerTimesOutVirtually) {
+  // Rank 1 exits without sending: rank 0's bounded receive must fail by
+  // its virtual deadline the moment the system quiesces — not after the
+  // two wall-clock seconds a live mode would sleep.
+  Cluster cluster(ClusterSpec{.num_nodes = 1, .cores_per_node = 4});
+  Metrics metrics;
+  Runtime runtime(cluster, metrics);
+  runtime.set_exec_mode(ExecMode::kSimulate);
+  runtime.set_recv_timeout(std::chrono::seconds(2));
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto failures =
+      runtime.run_collect(grid_placement(cluster, 2), [&](RankCtx& ctx) {
+        if (ctx.global_rank == 0) {
+          (void)ctx.world.recv_value<i32>(/*src=*/1, /*tag=*/0);
+        }
+      });
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].global_rank, 0);
+  EXPECT_THROW(std::rethrow_exception(failures[0].error), Error);
+  EXPECT_GE(runtime.last_sim_stats().timeouts, 1u);
+  EXPECT_LT(wall_seconds, 1.5);
+}
+
+// ---------------------------------------------------------------------
+// Property suite: seeded random topologies through kSimulate vs kPooled.
+// ---------------------------------------------------------------------
+
+/// splitmix64: all topology parameters derive from the seed through an
+/// integer hash (src/ bans <random>; a hash keeps replay trivial).
+u64 mix(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+u64 pick(u64 seed, u64 salt, u64 n) { return mix(seed * 1000003 + salt) % n; }
+
+AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
+                 std::vector<i32> procs) {
+  AppSpec app;
+  app.app_id = id;
+  app.name = std::move(name);
+  app.dec = blocked(std::move(extents), std::move(procs));
+  return app;
+}
+
+constexpr i32 kMaxApps = 5;
+
+/// Everything observable about one engine run.
+struct EngineRun {
+  std::string json;
+  std::vector<TraceSpan> spans;
+  std::vector<WaveReport> reports;
+  ByteCounters inter[kMaxApps];
+  ByteCounters intra[kMaxApps];
+  u64 mismatches = 0;
+  u64 stored_bytes = 0;
+  std::vector<Moments> moments;
+  std::vector<std::vector<i64>> histogram;
+};
+
+void capture(EngineRun& out, WorkflowServer& server, Metrics& metrics,
+             TraceRecorder& trace, const std::atomic<u64>* mismatches) {
+  out.spans = trace.snapshot();
+  out.json = to_chrome_trace(out.spans);
+  out.reports = server.wave_reports();
+  for (i32 app = 0; app < kMaxApps; ++app) {
+    out.inter[app] = metrics.counters(app, TrafficClass::kInterApp);
+    out.intra[app] = metrics.counters(app, TrafficClass::kIntraApp);
+  }
+  out.stored_bytes = server.space().stored_bytes();
+  if (mismatches != nullptr) out.mismatches = mismatches->load();
+}
+
+void expect_equivalent(const EngineRun& pooled, const EngineRun& sim) {
+  EXPECT_EQ(pooled.mismatches, 0u);
+  EXPECT_EQ(sim.mismatches, 0u);
+  ASSERT_FALSE(pooled.spans.empty());
+  // The Chrome export is keyed by (wave, attempt, rank) tracks and the
+  // deterministic virtual clock, so it must be bit-identical whether
+  // ranks ran on the pool or as discrete-event fibers.
+  EXPECT_EQ(pooled.json, sim.json);
+
+  // WaveReports, field by field — including the recovery and health
+  // counters, which must not depend on the dispatch mode.
+  ASSERT_EQ(pooled.reports.size(), sim.reports.size());
+  for (size_t w = 0; w < pooled.reports.size(); ++w) {
+    const WaveReport& p = pooled.reports[w];
+    const WaveReport& s = sim.reports[w];
+    EXPECT_EQ(p.apps, s.apps) << "wave " << w;
+    EXPECT_EQ(p.strategy, s.strategy) << "wave " << w;
+    EXPECT_EQ(p.used_server_mapping, s.used_server_mapping) << "wave " << w;
+    EXPECT_EQ(p.used_client_mapping, s.used_client_mapping) << "wave " << w;
+    EXPECT_EQ(p.comm_graph_cut_bytes, s.comm_graph_cut_bytes) << "wave " << w;
+    EXPECT_EQ(p.attempts, s.attempts) << "wave " << w;
+    EXPECT_EQ(p.failed_nodes, s.failed_nodes) << "wave " << w;
+    EXPECT_EQ(p.failed_tasks, s.failed_tasks) << "wave " << w;
+    EXPECT_EQ(p.reexecuted_tasks, s.reexecuted_tasks) << "wave " << w;
+    EXPECT_EQ(p.recovered_bytes, s.recovered_bytes) << "wave " << w;
+    EXPECT_EQ(p.detection_rounds, s.detection_rounds) << "wave " << w;
+    EXPECT_EQ(p.detection_latency, s.detection_latency) << "wave " << w;
+    EXPECT_EQ(p.straggler_tasks, s.straggler_tasks) << "wave " << w;
+    EXPECT_EQ(p.speculated_tasks, s.speculated_tasks) << "wave " << w;
+    EXPECT_EQ(p.speculation_wins, s.speculation_wins) << "wave " << w;
+  }
+
+  // The always-on byte ledger.
+  for (i32 app = 0; app < kMaxApps; ++app) {
+    EXPECT_EQ(pooled.inter[app].shm_bytes, sim.inter[app].shm_bytes);
+    EXPECT_EQ(pooled.inter[app].net_bytes, sim.inter[app].net_bytes);
+    EXPECT_EQ(pooled.intra[app].shm_bytes, sim.intra[app].shm_bytes);
+    EXPECT_EQ(pooled.intra[app].net_bytes, sim.intra[app].net_bytes);
+  }
+  EXPECT_EQ(pooled.stored_bytes, sim.stored_bytes);
+
+  // Critical-path phase decomposition: identical spans must analyze to
+  // identical wave breakdowns; assert the decomposition explicitly so a
+  // regression points at the divergent phase, not at a JSON diff.
+  const TraceAnalysis pa = analyze_trace(pooled.spans);
+  const TraceAnalysis sa = analyze_trace(sim.spans);
+  EXPECT_EQ(pa.total_time, sa.total_time);
+  EXPECT_EQ(pa.critical_length, sa.critical_length);
+  EXPECT_EQ(pa.critical_path, sa.critical_path);
+  EXPECT_EQ(pa.shm_bytes, sa.shm_bytes);
+  EXPECT_EQ(pa.net_bytes, sa.net_bytes);
+  EXPECT_EQ(pa.ledger_spans, sa.ledger_spans);
+  ASSERT_EQ(pa.waves.size(), sa.waves.size());
+  for (size_t w = 0; w < pa.waves.size(); ++w) {
+    const WaveBreakdown& p = pa.waves[w];
+    const WaveBreakdown& s = sa.waves[w];
+    EXPECT_EQ(p.duration, s.duration) << "wave " << w;
+    EXPECT_EQ(p.critical_task, s.critical_task) << "wave " << w;
+    EXPECT_EQ(p.time.compute, s.time.compute) << "wave " << w;
+    EXPECT_EQ(p.time.shm, s.time.shm) << "wave " << w;
+    EXPECT_EQ(p.time.net, s.time.net) << "wave " << w;
+    EXPECT_EQ(p.time.lock_wait, s.time.lock_wait) << "wave " << w;
+    EXPECT_EQ(p.time.redistribute, s.time.redistribute) << "wave " << w;
+    EXPECT_EQ(p.time.control, s.time.control) << "wave " << w;
+    EXPECT_EQ(p.critical_time.total(), s.critical_time.total())
+        << "wave " << w;
+  }
+
+  // Functional outputs of the analysis consumers, when present.
+  ASSERT_EQ(pooled.moments.size(), sim.moments.size());
+  for (size_t i = 0; i < pooled.moments.size(); ++i) {
+    EXPECT_EQ(pooled.moments[i].min, sim.moments[i].min);
+    EXPECT_EQ(pooled.moments[i].max, sim.moments[i].max);
+    EXPECT_EQ(pooled.moments[i].mean, sim.moments[i].mean);
+  }
+  EXPECT_EQ(pooled.histogram, sim.histogram);
+}
+
+/// Fork-join: pattern producer wave then consumer wave, sequentially
+/// coupled; cluster size, decompositions and version count vary by seed.
+EngineRun run_fork_join(u64 seed, ExecMode mode) {
+  const std::vector<std::vector<i64>> extents = {{16, 16}, {32, 16}};
+  const std::vector<std::vector<i32>> prod_procs = {{2, 2}, {4, 2}, {2, 1}};
+  const std::vector<std::vector<i32>> cons_procs = {
+      {2, 1}, {1, 2}, {1, 1}, {2, 2}};
+  const std::vector<i64> ext = extents[pick(seed, 1, extents.size())];
+  const i32 nodes = 3 + static_cast<i32>(pick(seed, 2, 3));
+  const i32 nversions = 1 + static_cast<i32>(pick(seed, 3, 3));
+
+  Cluster cluster(ClusterSpec{.num_nodes = nodes, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics,
+                        Box{{0, 0}, {ext[0] - 1, ext[1] - 1}});
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server.register_app(
+      make_app(1, "producer", ext,
+               prod_procs[pick(seed, 4, prod_procs.size())]),
+      make_pattern_producer({{"field"}, nversions, /*sequential=*/true, seed}));
+  server.register_app(
+      make_app(2, "consumer", ext,
+               cons_procs[pick(seed, 5, cons_procs.size())]),
+      make_pattern_consumer(
+          {{"field"}, nversions, /*sequential=*/true, seed, mismatches,
+           nullptr}),
+      /*consumes_var=*/"field");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+
+  TraceRecorder trace;
+  WorkflowOptions options;
+  options.seed = seed;
+  options.trace = &trace;
+  options.exec_mode = mode;
+  server.run(dag, options);
+
+  EngineRun out;
+  capture(out, server, metrics, trace, mismatches.get());
+  return out;
+}
+
+/// Pipeline: stencil simulation -> moments analysis -> downsampler, a
+/// three-wave dependency chain concurrently coupled through put_cont.
+EngineRun run_pipeline(u64 seed, ExecMode mode) {
+  const std::vector<std::vector<i32>> sim_procs = {{2, 2}, {4, 1}, {2, 1}};
+  const std::vector<std::vector<i32>> ana_procs = {{2, 1}, {1, 2}, {1, 1}};
+  const i32 iterations = 2 + static_cast<i32>(pick(seed, 1, 2));
+  const i32 nodes = 3 + static_cast<i32>(pick(seed, 2, 2));
+
+  Cluster cluster(ClusterSpec{.num_nodes = nodes, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
+  auto moments = std::make_shared<std::vector<Moments>>(
+      static_cast<size_t>(iterations));
+  server.register_app(
+      make_app(1, "stencil", {16, 16},
+               sim_procs[pick(seed, 3, sim_procs.size())]),
+      make_stencil_simulation({"temperature", iterations, /*alpha=*/0.1}));
+  server.register_app(
+      make_app(2, "moments", {16, 16},
+               ana_procs[pick(seed, 4, ana_procs.size())]),
+      make_moments_analysis({"temperature", iterations, moments}));
+  server.register_app(
+      make_app(3, "viz", {16, 16}, {2, 2}),
+      make_downsampler(
+          {"temperature", "temperature_coarse", iterations, /*factor=*/2}));
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_app(3);
+  dag.add_dependency(1, 2);
+  dag.add_dependency(2, 3);
+
+  TraceRecorder trace;
+  WorkflowOptions options;
+  options.seed = seed;
+  options.trace = &trace;
+  options.exec_mode = mode;
+  server.run(dag, options);
+
+  EngineRun out;
+  capture(out, server, metrics, trace, nullptr);
+  out.moments = *moments;
+  return out;
+}
+
+/// Montage-like fanout: one stencil producer feeding three independent
+/// analysis consumers that become ready together in the second wave.
+EngineRun run_fanout(u64 seed, ExecMode mode) {
+  const std::vector<std::vector<i32>> sim_procs = {{2, 2}, {4, 2}};
+  const i32 iterations = 2 + static_cast<i32>(pick(seed, 1, 2));
+  const i32 bins = 8 + static_cast<i32>(pick(seed, 2, 3)) * 4;
+
+  Cluster cluster(ClusterSpec{.num_nodes = 5, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
+  auto moments = std::make_shared<std::vector<Moments>>(
+      static_cast<size_t>(iterations));
+  auto histogram = std::make_shared<std::vector<std::vector<i64>>>(
+      static_cast<size_t>(iterations));
+  server.register_app(
+      make_app(1, "stencil", {16, 16},
+               sim_procs[pick(seed, 3, sim_procs.size())]),
+      make_stencil_simulation({"temperature", iterations, /*alpha=*/0.1}));
+  server.register_app(
+      make_app(2, "moments", {16, 16}, {2, 1}),
+      make_moments_analysis({"temperature", iterations, moments}));
+  server.register_app(
+      make_app(3, "histogram", {16, 16}, {1, 2}),
+      make_histogram_analysis(
+          {"temperature", iterations, /*lo=*/0.0, /*hi=*/1.0, bins,
+           histogram}));
+  server.register_app(
+      make_app(4, "viz", {16, 16}, {2, 2}),
+      make_downsampler(
+          {"temperature", "temperature_coarse", iterations, /*factor=*/2}));
+  DagSpec dag;
+  for (i32 app = 1; app <= 4; ++app) dag.add_app(app);
+  dag.add_dependency(1, 2);
+  dag.add_dependency(1, 3);
+  dag.add_dependency(1, 4);
+
+  TraceRecorder trace;
+  WorkflowOptions options;
+  options.seed = seed;
+  options.trace = &trace;
+  options.exec_mode = mode;
+  server.run(dag, options);
+
+  EngineRun out;
+  capture(out, server, metrics, trace, nullptr);
+  out.moments = *moments;
+  out.histogram = *histogram;
+  return out;
+}
+
+/// Fault-injected fork-join (the chaos-soak shape): a scheduled crash
+/// under heartbeat loss — detection, failover and re-execution must play
+/// out identically in both modes. Seeds also vary transient-loss rates.
+EngineRun run_faulty(u64 seed, ExecMode mode) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.p_heartbeat = 0.05;
+  spec.p_transfer = (pick(seed, 1, 2) == 0) ? 0.0 : 0.05;
+  spec.crashes.push_back(NodeCrash{/*wave=*/0, /*node=*/0, /*after_ops=*/0});
+
+  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server.register_app(
+      make_app(1, "producer", {16, 16}, {4, 2}),
+      make_pattern_producer({{"field"}, 1, /*sequential=*/true, seed}));
+  server.register_app(
+      make_app(2, "consumer", {16, 16}, {2, 2}),
+      make_pattern_consumer(
+          {{"field"}, 1, /*sequential=*/true, seed, mismatches, nullptr}),
+      /*consumes_var=*/"field");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+
+  FaultInjector injector(spec);
+  TraceRecorder trace;
+  WorkflowOptions options;
+  options.seed = seed;
+  options.trace = &trace;
+  options.fault = &injector;
+  options.retry.max_retries = 50;
+  options.retry.op_timeout = std::chrono::seconds(2);
+  options.exec_mode = mode;
+  server.run(dag, options);
+
+  EngineRun out;
+  capture(out, server, metrics, trace, mismatches.get());
+  return out;
+}
+
+/// Straggler speculation: a 50x slowdown on node 0 makes its tasks
+/// stragglers, and speculation re-executes them — through the same
+/// one-rank enactment path that once hardcoded kThreadPerRank.
+EngineRun run_speculative(u64 seed, ExecMode mode) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.slowdowns.push_back(Slowdown{/*wave=*/0, /*node=*/0, /*factor=*/50.0});
+
+  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
+  auto mismatches = std::make_shared<std::atomic<u64>>(0);
+  server.register_app(
+      make_app(1, "producer", {16, 16}, {4, 2}),
+      make_pattern_producer({{"field"}, 1, /*sequential=*/true, seed}));
+  server.register_app(
+      make_app(2, "consumer", {16, 16}, {2, 2}),
+      make_pattern_consumer(
+          {{"field"}, 1, /*sequential=*/true, seed, mismatches, nullptr}),
+      /*consumes_var=*/"field");
+  DagSpec dag;
+  dag.add_app(1);
+  dag.add_app(2);
+  dag.add_dependency(1, 2);
+
+  FaultInjector injector(spec);
+  TraceRecorder trace;
+  WorkflowOptions options;
+  options.seed = seed;
+  options.trace = &trace;
+  options.fault = &injector;
+  options.retry.op_timeout = std::chrono::seconds(2);
+  options.health.speculation = true;
+  options.exec_mode = mode;
+  server.run(dag, options);
+
+  EngineRun out;
+  capture(out, server, metrics, trace, mismatches.get());
+  return out;
+}
+
+TEST(SimulateEquivalence, ForkJoinTopologies) {
+  for (const u64 seed : {u64{1}, u64{2}, u64{3}, u64{4}, u64{5}, u64{6}}) {
+    SCOPED_TRACE("fork-join seed " + std::to_string(seed));
+    expect_equivalent(run_fork_join(seed, ExecMode::kPooled),
+                      run_fork_join(seed, ExecMode::kSimulate));
+  }
+}
+
+TEST(SimulateEquivalence, PipelineTopologies) {
+  for (const u64 seed : {u64{11}, u64{12}, u64{13}, u64{14}}) {
+    SCOPED_TRACE("pipeline seed " + std::to_string(seed));
+    expect_equivalent(run_pipeline(seed, ExecMode::kPooled),
+                      run_pipeline(seed, ExecMode::kSimulate));
+  }
+}
+
+TEST(SimulateEquivalence, FanoutTopologies) {
+  for (const u64 seed : {u64{21}, u64{22}, u64{23}, u64{24}}) {
+    SCOPED_TRACE("fanout seed " + std::to_string(seed));
+    expect_equivalent(run_fanout(seed, ExecMode::kPooled),
+                      run_fanout(seed, ExecMode::kSimulate));
+  }
+}
+
+TEST(SimulateEquivalence, FaultInjectedTopologies) {
+  for (const u64 seed : {u64{31}, u64{32}}) {
+    SCOPED_TRACE("faulty seed " + std::to_string(seed));
+    const EngineRun pooled = run_faulty(seed, ExecMode::kPooled);
+    ASSERT_FALSE(pooled.reports.empty());
+    EXPECT_EQ(pooled.reports[0].failed_nodes, (std::vector<i32>{0}));
+    expect_equivalent(pooled, run_faulty(seed, ExecMode::kSimulate));
+  }
+}
+
+TEST(SimulateEquivalence, SpeculationTopology) {
+  const EngineRun pooled = run_speculative(41, ExecMode::kPooled);
+  ASSERT_FALSE(pooled.reports.empty());
+  EXPECT_GT(pooled.reports[0].straggler_tasks, 0);
+  EXPECT_EQ(pooled.reports[0].speculated_tasks,
+            pooled.reports[0].straggler_tasks);
+  expect_equivalent(pooled, run_speculative(41, ExecMode::kSimulate));
+}
+
+/// Engine-level single-rank workflow: one app, one task, every mode —
+/// the ledgers must agree (regression companion to the runtime-level
+/// SingleRankHonorsSimulateMode pin).
+TEST(SimulateEquivalence, SingleRankWorkflowIdenticalAcrossModes) {
+  const auto run_single = [](ExecMode mode) {
+    Cluster cluster(ClusterSpec{.num_nodes = 1, .cores_per_node = 4});
+    Metrics metrics;
+    WorkflowServer server(cluster, metrics, Box{{0, 0}, {7, 7}});
+    server.register_app(
+        make_app(1, "solo", {8, 8}, {1, 1}),
+        make_pattern_producer({{"field"}, 2, /*sequential=*/true, 9}));
+    DagSpec dag;
+    dag.add_app(1);
+    TraceRecorder trace;
+    WorkflowOptions options;
+    options.seed = 9;
+    options.trace = &trace;
+    options.exec_mode = mode;
+    server.run(dag, options);
+    EngineRun out;
+    capture(out, server, metrics, trace, nullptr);
+    return out;
+  };
+  const EngineRun pooled = run_single(ExecMode::kPooled);
+  EXPECT_GT(pooled.stored_bytes, 0u);
+  expect_equivalent(pooled, run_single(ExecMode::kThreadPerRank));
+  expect_equivalent(pooled, run_single(ExecMode::kSimulate));
+}
+
+}  // namespace
+}  // namespace cods

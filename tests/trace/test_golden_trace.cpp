@@ -182,15 +182,22 @@ void expect_same_run(const TracedRun& pooled, const TracedRun& legacy) {
   }
 }
 
+// Three-way pin across every exec mode: the pooled run is the
+// reference, and both the legacy thread-per-rank dispatch and the
+// discrete-event simulate mode must reproduce its export byte for byte.
 TEST(GoldenTrace, SequentialShapeIdenticalAcrossExecModes) {
+  const TracedRun pooled =
+      run_sequential_shape(21, nullptr, ExecMode::kPooled);
   expect_same_run(
-      run_sequential_shape(21, nullptr, ExecMode::kPooled),
-      run_sequential_shape(21, nullptr, ExecMode::kThreadPerRank));
+      pooled, run_sequential_shape(21, nullptr, ExecMode::kThreadPerRank));
+  expect_same_run(pooled,
+                  run_sequential_shape(21, nullptr, ExecMode::kSimulate));
 }
 
 TEST(GoldenTrace, BundleShapeIdenticalAcrossExecModes) {
-  expect_same_run(run_bundle_shape(23, ExecMode::kPooled),
-                  run_bundle_shape(23, ExecMode::kThreadPerRank));
+  const TracedRun pooled = run_bundle_shape(23, ExecMode::kPooled);
+  expect_same_run(pooled, run_bundle_shape(23, ExecMode::kThreadPerRank));
+  expect_same_run(pooled, run_bundle_shape(23, ExecMode::kSimulate));
 }
 
 TEST(GoldenTrace, LedgerReconcilesExactlyWithTransferLog) {
