@@ -206,6 +206,10 @@ double HybridDart::rpc(const Endpoint& from, const Endpoint& to, u64 count) {
   const double penalty =
       admit_op(FaultSite::kRpc, from, to, /*app_id=*/0, TrafficClass::kControl,
                bytes);
+  // Control-plane RPC bytes feed the kControl counters only: they are
+  // deliberately not journaled or ledger-traced, reconciliation covers
+  // payload traffic (docs/TRACING.md).
+  // codslint-allow(funnel): control-plane bytes are metered, not journaled
   metrics_->record(/*app_id=*/0, TrafficClass::kControl, bytes,
                    select_transport(from.loc, to.loc) == TransportKind::kRdma);
   const double time = penalty + model_.rpc_time(from.loc, to.loc, count) *

@@ -180,7 +180,9 @@ std::string Metrics::report() const {
       agg.net_bytes += c.net_bytes;
       agg.transfers += c.transfers;
     }
+    // codslint-allow(determinism): commutative += merge into a sorted map
     for (const auto& [key, t] : shard.times) raw_times[key] += t;
+    // codslint-allow(determinism): commutative += merge into a sorted map
     for (const auto& [key, n] : shard.event_counts) raw_events[key] += n;
   }
   // Names are read after the shards: an id observed in a shard was interned

@@ -18,6 +18,7 @@ void raise_max(std::atomic<i32>& maximum, i32 value) {
 }  // namespace
 
 i32 WorkStealingExecutor::default_pool_size() {
+  // codslint-allow(blocking): hardware_concurrency is a non-blocking query
   return static_cast<i32>(std::max(2u, std::thread::hardware_concurrency()));
 }
 
@@ -26,6 +27,7 @@ WorkStealingExecutor::WorkStealingExecutor(i32 pool_size)
 
 WorkStealingExecutor::~WorkStealingExecutor() {
   // run() joins its own pool; this only covers a run() that threw.
+  // codslint-allow(blocking): pool teardown; unreachable under kSimulate
   std::vector<std::thread> leftover;
   {
     MutexLock lock(state_mutex_);
@@ -33,6 +35,7 @@ WorkStealingExecutor::~WorkStealingExecutor() {
     leftover.swap(threads_);
   }
   state_cv_.notify_all();
+  // codslint-allow(blocking): joining own pool threads at destruction
   for (std::thread& t : leftover) t.join();
 }
 
@@ -73,6 +76,7 @@ void WorkStealingExecutor::run(i32 ntasks,
   }
 
   // Drain the pool: wake parked spares so they see shutdown, join all.
+  // codslint-allow(blocking): the pool-backed exec mode owns these threads
   std::vector<std::thread> pool;
   {
     MutexLock lock(state_mutex_);
@@ -80,6 +84,7 @@ void WorkStealingExecutor::run(i32 ntasks,
     pool.swap(threads_);
   }
   state_cv_.notify_all();
+  // codslint-allow(blocking): joining own pool after completion signal
   for (std::thread& t : pool) t.join();
 
   stats_.pool_size = pool_size_;

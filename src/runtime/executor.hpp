@@ -117,6 +117,7 @@ class WorkStealingExecutor final : public blocking::Observer {
 
   mutable Mutex state_mutex_{"runtime.exec.state"};
   CondVar state_cv_;  ///< signals done to run(), wake-ups to spares
+  // codslint-allow(blocking): the pool's own threads (kThreads exec mode)
   std::vector<std::thread> threads_ CODS_GUARDED_BY(state_mutex_);
   i32 spares_parked_ CODS_GUARDED_BY(state_mutex_) = 0;
   i32 spare_wakeups_ CODS_GUARDED_BY(state_mutex_) = 0;

@@ -1,0 +1,43 @@
+// Bait for the clock check (tools/analyze/codslint/checks/clock.py).
+//
+// Wall-clock reads and ambient randomness, written plainly, qualified,
+// and through an alias. steady_clock stays allowed (liveness deadlines).
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace bait_clock {
+
+using WallClock = std::chrono::system_clock;  // codslint-expect(clock)
+
+struct Sampler {
+  long stamp() {
+    auto t = std::chrono::system_clock::now();  // codslint-expect(clock)
+    return t.time_since_epoch().count();
+  }
+  long stamp_aliased() {
+    auto t = WallClock::now();                  // codslint-expect(clock)
+    return t.time_since_epoch().count();
+  }
+  long stamp_libc() {
+    return static_cast<long>(time(nullptr));    // codslint-expect(clock)
+  }
+  int roll() {
+    return rand();                              // codslint-expect(clock)
+  }
+  void reseed() {
+    srand(42);                                  // codslint-expect(clock)
+  }
+  unsigned hardware_seed() {
+    std::random_device rd;                      // codslint-expect(clock)
+    return rd();
+  }
+  // Liveness deadline: steady_clock is explicitly allowed, must NOT fire.
+  std::chrono::steady_clock::time_point timeout() {
+    return std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  }
+};
+
+}  // namespace bait_clock

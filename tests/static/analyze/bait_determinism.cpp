@@ -1,0 +1,45 @@
+// Bait for the determinism check
+// (tools/analyze/codslint/checks/determinism.py).
+//
+// Hash-order iteration inside a canonical-output function, both directly
+// and through a type alias; ordered iteration and non-canonical functions
+// must stay silent.
+
+#include <map>
+#include <unordered_map>
+
+namespace bait_det {
+
+using Histogram = std::unordered_map<int, long>;
+
+class Stats {
+ public:
+  long report() const {
+    long total = 0;
+    for (const auto& kv : counts_) {   // codslint-expect(determinism)
+      total += kv.second;
+    }
+    for (const auto& kv : hist_) {     // codslint-expect(determinism)
+      total += kv.second;
+    }
+    for (const auto& kv : sorted_) {   // ordered container: must NOT fire
+      total += kv.second;
+    }
+    return total;
+  }
+  // Same iteration, non-canonical function name: must NOT fire.
+  long gather() const {
+    long total = 0;
+    for (const auto& kv : counts_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, long> counts_;
+  Histogram hist_;
+  std::map<int, long> sorted_;
+};
+
+}  // namespace bait_det

@@ -1,0 +1,47 @@
+// The negative control: idiomatic code that every check must leave alone.
+// steady_clock deadlines (allowed liveness bounds), ordered-map iteration
+// in a canonical-output function, and a `record`-named method on a class
+// that is not a byte-accounting sink. Any finding here fails --self-test.
+
+#include <chrono>
+#include <map>
+
+namespace clean {
+
+struct Sample {
+  int key;
+  long value;
+};
+
+class Accumulator {
+ public:
+  void add(const Sample& s) { totals_[s.key] += s.value; }
+
+  long report() const {
+    long sum = 0;
+    for (const auto& kv : totals_) {  // std::map: deterministic order
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+  std::chrono::steady_clock::time_point deadline() const {
+    return std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  }
+
+ private:
+  std::map<int, long> totals_;
+};
+
+// `record` on a non-sink class: the funnel check resolves receivers by
+// type, so this must not fire anywhere it is called.
+class Notebook {
+ public:
+  void record(long entry) { last_ = entry; }
+  void jot(long entry) { record(entry); }
+
+ private:
+  long last_ = 0;
+};
+
+}  // namespace clean

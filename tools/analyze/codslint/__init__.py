@@ -1,0 +1,10 @@
+"""codslint — AST-based invariant analyzer for the cods codebase.
+
+Checks architectural invariants no compiler enforces (docs/STATIC_ANALYSIS.md):
+the byte-accounting funnel, the blocking/CondVar funnel, wall-clock bans in
+model code, deterministic iteration in canonical outputs, and the static
+lock-order graph. Driven by CMake's compile_commands.json so every rule sees
+resolved types and call targets instead of matching text.
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,7 @@
+"""Check modules. Importing this package registers every check."""
+
+from . import blocking  # noqa: F401
+from . import clock  # noqa: F401
+from . import determinism  # noqa: F401
+from . import funnel  # noqa: F401
+from . import lockorder  # noqa: F401

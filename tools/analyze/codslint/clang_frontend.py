@@ -1,0 +1,97 @@
+"""Optional libclang augmentation for the bundled frontend.
+
+Loaded only when `clang.cindex` imports AND a libclang shared object
+resolves (CI installs python3-clang; the dev container may not have it).
+It walks each TU's real AST and feeds the CodeIndex two kinds of facts the
+token engine is weakest at:
+
+  * type aliases (`using X = std::unordered_map<...>`), including ones
+    produced by macro expansion, merged into index.aliases;
+  * field declared types per class, merged into ClassInfo.fields when the
+    token parser has no entry (never overwriting — the bundled engine also
+    carries field *initializer strings*, which clang cursors don't expose
+    uniformly across versions, and the self-test pins the bundled result).
+
+Everything is wrapped defensively: any clang failure returns a note string
+and leaves the index exactly as the bundled engine built it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import compdb
+from .model import CodeIndex, Field
+
+
+def augment(index: CodeIndex,
+            commands: list[compdb.CompileCommand]) -> Optional[str]:
+    """Returns a human-readable note describing what happened (or None when
+    augmentation is silently unavailable)."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None  # bundled engine only — the expected case off-CI
+    try:
+        clang_index = cindex.Index.create()
+    except Exception as e:  # libclang.so missing or ABI-mismatched
+        return f"libclang unavailable ({e.__class__.__name__}); " \
+               "running on the bundled frontend only"
+    aliases = 0
+    fields = 0
+    parsed = 0
+    try:
+        for cmd in commands:
+            args = ["-x", "c++", "-std=c++20"] + \
+                [f"-I{d}" for d in cmd.include_dirs]
+            try:
+                tu = clang_index.parse(str(cmd.file), args=args)
+            except Exception:
+                continue
+            parsed += 1
+            aliases_d, fields_d = _harvest(cindex, tu.cursor, index)
+            aliases += aliases_d
+            fields += fields_d
+    except Exception as e:
+        return f"libclang walk aborted ({e.__class__.__name__}: {e}); " \
+               "partial augmentation kept"
+    return (f"libclang augmentation: {parsed} TU(s), "
+            f"+{aliases} alias(es), +{fields} field type(s)")
+
+
+def _harvest(cindex, cursor, index: CodeIndex) -> tuple[int, int]:
+    aliases = 0
+    fields = 0
+    K = cindex.CursorKind
+    stack = [cursor]
+    while stack:
+        node = stack.pop()
+        try:
+            kind = node.kind
+        except Exception:
+            continue
+        if kind in (K.TYPE_ALIAS_DECL, K.TYPEDEF_DECL):
+            name = node.spelling
+            try:
+                target = node.underlying_typedef_type.spelling
+            except Exception:
+                target = ""
+            if name and target and name not in index.aliases:
+                index.aliases[name] = target
+                aliases += 1
+        elif kind == K.FIELD_DECL:
+            cls = node.semantic_parent.spelling if node.semantic_parent \
+                else ""
+            info = index.classes.get(cls) or (
+                index.classes.get(index.classes_by_name.get(cls, [""])[0])
+                if index.classes_by_name.get(cls) else None)
+            if info is not None and node.spelling not in info.fields:
+                info.fields[node.spelling] = Field(
+                    node.spelling, node.type.spelling, None,
+                    node.location.line if node.location else 0)
+                fields += 1
+        try:
+            stack.extend(node.get_children())
+        except Exception:
+            pass
+    return aliases, fields

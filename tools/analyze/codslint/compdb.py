@@ -1,0 +1,92 @@
+"""Compilation-database access.
+
+codslint is driven by CMake's compile_commands.json: the database names the
+translation units the build actually compiles and their include paths, so the
+analyzer indexes exactly the code that ships (a file CMake dropped is not
+silently half-checked). Headers are discovered by resolving each TU's
+#include directives against its -I paths, restricted to the analysis root —
+system headers are never parsed, only recognized by name (std:: entities are
+resolved from a built-in table, not from <mutex> itself).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import shlex
+
+
+class CompileCommand:
+    def __init__(self, file: pathlib.Path, directory: pathlib.Path,
+                 include_dirs: list[pathlib.Path]):
+        self.file = file
+        self.directory = directory
+        self.include_dirs = include_dirs
+
+
+def _include_dirs(entry: dict) -> list[pathlib.Path]:
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = shlex.split(entry.get("command", ""))
+    directory = pathlib.Path(entry["directory"])
+    dirs: list[pathlib.Path] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-I" or arg == "-isystem":
+            if i + 1 < len(args):
+                dirs.append((directory / args[i + 1]).resolve())
+                i += 1
+        elif arg.startswith("-I"):
+            dirs.append((directory / arg[2:]).resolve())
+        i += 1
+    return dirs
+
+
+def load(compdb_path: pathlib.Path, root: pathlib.Path,
+         subtree: str = "src") -> list[CompileCommand]:
+    """TUs of the database that live under root/subtree."""
+    with open(compdb_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    scope = (root / subtree).resolve()
+    commands = []
+    for entry in entries:
+        directory = pathlib.Path(entry["directory"])
+        file = (directory / entry["file"]).resolve()
+        if not file.is_relative_to(scope):
+            continue
+        commands.append(CompileCommand(file, directory, _include_dirs(entry)))
+    commands.sort(key=lambda c: c.file)
+    return commands
+
+
+def fallback_commands(root: pathlib.Path,
+                      subtree: str = "src") -> list[CompileCommand]:
+    """No compile_commands.json: synthesize one entry per .cpp under the
+    subtree with the repo convention -I<root>/src. Used by --self-test (the
+    bait corpus is never built) and for quick local runs before configuring."""
+    scope = (root / subtree).resolve()
+    include = [(root / "src").resolve(), scope]
+    return [CompileCommand(p.resolve(), root, include)
+            for p in sorted(scope.rglob("*.cpp"))]
+
+
+_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def local_includes(text: str, include_dirs: list[pathlib.Path],
+                   own_dir: pathlib.Path,
+                   root: pathlib.Path) -> list[pathlib.Path]:
+    """Project headers reachable from one file's quoted #include directives,
+    resolved like the preprocessor would (file's own directory first, then
+    the -I list) and restricted to the analysis root."""
+    found = []
+    for rel in _INCLUDE_RE.findall(text):
+        for base in [own_dir, *include_dirs]:
+            candidate = (base / rel).resolve()
+            if candidate.is_file() and candidate.is_relative_to(root):
+                found.append(candidate)
+                break
+    return found

@@ -1,0 +1,78 @@
+"""Index construction: compilation database -> CodeIndex.
+
+The bundled token/AST-index frontend (model.py) is the authoritative
+engine — it is what the self-test corpus exercises and what CI gates on.
+When the python libclang bindings happen to be importable AND a matching
+libclang shared object loads, clang_frontend augments the finished index
+with alias and field-type facts the token parser may have missed (e.g.
+types introduced through macros). The augmentation can only ADD
+resolution facts; checks never depend on it, so results degrade
+gracefully to the bundled engine on machines without clang — this
+container has no libclang, CI installs python3-clang for the augmented
+path.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Optional
+
+from . import compdb
+from .model import CodeIndex
+
+
+def build_index(commands: list[compdb.CompileCommand],
+                root: pathlib.Path,
+                verbose: bool = False,
+                use_clang: bool = True) -> CodeIndex:
+    """Parse every TU plus its transitively reachable project headers.
+
+    Headers are parsed once even when many TUs include them (the index is
+    global and name-keyed, matching how the checks consume it)."""
+    index = CodeIndex()
+    queue: list[tuple[pathlib.Path, compdb.CompileCommand]] = [
+        (c.file, c) for c in commands]
+    seen: set[str] = set()
+    while queue:
+        path, cmd = queue.pop(0)
+        key = str(path)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            index.notes.append(f"unreadable: {path}: {e}")
+            continue
+        index.add_file(path, text)
+        for inc in compdb.local_includes(text, cmd.include_dirs,
+                                         path.parent, root):
+            if str(inc) not in seen:
+                queue.append((inc, cmd))
+    if use_clang:
+        _augment_with_clang(index, commands, verbose)
+    index.finish()
+    if verbose:
+        print(f"codslint: indexed {len(index.files)} files, "
+              f"{len(index.classes)} classes, "
+              f"{sum(len(d) for d in index.functions.values())} functions",
+              file=sys.stderr)
+        for note in index.notes:
+            print(f"codslint: note: {note}", file=sys.stderr)
+    return index
+
+
+def _augment_with_clang(index: CodeIndex,
+                        commands: list[compdb.CompileCommand],
+                        verbose: bool) -> None:
+    """Best-effort: never raises, never removes facts."""
+    try:
+        from . import clang_frontend
+    except Exception:  # pragma: no cover - import is local, cannot fail
+        return
+    note: Optional[str] = clang_frontend.augment(index, commands)
+    if note:
+        index.notes.append(note)
+        if verbose:
+            print(f"codslint: {note}", file=sys.stderr)

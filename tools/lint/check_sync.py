@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
-"""Lock-discipline and determinism lint for src/ (docs/CONCURRENCY.md).
+"""Lock-discipline location lint for src/ (docs/CONCURRENCY.md).
 
-Rule 1 — lock discipline: raw standard locking primitives (std::mutex,
+One rule family — raw standard locking primitives (std::mutex,
 std::lock_guard, <condition_variable>, ...) are allowed only in
 src/common/sync.hpp, which wraps them behind the annotated Mutex /
 SharedMutex / MutexLock / CondVar types. Everything else must go through
 the wrappers so Clang's -Wthread-safety analysis and the lock-order
-registry see every acquisition.
+registry see every acquisition. These are *location* bans: a plain
+per-line regex answers them exactly, so this lint stays a dependency-free
+pre-commit-fast gate.
 
-Rule 2 — determinism: model code must not read wall clocks or libc
-randomness (std::chrono::system_clock, time(), rand(), ...). The platform
-model is a pure function of its inputs; simulated time comes from the cost
-model and seeds come from explicit config. std::chrono::steady_clock is
-permitted: real-time wait deadlines (recv timeouts) are liveness bounds,
-not model inputs.
+Everything that needs symbol resolution — wall-clock/randomness bans that
+see through type aliases, blocking-primitive funneling, byte-accounting
+funnels, static lock ordering — lives in the AST-based analyzer
+`tools/analyze/codslint` (docs/STATIC_ANALYSIS.md). The determinism rules
+that used to live here were migrated to its `clock` check, which catches
+the alias evasions this lint was blind to.
 
 A line ending in a `check_sync:allow` comment is exempt (used by
 sync.hpp / lock_order.cpp for their own internals). Scope is src/ only:
@@ -32,7 +34,7 @@ import tempfile
 ALLOW_MARKER = "check_sync:allow"
 
 # The wrapper layer itself: the only files allowed to touch the raw
-# primitives (SYNC_RULES skipped; DETERMINISM_RULES still apply).
+# primitives.
 SYNC_EXEMPT = {"src/common/sync.hpp", "src/common/lock_order.cpp"}
 
 # (pattern, message) — applied per line to every .hpp/.cpp under src/.
@@ -60,31 +62,6 @@ SYNC_RULES = [
     ),
 ]
 
-DETERMINISM_RULES = [
-    (
-        re.compile(r"std::chrono::system_clock\b"),
-        "wall clock in model code; model time comes from the cost model "
-        "(steady_clock is allowed for liveness deadlines)",
-    ),
-    (
-        re.compile(r"\b(gettimeofday|clock_gettime)\s*\("),
-        "wall clock in model code; model time comes from the cost model",
-    ),
-    (
-        re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"),
-        "wall clock in model code; model time comes from the cost model",
-    ),
-    (
-        re.compile(r"\b(std::)?s?rand\s*\("),
-        "libc randomness; seeds must come from explicit config "
-        "(see FaultSpec::seed / SplitMix in the codebase)",
-    ),
-    (
-        re.compile(r"std::random_device\b"),
-        "non-deterministic seed source; seeds must come from explicit config",
-    ),
-]
-
 
 def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
     errors = []
@@ -92,39 +69,32 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
         text = path.read_text(encoding="utf-8")
     except UnicodeDecodeError:
         return [f"{path}: not valid UTF-8"]
-    rules = list(DETERMINISM_RULES)
-    if path.relative_to(root).as_posix() not in SYNC_EXEMPT:
-        rules = SYNC_RULES + rules
+    if path.relative_to(root).as_posix() in SYNC_EXEMPT:
+        return []
     for lineno, line in enumerate(text.splitlines(), start=1):
         if ALLOW_MARKER in line:
             continue
-        for pattern, message in rules:
+        for pattern, message in SYNC_RULES:
             if pattern.search(line):
                 errors.append(f"{path}:{lineno}: {message}")
     return errors
 
 
-# One line that must trip each rule, in SYNC_RULES + DETERMINISM_RULES
-# order. The self-test fails if a rule regex rots and stops matching its
-# canonical violation, or if the allow-marker / exemption logic breaks.
+# One line that must trip each rule, in SYNC_RULES order. The self-test
+# fails if a rule regex rots and stops matching its canonical violation,
+# or if the allow-marker / exemption logic breaks.
 SELF_TEST_BAIT = [
     "std::mutex m;",
     "std::lock_guard g(m);",
     "std::condition_variable cv;",
     "#include <mutex>",
-    "auto t = std::chrono::system_clock::now();",
-    "gettimeofday(&tv, nullptr);",
-    "time(nullptr);",
-    "int r = rand();",
-    "std::random_device rd;",
 ]
 
 
 def self_test() -> int:
     """Scan a synthetic tree and verify each rule fires exactly once,
-    allow-marked lines are skipped, and SYNC_EXEMPT files only get the
-    determinism rules."""
-    rules = SYNC_RULES + DETERMINISM_RULES
+    allow-marked lines are skipped, and SYNC_EXEMPT files are skipped."""
+    rules = SYNC_RULES
     assert len(SELF_TEST_BAIT) == len(rules), "bait list out of date"
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -149,16 +119,14 @@ def self_test() -> int:
         errors = check_file(allowed, root)
         if errors:
             failures.append(f"allow marker did not suppress: {errors}")
-        # 3. A SYNC_EXEMPT file skips the sync rules but still gets the
-        #    determinism rules.
+        # 3. A SYNC_EXEMPT file is skipped entirely (it IS the wrapper).
         exempt = root / "src" / "common" / "sync.hpp"
         assert exempt.relative_to(root).as_posix() in SYNC_EXEMPT
         exempt.parent.mkdir(parents=True)
-        exempt.write_text("std::mutex m;\nint r = rand();\n", encoding="utf-8")
+        exempt.write_text("std::mutex m;\n", encoding="utf-8")
         errors = check_file(exempt, root)
-        if len(errors) != 1 or "randomness" not in errors[0]:
-            failures.append(
-                f"exempt file: expected only the rand() hit, got {errors}")
+        if errors:
+            failures.append(f"exempt file flagged: {errors}")
         # 4. A clean file produces nothing.
         clean = root / "src" / "clean.cpp"
         clean.write_text("#include \"common/sync.hpp\"\nMutex m{\"x\"};\n",
