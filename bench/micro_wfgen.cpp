@@ -1,0 +1,169 @@
+// Microbenchmark: throughput of the seeded workflow generator plus the
+// kSimulate enactment path (docs/TESTING.md). Sweeps a contiguous seed
+// range, enacts every generated scenario under the discrete-event engine
+// and checks the full fuzz oracle suite, reporting scenarios/second, the
+// topology mix, and the modelled traffic volume. Doubles as a standalone
+// smoke tool for CI: any oracle failure prints the offending seed and the
+// process exits non-zero, so the run is reproducible from the log alone.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "wfgen/enact.hpp"
+#include "wfgen/oracle.hpp"
+#include "wfgen/wfgen.hpp"
+
+using namespace cods;
+
+namespace {
+
+struct SweepTotals {
+  u64 scenarios = 0;
+  u64 faulty = 0;
+  u64 speculative = 0;
+  u64 waves = 0;
+  u64 topo[4] = {0, 0, 0, 0};
+  u64 shm_bytes = 0;
+  u64 net_bytes = 0;
+  u64 stored_bytes = 0;
+  u64 journal_records = 0;
+  double generate_ms = 0.0;
+  double enact_ms = 0.0;
+  u64 failures = 0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+int run_sweep(u64 base_seed, u64 count, const std::string& out_path) {
+  SweepTotals t;
+  for (u64 seed = base_seed; seed < base_seed + count; ++seed) {
+    const auto gen_start = std::chrono::steady_clock::now();
+    const wfgen::ScenarioSpec spec = wfgen::generate(seed);
+    t.generate_ms += ms_since(gen_start);
+
+    const auto enact_start = std::chrono::steady_clock::now();
+    const wfgen::EnactResult run =
+        wfgen::enact(spec, {.mode = ExecMode::kSimulate});
+    t.enact_ms += ms_since(enact_start);
+
+    ++t.scenarios;
+    ++t.topo[static_cast<size_t>(spec.topology)];
+    if (spec.faulty) ++t.faulty;
+    if (spec.speculation) ++t.speculative;
+    t.waves += run.reports.size();
+    t.shm_bytes += run.analysis.shm_bytes;
+    t.net_bytes += run.analysis.net_bytes;
+    t.stored_bytes += run.stored_bytes;
+    t.journal_records += run.journal.size();
+
+    const wfgen::OracleReport oracles = wfgen::check_oracles(spec, run);
+    if (!oracles.ok() || run.mismatches != 0) {
+      ++t.failures;
+      std::fprintf(stderr,
+                   "FAIL seed %llu (replay: CODS_FUZZ_SEED=%llu "
+                   "CODS_FUZZ_COUNT=1 ./tests/test_fuzz_oracles)\n%s\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed),
+                   oracles.to_string().c_str());
+    }
+  }
+
+  const char* names[4] = {"fork-join", "diamond", "pipeline", "in-situ"};
+  std::printf("Micro: wfgen generate + kSimulate enact + oracle sweep\n");
+  rule(72);
+  std::printf("seeds [%llu, %llu), %llu scenarios: %llu faulty, "
+              "%llu speculative\n",
+              static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(base_seed + count),
+              static_cast<unsigned long long>(t.scenarios),
+              static_cast<unsigned long long>(t.faulty),
+              static_cast<unsigned long long>(t.speculative));
+  std::printf("topology mix:");
+  for (size_t i = 0; i < 4; ++i) {
+    std::printf(" %s=%llu", names[i],
+                static_cast<unsigned long long>(t.topo[i]));
+  }
+  std::printf("\n");
+  const double total_s = (t.generate_ms + t.enact_ms) / 1000.0;
+  std::printf("%-28s %10.2f ms (%.1f us/scenario)\n", "generate",
+              t.generate_ms, 1000.0 * t.generate_ms / t.scenarios);
+  std::printf("%-28s %10.2f ms (%.2f ms/scenario)\n", "enact + oracles",
+              t.enact_ms, t.enact_ms / t.scenarios);
+  std::printf("%-28s %10.1f scenarios/s\n", "throughput",
+              t.scenarios / total_s);
+  std::printf("%-28s %10llu waves, %llu journal records\n", "enacted",
+              static_cast<unsigned long long>(t.waves),
+              static_cast<unsigned long long>(t.journal_records));
+  std::printf("%-28s %10.2f MiB shm, %.2f MiB net, %.2f MiB stored\n",
+              "modelled traffic", t.shm_bytes / (1024.0 * 1024.0),
+              t.net_bytes / (1024.0 * 1024.0),
+              t.stored_bytes / (1024.0 * 1024.0));
+  std::printf("%-28s %10llu\n", "oracle failures",
+              static_cast<unsigned long long>(t.failures));
+  rule(72);
+
+  if (!out_path.empty()) {
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 2;
+    }
+    std::fprintf(
+        out,
+        "{\n  \"base_seed\": %llu,\n  \"count\": %llu,\n"
+        "  \"failures\": %llu,\n  \"generate_ms\": %.3f,\n"
+        "  \"enact_ms\": %.3f,\n  \"waves\": %llu,\n"
+        "  \"shm_bytes\": %llu,\n  \"net_bytes\": %llu,\n"
+        "  \"stored_bytes\": %llu\n}\n",
+        static_cast<unsigned long long>(base_seed),
+        static_cast<unsigned long long>(count),
+        static_cast<unsigned long long>(t.failures), t.generate_ms,
+        t.enact_ms, static_cast<unsigned long long>(t.waves),
+        static_cast<unsigned long long>(t.shm_bytes),
+        static_cast<unsigned long long>(t.net_bytes),
+        static_cast<unsigned long long>(t.stored_bytes));
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return t.failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u64 base_seed = 1;
+  u64 count = 200;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      count = 50;  // the CI Release-job smoke width
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--seed S] [--count N | --smoke] [--out file.json]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+  if (count == 0) {
+    std::fprintf(stderr, "--count must be positive\n");
+    return 2;
+  }
+  return run_sweep(base_seed, count, out_path);
+}

@@ -1,0 +1,575 @@
+#include "wfgen/wfgen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace cods {
+namespace wfgen {
+
+std::string to_string(Topology topology) {
+  switch (topology) {
+    case Topology::kForkJoin:
+      return "fork-join";
+    case Topology::kDiamond:
+      return "diamond";
+    case Topology::kPipeline:
+      return "pipeline";
+    case Topology::kInSituPair:
+      return "in-situ-pair";
+  }
+  return "?";
+}
+
+std::string to_string(AppRole role) {
+  switch (role) {
+    case AppRole::kPatternProducer:
+      return "pattern-producer";
+    case AppRole::kPatternConsumer:
+      return "pattern-consumer";
+    case AppRole::kPatternRelay:
+      return "pattern-relay";
+    case AppRole::kStencil:
+      return "stencil";
+    case AppRole::kMoments:
+      return "moments";
+    case AppRole::kHistogram:
+      return "histogram";
+    case AppRole::kDownsampler:
+      return "downsampler";
+  }
+  return "?";
+}
+
+i32 GenApp::ntasks() const {
+  i32 n = 1;
+  for (const i32 p : procs) n *= p;
+  return n;
+}
+
+Box ScenarioSpec::domain() const {
+  Box box;
+  box.lb = Point::zeros(static_cast<int>(extents.size()));
+  box.ub = Point::zeros(static_cast<int>(extents.size()));
+  for (size_t d = 0; d < extents.size(); ++d) {
+    box.ub[static_cast<int>(d)] = extents[d] - 1;
+  }
+  return box;
+}
+
+u64 ScenarioSpec::domain_cells() const {
+  u64 cells = 1;
+  for (const i64 e : extents) cells *= static_cast<u64>(e);
+  return cells;
+}
+
+DagSpec ScenarioSpec::dag() const {
+  DagSpec out;
+  for (const GenApp& app : apps) out.add_app(app.app_id);
+  for (const auto& [parent, child] : edges) out.add_dependency(parent, child);
+  for (const auto& bundle : bundles) out.add_bundle(bundle);
+  out.validate();
+  return out;
+}
+
+u64 ScenarioSpec::expected_stored_bytes() const {
+  u64 bytes = 0;
+  for (const GenApp& app : apps) {
+    switch (app.role) {
+      case AppRole::kPatternProducer:
+      case AppRole::kPatternRelay:
+        bytes += static_cast<u64>(app.versions) * app.produces.size() *
+                 domain_cells() * elem_size;
+        break;
+      case AppRole::kDownsampler: {
+        u64 coarse = 1;
+        for (const i64 e : extents) {
+          coarse *= static_cast<u64>(e / app.factor);
+        }
+        bytes += static_cast<u64>(app.versions) * coarse * sizeof(double);
+        break;
+      }
+      default:
+        break;  // consumers and put_cont publishers persist nothing
+    }
+  }
+  return bytes;
+}
+
+i32 ScenarioSpec::max_wave_tasks() const {
+  i32 worst = 0;
+  for (const auto& wave : dag().waves()) {
+    i32 tasks = 0;
+    for (const auto& bundle : wave) {
+      for (const i32 app_id : bundle) {
+        for (const GenApp& app : apps) {
+          if (app.app_id == app_id) tasks += app.ntasks();
+        }
+      }
+    }
+    worst = std::max(worst, tasks);
+  }
+  return worst;
+}
+
+namespace {
+
+void append_ints(std::ostringstream& os, const std::vector<i64>& values) {
+  os << "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    os << (i != 0 ? "," : "") << values[i];
+  }
+  os << "]";
+}
+
+void append_strings(std::ostringstream& os,
+                    const std::vector<std::string>& values) {
+  os << "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    os << (i != 0 ? "," : "") << "\"" << values[i] << "\"";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string ScenarioSpec::json() const {
+  // Hand-rolled and canonical on purpose: fixed key order, containers all
+  // ordered, no floating-point formatting surprises (probabilities are
+  // printed as fixed small decimals below). Equal specs <=> equal strings.
+  std::ostringstream os;
+  os << "{\"seed\":" << seed << ",\"topology\":\"" << to_string(topology)
+     << "\",\"cluster\":{\"nodes\":" << cluster.num_nodes
+     << ",\"cores_per_node\":" << cluster.cores_per_node << "}";
+  os << ",\"extents\":";
+  append_ints(os, extents);
+  os << ",\"elem_size\":" << elem_size;
+  os << ",\"apps\":[";
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const GenApp& app = apps[i];
+    os << (i != 0 ? "," : "") << "{\"id\":" << app.app_id << ",\"role\":\""
+       << to_string(app.role) << "\",\"name\":\"" << app.name
+       << "\",\"procs\":";
+    append_ints(os, std::vector<i64>(app.procs.begin(), app.procs.end()));
+    os << ",\"dist\":\"" << cods::to_string(app.dist)
+       << "\",\"block\":" << app.block << ",\"produces\":";
+    append_strings(os, app.produces);
+    os << ",\"consumes\":";
+    append_strings(os, app.consumes);
+    os << ",\"versions\":" << app.versions
+       << ",\"pattern_seed\":" << app.pattern_seed
+       << ",\"consume_seed\":" << app.consume_seed
+       << ",\"factor\":" << app.factor << "}";
+  }
+  os << "],\"edges\":[";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    os << (i != 0 ? "," : "") << "[" << edges[i].first << ","
+       << edges[i].second << "]";
+  }
+  os << "],\"bundles\":[";
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    os << (i != 0 ? "," : "");
+    append_ints(os, std::vector<i64>(bundles[i].begin(), bundles[i].end()));
+  }
+  os << "],\"faulty\":" << (faulty ? "true" : "false");
+  if (faulty) {
+    os << ",\"fault\":{\"seed\":" << fault.seed << ",\"p_transfer\":"
+       << static_cast<int>(fault.p_transfer * 1000) << "e-3,\"p_rpc\":"
+       << static_cast<int>(fault.p_rpc * 1000) << "e-3,\"p_send\":"
+       << static_cast<int>(fault.p_send * 1000) << "e-3,\"p_heartbeat\":"
+       << static_cast<int>(fault.p_heartbeat * 1000)
+       << "e-3,\"p_heartbeat_delay\":"
+       << static_cast<int>(fault.p_heartbeat_delay * 1000)
+       << "e-3,\"crashes\":[";
+    for (size_t i = 0; i < fault.crashes.size(); ++i) {
+      const NodeCrash& c = fault.crashes[i];
+      os << (i != 0 ? "," : "") << "{\"wave\":" << c.wave
+         << ",\"node\":" << c.node << ",\"after_ops\":" << c.after_ops
+         << "}";
+    }
+    os << "],\"slowdowns\":[";
+    for (size_t i = 0; i < fault.slowdowns.size(); ++i) {
+      const Slowdown& s = fault.slowdowns[i];
+      os << (i != 0 ? "," : "") << "{\"wave\":" << s.wave
+         << ",\"node\":" << s.node
+         << ",\"factor\":" << static_cast<int>(s.factor) << "}";
+    }
+    os << "]}";
+  }
+  os << ",\"speculation\":" << (speculation ? "true" : "false") << "}";
+  return os.str();
+}
+
+namespace {
+
+constexpr i32 kMaxTasksPerApp = 12;
+constexpr size_t kMaxBoxesPerTask = 48;
+
+bool chance(Rng& rng, double p) { return rng.uniform() < p; }
+
+/// Samples a process grid whose task count stays within `max_tasks`.
+std::vector<i32> sample_procs(Rng& rng, size_t dims, i32 max_tasks) {
+  std::vector<i32> procs(dims, 1);
+  i32 total = 1;
+  for (size_t d = 0; d < dims; ++d) {
+    const i32 cap = std::min<i32>(4, std::max<i32>(1, max_tasks / total));
+    procs[d] = 1 + static_cast<i32>(rng.below(static_cast<u64>(cap)));
+    total *= procs[d];
+  }
+  return procs;
+}
+
+/// Number of owned segments along one dimension (upper bound over ranks).
+i64 segments_per_dim(i64 extent, i32 nprocs, Dist dist, i64 block) {
+  const i64 eff = dist == Dist::kBlocked
+                      ? (extent + nprocs - 1) / nprocs
+                      : (dist == Dist::kCyclic ? 1 : block);
+  const i64 cycle = eff * nprocs;
+  return std::max<i64>(1, (extent + cycle - 1) / cycle);
+}
+
+/// Samples a distribution for a pattern app, bounding the per-task box
+/// count so cyclic layouts cannot explode the op count.
+void sample_dist(Rng& rng, const std::vector<i64>& extents,
+                 const std::vector<i32>& procs, Dist& dist, i64& block) {
+  dist = Dist::kBlocked;
+  block = 1;
+  const u64 kind = rng.below(10);
+  if (kind >= 7) {
+    const Dist candidate = kind >= 9 ? Dist::kCyclic : Dist::kBlockCyclic;
+    i64 candidate_block = 1;
+    if (candidate == Dist::kBlockCyclic) {
+      candidate_block = 1 + static_cast<i64>(rng.below(4));
+    }
+    size_t boxes = 1;
+    for (size_t d = 0; d < extents.size(); ++d) {
+      boxes *= static_cast<size_t>(segments_per_dim(
+          extents[d], procs[d], candidate, candidate_block));
+    }
+    if (boxes <= kMaxBoxesPerTask) {
+      dist = candidate;
+      block = candidate_block;
+    }
+  }
+}
+
+GenApp make_gen_app(AppRole role, i32 id, const std::string& name,
+                    std::vector<i32> procs, i32 versions, u64 pattern_seed) {
+  GenApp app;
+  app.role = role;
+  app.app_id = id;
+  app.name = name;
+  app.procs = std::move(procs);
+  app.versions = versions;
+  app.pattern_seed = pattern_seed;
+  return app;
+}
+
+/// Samples the fault overlay once the DAG shape (and so the wave count)
+/// is known. `max_crashes` is pre-reserved capacity; pattern-only
+/// scenarios may schedule node deaths, concurrent in-situ bundles keep to
+/// transient/slowdown/heartbeat overlays.
+void sample_faults(Rng& rng, ScenarioSpec& spec, i32 nwaves, i32 max_crashes,
+                   const GenParams& params) {
+  spec.faulty = true;
+  spec.fault.seed = spec.seed;
+  const double transient_rates[3] = {0.0, 0.02, 0.05};
+  spec.fault.p_transfer = transient_rates[rng.below(3)];
+  spec.fault.p_rpc = transient_rates[rng.below(3)];
+  spec.fault.p_send = transient_rates[rng.below(3)];
+  if (chance(rng, 0.5)) spec.fault.p_heartbeat = 0.05;
+  if (chance(rng, 0.3)) spec.fault.p_heartbeat_delay = 0.1;
+
+  i32 ncrashes = 0;
+  if (max_crashes > 0) {
+    ncrashes = static_cast<i32>(rng.below(static_cast<u64>(max_crashes) + 1));
+  }
+  std::vector<i32> victims;
+  for (i32 n = 0; n < spec.cluster.num_nodes; ++n) victims.push_back(n);
+  for (i32 c = 0; c < ncrashes; ++c) {
+    const size_t pick = rng.below(victims.size());
+    NodeCrash crash;
+    crash.node = victims[pick];
+    victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(pick));
+    crash.wave = static_cast<i32>(rng.below(static_cast<u64>(nwaves)));
+    // Draw unconditionally so the two crash flavors share the rest of
+    // the scenario bit for bit.
+    const u64 after_ops = rng.below(8);
+    crash.after_ops =
+        params.deterministic_crashes ? 0 : static_cast<i32>(after_ops);
+    spec.fault.crashes.push_back(crash);
+  }
+  std::sort(spec.fault.crashes.begin(), spec.fault.crashes.end(),
+            [](const NodeCrash& a, const NodeCrash& b) {
+              return std::tie(a.wave, a.node) < std::tie(b.wave, b.node);
+            });
+
+  if (chance(rng, 0.3) && !victims.empty()) {
+    Slowdown slow;
+    slow.node = victims[rng.below(victims.size())];
+    slow.wave = static_cast<i32>(rng.below(static_cast<u64>(nwaves)));
+    slow.factor = 20.0 + static_cast<double>(rng.below(4)) * 10.0;
+    spec.fault.slowdowns.push_back(slow);
+    const bool pattern_only = spec.topology != Topology::kInSituPair;
+    if (pattern_only && chance(rng, params.p_speculation)) {
+      spec.speculation = true;
+    }
+  }
+}
+
+/// Fork-join: one producer putting 1-2 variables, `width` consumers that
+/// each verify all of them in the second wave.
+void build_fork_join(Rng& rng, ScenarioSpec& spec, i32 capacity,
+                     const GenParams& params) {
+  const i32 width =
+      1 + static_cast<i32>(rng.below(static_cast<u64>(params.max_width)));
+  const i32 versions =
+      1 + static_cast<i32>(rng.below(static_cast<u64>(params.max_versions)));
+  const size_t nvars = 1 + rng.below(2);
+  std::vector<std::string> vars;
+  for (size_t v = 0; v < nvars; ++v) {
+    vars.push_back("v" + std::to_string(v + 1));
+  }
+
+  GenApp producer = make_gen_app(
+      AppRole::kPatternProducer, 1, "producer",
+      sample_procs(rng, spec.extents.size(),
+                   std::min(capacity, kMaxTasksPerApp)),
+      versions, rng());
+  producer.produces = vars;
+  sample_dist(rng, spec.extents, producer.procs, producer.dist,
+              producer.block);
+  spec.apps.push_back(producer);
+
+  i32 consumer_budget = capacity;
+  for (i32 c = 0; c < width; ++c) {
+    const i32 per_app = std::max<i32>(
+        1, std::min(kMaxTasksPerApp, consumer_budget / (width - c)));
+    GenApp consumer = make_gen_app(
+        AppRole::kPatternConsumer, 2 + c, "consumer" + std::to_string(c + 1),
+        sample_procs(rng, spec.extents.size(), per_app), versions, 0);
+    consumer.consumes = vars;
+    consumer.consume_seed = producer.pattern_seed;
+    sample_dist(rng, spec.extents, consumer.procs, consumer.dist,
+                consumer.block);
+    consumer_budget -= consumer.ntasks();
+    spec.apps.push_back(consumer);
+    spec.edges.emplace_back(1, 2 + c);
+  }
+}
+
+/// Montage-like diamond: producer -> `width` relays (each re-publishing
+/// its own variable) -> one joining consumer verifying every relay var.
+void build_diamond(Rng& rng, ScenarioSpec& spec, i32 capacity,
+                   const GenParams& params) {
+  const i32 width = 1 + static_cast<i32>(rng.below(
+                            static_cast<u64>(params.max_width)));
+  const i32 versions =
+      1 + static_cast<i32>(rng.below(static_cast<u64>(params.max_versions)));
+
+  GenApp producer = make_gen_app(
+      AppRole::kPatternProducer, 1, "producer",
+      sample_procs(rng, spec.extents.size(),
+                   std::min(capacity, kMaxTasksPerApp)),
+      versions, rng());
+  producer.produces = {"v1"};
+  sample_dist(rng, spec.extents, producer.procs, producer.dist,
+              producer.block);
+  spec.apps.push_back(producer);
+
+  // The join verifies relay var m<i> at index i of its own var list, so
+  // relay i must fill with `relay_base + i*1000` for the join's single
+  // `consume_seed` to line up with every relay (pattern key is
+  // `seed + version + var_index*1000`).
+  const u64 relay_base = rng();
+  std::vector<std::string> mid_vars;
+  i32 relay_budget = capacity;
+  for (i32 m = 0; m < width; ++m) {
+    const i32 per_app = std::max<i32>(
+        1, std::min(kMaxTasksPerApp, relay_budget / (width - m)));
+    GenApp relay = make_gen_app(
+        AppRole::kPatternRelay, 2 + m, "relay" + std::to_string(m + 1),
+        sample_procs(rng, spec.extents.size(), per_app), versions,
+        relay_base + static_cast<u64>(m) * 1000);
+    relay.consumes = {"v1"};
+    relay.consume_seed = producer.pattern_seed;
+    relay.produces = {"m" + std::to_string(m + 1)};
+    sample_dist(rng, spec.extents, relay.procs, relay.dist, relay.block);
+    mid_vars.push_back(relay.produces[0]);
+    relay_budget -= relay.ntasks();
+    spec.apps.push_back(relay);
+    spec.edges.emplace_back(1, 2 + m);
+  }
+
+  GenApp join = make_gen_app(
+      AppRole::kPatternConsumer, 2 + width, "join",
+      sample_procs(rng, spec.extents.size(),
+                   std::min(capacity, kMaxTasksPerApp)),
+      versions, 0);
+  join.consumes = mid_vars;
+  join.consume_seed = relay_base;
+  sample_dist(rng, spec.extents, join.procs, join.dist, join.block);
+  spec.apps.push_back(join);
+  for (i32 m = 0; m < width; ++m) spec.edges.emplace_back(2 + m, 2 + width);
+}
+
+/// Pipeline: a depth-D chain producer -> relays -> consumer. Depth 1 is
+/// the degenerate single-app workflow.
+void build_pipeline(Rng& rng, ScenarioSpec& spec, i32 capacity,
+                    const GenParams& params) {
+  const i32 depth =
+      1 + static_cast<i32>(rng.below(static_cast<u64>(params.max_depth)));
+  const i32 versions =
+      1 + static_cast<i32>(rng.below(static_cast<u64>(params.max_versions)));
+  u64 upstream_seed = 0;
+  for (i32 s = 0; s < depth; ++s) {
+    const AppRole role = s == 0 ? AppRole::kPatternProducer
+                         : s == depth - 1
+                             ? AppRole::kPatternConsumer
+                             : AppRole::kPatternRelay;
+    GenApp stage = make_gen_app(
+        role, 1 + s, "stage" + std::to_string(s + 1),
+        sample_procs(rng, spec.extents.size(),
+                     std::min(capacity, kMaxTasksPerApp)),
+        versions, 0);
+    if (s > 0) {
+      stage.consumes = {"s" + std::to_string(s)};
+      stage.consume_seed = upstream_seed;
+    }
+    // Depth 1 degenerates to a lone producer (nobody consumes).
+    if (role != AppRole::kPatternConsumer || depth == 1) {
+      stage.produces = {"s" + std::to_string(s + 1)};
+      stage.pattern_seed = rng();
+      upstream_seed = stage.pattern_seed;
+    }
+    sample_dist(rng, spec.extents, stage.procs, stage.dist, stage.block);
+    spec.apps.push_back(stage);
+    if (s > 0) spec.edges.emplace_back(s, s + 1);
+  }
+}
+
+/// The paper's in-situ shape: a stencil simulation concurrently coupled
+/// with 1-3 analyses in one bundle (server-side data-centric mapping).
+void build_in_situ(Rng& rng, ScenarioSpec& spec, i32 capacity,
+                   const GenParams& params) {
+  // Geometry constraints: blocked decompositions, nprocs | extent, and
+  // the downsample factor dividing every local extent. Extents that are
+  // multiples of 4 with per-dim nprocs in {1, 2} satisfy all three.
+  spec.elem_size = sizeof(double);
+  for (i64& extent : spec.extents) {
+    extent = 4 * (1 + static_cast<i64>(
+                          rng.below(static_cast<u64>(params.max_extent / 4))));
+  }
+  const i32 iterations =
+      1 + static_cast<i32>(rng.below(static_cast<u64>(params.max_versions)));
+  const i32 nanalyses = 1 + static_cast<i32>(rng.below(3));
+
+  // The whole pair is ONE concurrent wave, so the *sum* of all member
+  // tasks must fit the cluster: split the capacity across members.
+  const i32 budget = std::max<i32>(
+      1, std::min(capacity / (1 + nanalyses), kMaxTasksPerApp));
+  const auto grid_procs = [&rng, &spec, budget]() {
+    std::vector<i32> procs(spec.extents.size(), 1);
+    i32 total = 1;
+    for (size_t d = 0; d < spec.extents.size(); ++d) {
+      if (total * 2 <= budget && chance(rng, 0.6)) {
+        procs[d] = 2;
+        total *= 2;
+      }
+    }
+    return procs;
+  };
+
+  GenApp sim = make_gen_app(AppRole::kStencil, 1, "stencil", grid_procs(),
+                            iterations, 0);
+  sim.produces = {"temperature"};
+  spec.apps.push_back(sim);
+
+  const AppRole roles[3] = {AppRole::kMoments, AppRole::kHistogram,
+                            AppRole::kDownsampler};
+  std::vector<i32> members = {1};
+  for (i32 a = 0; a < nanalyses; ++a) {
+    GenApp analysis = make_gen_app(roles[a], 2 + a, to_string(roles[a]),
+                                   grid_procs(), iterations, 0);
+    analysis.consumes = {"temperature"};
+    if (roles[a] == AppRole::kDownsampler) {
+      analysis.produces = {"temperature_coarse"};
+      analysis.factor = 2;
+    }
+    spec.apps.push_back(analysis);
+    members.push_back(2 + a);
+  }
+  spec.bundles.push_back(members);
+}
+
+}  // namespace
+
+ScenarioSpec generate(u64 seed, const GenParams& params) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  // Draw unconditionally so a pinned topology leaves the rest of the
+  // sampled stream identical to the free draw.
+  const Topology sampled = static_cast<Topology>(rng.below(4));
+  spec.topology = params.topology.value_or(sampled);
+
+  const size_t dims =
+      1 + rng.below(static_cast<u64>(std::clamp(params.max_dims, 1, 3)));
+  spec.extents.resize(dims);
+  for (i64& extent : spec.extents) {
+    extent = 2 + static_cast<i64>(
+                     rng.below(static_cast<u64>(params.max_extent - 1)));
+  }
+  if (chance(rng, params.p_overdecompose)) {
+    // The zero-byte edge: one dimension collapses to a single cell, so
+    // any app with >1 process there has ranks owning nothing.
+    spec.extents[rng.below(dims)] = 1;
+  }
+  spec.elem_size = chance(rng, 0.25) ? 4 : 8;
+
+  spec.cluster.num_nodes =
+      params.min_nodes +
+      static_cast<i32>(rng.below(
+          static_cast<u64>(params.max_nodes - params.min_nodes + 1)));
+  spec.cluster.cores_per_node =
+      params.min_cores_per_node +
+      static_cast<i32>(
+          rng.below(static_cast<u64>(params.max_cores_per_node -
+                                     params.min_cores_per_node + 1)));
+
+  // Decide the fault budget up front: capacity is planned against the
+  // post-crash cluster so recovery always has somewhere to re-home.
+  const bool faulty = params.allow_faults && chance(rng, params.p_fault);
+  const bool sequential_shape = spec.topology != Topology::kInSituPair;
+  i32 max_crashes = 0;
+  if (faulty && sequential_shape && spec.cluster.num_nodes >= 3) {
+    max_crashes = std::min(2, spec.cluster.num_nodes - 2);
+  }
+  const i32 capacity = (spec.cluster.num_nodes - max_crashes) *
+                       spec.cluster.cores_per_node;
+
+  switch (spec.topology) {
+    case Topology::kForkJoin:
+      build_fork_join(rng, spec, capacity, params);
+      break;
+    case Topology::kDiamond:
+      build_diamond(rng, spec, capacity, params);
+      break;
+    case Topology::kPipeline:
+      build_pipeline(rng, spec, capacity, params);
+      break;
+    case Topology::kInSituPair:
+      build_in_situ(rng, spec, capacity, params);
+      break;
+  }
+
+  if (faulty) {
+    const i32 nwaves = static_cast<i32>(spec.dag().waves().size());
+    sample_faults(rng, spec, nwaves, max_crashes, params);
+  }
+  return spec;
+}
+
+}  // namespace wfgen
+}  // namespace cods

@@ -1,0 +1,149 @@
+// Seeded synthetic-workflow generator (docs/TESTING.md): emits diverse,
+// fully parameterized coupled-workflow scenarios — fork-join, montage-like
+// diamonds, pipeline chains and the paper's concurrently coupled in-situ
+// producer/consumer pairs — each reproducible from a single u64 seed.
+// WfBench-style (PAPERS.md): topology, width/depth, box geometry,
+// compute/data ratios and optional fault/slowdown/heartbeat-loss overlays
+// are all sampled deterministically through cods::Rng, never wall clock,
+// so a failing scenario replays bit-identically from its printed seed.
+//
+// The generator produces a *declarative* ScenarioSpec; wfgen/enact.hpp
+// turns one into a live workflow run and wfgen/oracle.hpp checks the
+// invariants every scenario must satisfy regardless of execution mode.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "platform/cluster.hpp"
+#include "workflow/dag.hpp"
+
+namespace cods {
+namespace wfgen {
+
+/// Workflow shapes the generator samples from.
+enum class Topology {
+  kForkJoin,   ///< one producer wave fanning out to W consumers
+  kDiamond,    ///< montage-like: producer -> W relays -> joining consumer
+  kPipeline,   ///< depth-D chain of sequentially coupled relays
+  kInSituPair, ///< paper shape: stencil sim + analyses, one concurrent
+               ///< bundle (optionally followed by a sequential consumer)
+};
+
+std::string to_string(Topology topology);
+
+/// What one generated application does when enacted (wfgen/enact.hpp maps
+/// each role onto the synthetic component apps of src/apps).
+enum class AppRole {
+  kPatternProducer,  ///< put_seq a deterministic pattern (versions 0..V-1)
+  kPatternConsumer,  ///< get_seq + verify every consumed variable
+  kPatternRelay,     ///< consume upstream vars, then produce its own var
+  kStencil,          ///< heat-diffusion sim publishing via put_cont
+  kMoments,          ///< get_cont + global min/max/mean reduction
+  kHistogram,        ///< get_cont + global histogram allreduce
+  kDownsampler,      ///< get_cont, reduce by `factor`, put_seq coarse var
+};
+
+std::string to_string(AppRole role);
+
+/// One application of a generated scenario.
+struct GenApp {
+  AppRole role = AppRole::kPatternProducer;
+  i32 app_id = 0;
+  std::string name;
+  std::vector<i32> procs;  ///< process grid (same rank as the extents)
+  Dist dist = Dist::kBlocked;
+  i64 block = 1;  ///< block size (kBlockCyclic only)
+  /// Variables this app produces / consumes. Pattern roles verify
+  /// consumed data against the producing app's `pattern_seed`.
+  std::vector<std::string> produces;
+  std::vector<std::string> consumes;
+  /// Versions (pattern roles) or coupled iterations (in-situ roles).
+  i32 versions = 1;
+  /// Seed of the pattern this app *produces*. The fill/verify pattern of
+  /// variable v is keyed `seed + version + v*1000`, so a consumer's
+  /// `consume_seed` must equal the upstream seed adjusted for the var's
+  /// index in each app's own list (the generator arranges this).
+  u64 pattern_seed = 1;
+  u64 consume_seed = 1;  ///< seed the consumed vars verify against
+  i32 factor = 2;  ///< downsample factor (kDownsampler only)
+
+  i32 ntasks() const;
+};
+
+/// A complete generated scenario: platform, applications, coupling graph
+/// and the optional fault overlay. Declarative and copyable; build the
+/// executable form with wfgen/enact.hpp.
+struct ScenarioSpec {
+  u64 seed = 1;  ///< the one number that reproduces everything below
+  Topology topology = Topology::kForkJoin;
+  ClusterSpec cluster;
+  std::vector<i64> extents;  ///< coupled-domain box geometry (1-3 dims)
+  u64 elem_size = 8;
+  std::vector<GenApp> apps;
+  std::vector<std::pair<i32, i32>> edges;   ///< sequential couplings
+  std::vector<std::vector<i32>> bundles;    ///< concurrent couplings
+  /// Fault overlay; consulted only when `faulty` is set. Crash waves are
+  /// indices into the DAG's scheduling waves.
+  FaultSpec fault;
+  bool faulty = false;
+  bool speculation = false;  ///< opt-in straggler speculation
+
+  Box domain() const;
+  u64 domain_cells() const;
+  DagSpec dag() const;  ///< validated workflow graph of apps/edges/bundles
+
+  /// Bytes the CoDS space must hold once the run completes: put_seq data
+  /// persists (exactly once, also across recoveries), put_cont data is
+  /// transient. Pure function of the spec.
+  u64 expected_stored_bytes() const;
+
+  /// Largest number of concurrently enacted ranks of any scheduling wave.
+  i32 max_wave_tasks() const;
+
+  /// Canonical JSON description (stable key order): the replay artifact
+  /// the fuzz harness dumps for failing seeds.
+  std::string json() const;
+};
+
+/// Bounds for the sampler. Defaults keep scenarios small enough that a
+/// fuzz sweep enacts hundreds of them in seconds.
+struct GenParams {
+  i32 min_nodes = 2;
+  i32 max_nodes = 6;
+  i32 min_cores_per_node = 2;
+  i32 max_cores_per_node = 6;
+  i32 max_width = 4;   ///< fan-out / relay width
+  i32 max_depth = 4;   ///< pipeline depth (apps in the chain)
+  i32 max_versions = 3;
+  i32 max_dims = 3;
+  i64 max_extent = 20;
+  /// Probability that a scenario carries a fault overlay (transient
+  /// losses, heartbeat drops, slowdowns, scheduled node crashes).
+  double p_fault = 0.35;
+  /// Probability that a slowed-down scenario opts into speculation
+  /// (pattern topologies only; in-situ subroutines use collectives).
+  double p_speculation = 0.5;
+  /// Probability of an overdecomposed dimension (more processes than
+  /// cells), producing ranks that own nothing — the zero-byte edge.
+  double p_overdecompose = 0.1;
+  bool allow_faults = true;
+  /// Pin the topology instead of sampling it (property suites sweep one
+  /// shape across seeds; the sampled parameter space stays identical).
+  std::optional<Topology> topology;
+  /// Force scheduled crashes to fire at wave start (after_ops = 0).
+  /// Mid-wave crash points depend on a cross-thread op counter, so in
+  /// live exec modes the exact trigger op is interleaving-dependent;
+  /// cross-mode differential runs need wave-start crashes, while the
+  /// kSimulate-only oracle sweeps keep the mid-wave coverage.
+  bool deterministic_crashes = false;
+};
+
+/// Deterministically samples one scenario. Identical (seed, params) give
+/// bit-identical specs — json() is the equality witness.
+ScenarioSpec generate(u64 seed, const GenParams& params = {});
+
+}  // namespace wfgen
+}  // namespace cods

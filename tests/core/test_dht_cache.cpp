@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "core/cods.hpp"
+#include "support/seed_report.hpp"
 
 namespace cods {
 namespace {
@@ -191,6 +192,7 @@ TEST_F(DhtCacheTest, CacheIsBounded) {
 class DhtCacheProperty : public ::testing::TestWithParam<u64> {};
 
 TEST_P(DhtCacheProperty, CachedEqualsUncachedUnderMutations) {
+  CODS_SEED_NOTE(GetParam());
   Rng rng(GetParam());
   const Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
   Metrics metrics;

@@ -1,0 +1,79 @@
+// Shared plumbing for the generator-driven fuzz suites (docs/TESTING.md).
+//
+// Seed protocol (mirrors chaos-soak's CODS_SOAK_SEED):
+//   CODS_FUZZ_SEED  — base seed; scenario i of a sweep uses base + i
+//   CODS_FUZZ_COUNT — overrides a sweep's scenario count (e.g. 1 to
+//                     replay exactly one failing scenario)
+//   CODS_FUZZ_DUMP_DIR — when set, every failing scenario's canonical
+//                     JSON is written there as scenario_<seed>.json
+//
+// Every failure is annotated (via CODS_SEED_TRACE) with the replay
+// command line, so a nightly red run reproduces from its log alone.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "support/seed_report.hpp"
+#include "wfgen/enact.hpp"
+#include "wfgen/oracle.hpp"
+
+namespace cods {
+namespace testing {
+
+inline u64 fuzz_base_seed(u64 fallback) {
+  return seed_from_env("CODS_FUZZ_SEED", fallback);
+}
+
+inline i32 fuzz_count(i32 fallback) {
+  return static_cast<i32>(
+      seed_from_env("CODS_FUZZ_COUNT", static_cast<u64>(fallback)));
+}
+
+/// Writes the scenario's replay artifact if CODS_FUZZ_DUMP_DIR is set.
+inline void dump_scenario(const wfgen::ScenarioSpec& spec) {
+  const char* dir = std::getenv("CODS_FUZZ_DUMP_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::ofstream out(std::string(dir) + "/scenario_" +
+                    std::to_string(spec.seed) + ".json");
+  out << spec.json() << "\n";
+}
+
+/// Enacts one scenario, converting an engine-level throw into a test
+/// failure that names the seed. Returns false when the run failed.
+inline bool enact_checked(const wfgen::ScenarioSpec& spec,
+                          const wfgen::EnactOptions& options,
+                          wfgen::EnactResult& out) {
+  try {
+    out = wfgen::enact(spec, options);
+    return true;
+  } catch (const std::exception& e) {
+    dump_scenario(spec);
+    ADD_FAILURE() << "scenario seed " << spec.seed << " ("
+                  << wfgen::to_string(spec.topology)
+                  << ") failed to enact: " << e.what();
+    return false;
+  }
+}
+
+/// Runs every oracle on an enacted scenario; failures carry the full
+/// violation list and dump the replay artifact.
+inline void expect_oracles(const wfgen::ScenarioSpec& spec,
+                           const wfgen::EnactResult& run,
+                           const char* mode_name) {
+  const wfgen::OracleReport report = wfgen::check_oracles(spec, run);
+  if (!report.ok()) {
+    dump_scenario(spec);
+    ADD_FAILURE() << "scenario seed " << spec.seed << " ("
+                  << wfgen::to_string(spec.topology) << ", " << mode_name
+                  << ") violates " << report.violations.size()
+                  << " oracle(s):\n"
+                  << report.to_string();
+  }
+}
+
+}  // namespace testing
+}  // namespace cods

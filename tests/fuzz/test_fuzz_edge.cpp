@@ -1,0 +1,221 @@
+// Generator edge cases: degenerate DAG shapes, zero-byte owners, the
+// single-node platform, and a workflow where *every* wave loses a node.
+// Each scenario runs under kSimulate and kPooled through the same
+// differential comparator and oracle suite as the random sweeps — the
+// corners get no weaker checking than the bulk.
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzz_common.hpp"
+
+namespace cods {
+namespace {
+
+using testing::dump_scenario;
+using testing::enact_checked;
+using testing::expect_oracles;
+using wfgen::AppRole;
+using wfgen::GenApp;
+using wfgen::ScenarioSpec;
+using wfgen::Topology;
+
+/// Differential + oracles, the full treatment for one scenario.
+void check_everything(const ScenarioSpec& spec) {
+  wfgen::EnactResult sim;
+  wfgen::EnactResult pooled;
+  if (!enact_checked(spec, {.mode = ExecMode::kSimulate}, sim)) return;
+  if (!enact_checked(spec, {.mode = ExecMode::kPooled}, pooled)) return;
+  const std::string diff = wfgen::diff_runs(sim, pooled);
+  if (!diff.empty()) {
+    dump_scenario(spec);
+    ADD_FAILURE() << "seed " << spec.seed << " diverges across modes: "
+                  << diff;
+  }
+  expect_oracles(spec, sim, "kSimulate");
+  expect_oracles(spec, pooled, "kPooled");
+}
+
+GenApp pattern_app(AppRole role, i32 id, const std::string& name,
+                   std::vector<i32> procs, i32 versions) {
+  GenApp app;
+  app.role = role;
+  app.app_id = id;
+  app.name = name;
+  app.procs = std::move(procs);
+  app.versions = versions;
+  return app;
+}
+
+TEST(FuzzEdge, DepthOneDegenerateDagIsALoneProducer) {
+  // The smallest possible workflow: one app, one wave, no coupling.
+  ScenarioSpec spec;
+  spec.seed = 1;
+  spec.topology = Topology::kPipeline;
+  spec.cluster = ClusterSpec{.num_nodes = 2, .cores_per_node = 4};
+  spec.extents = {8, 8};
+  GenApp solo = pattern_app(AppRole::kPatternProducer, 1, "solo", {2, 2},
+                            /*versions=*/2);
+  solo.produces = {"s1"};
+  solo.pattern_seed = 11;
+  spec.apps = {solo};
+  ASSERT_EQ(spec.dag().waves().size(), 1u);
+  EXPECT_EQ(spec.expected_stored_bytes(), 2u * 8 * 8 * 8);
+  check_everything(spec);
+}
+
+TEST(FuzzEdge, WidthOneForkJoinIsAPlainProducerConsumerPair) {
+  ScenarioSpec spec;
+  spec.seed = 2;
+  spec.topology = Topology::kForkJoin;
+  spec.cluster = ClusterSpec{.num_nodes = 3, .cores_per_node = 4};
+  spec.extents = {12, 6};
+  GenApp producer = pattern_app(AppRole::kPatternProducer, 1, "producer",
+                                {3, 2}, /*versions=*/1);
+  producer.produces = {"v1"};
+  producer.pattern_seed = 21;
+  GenApp consumer = pattern_app(AppRole::kPatternConsumer, 2, "consumer",
+                                {2, 1}, /*versions=*/1);
+  consumer.consumes = {"v1"};
+  consumer.consume_seed = 21;
+  spec.apps = {producer, consumer};
+  spec.edges = {{1, 2}};
+  ASSERT_EQ(spec.dag().waves().size(), 2u);
+  check_everything(spec);
+}
+
+TEST(FuzzEdge, ZeroByteOwnersFromOverdecomposedDimension) {
+  // 1 cell along dim 0 split over 4 processes: ranks 1-3 own nothing and
+  // must enact cleanly — no puts, no gets, no bytes, just the barrier.
+  ScenarioSpec spec;
+  spec.seed = 3;
+  spec.topology = Topology::kForkJoin;
+  spec.cluster = ClusterSpec{.num_nodes = 3, .cores_per_node = 4};
+  spec.extents = {1, 6};
+  GenApp producer = pattern_app(AppRole::kPatternProducer, 1, "producer",
+                                {4, 1}, /*versions=*/2);
+  producer.produces = {"v1"};
+  producer.pattern_seed = 31;
+  GenApp consumer = pattern_app(AppRole::kPatternConsumer, 2, "consumer",
+                                {1, 4}, /*versions=*/2);
+  consumer.consumes = {"v1"};
+  consumer.consume_seed = 31;
+  spec.apps = {producer, consumer};
+  spec.edges = {{1, 2}};
+  // Only the owning ranks store: 1x6 cells x 8 bytes x 2 versions.
+  EXPECT_EQ(spec.expected_stored_bytes(), 2u * 1 * 6 * 8);
+  check_everything(spec);
+}
+
+TEST(FuzzEdge, SingleNodePlatformKeepsEveryByteInSharedMemory) {
+  ScenarioSpec spec;
+  spec.seed = 4;
+  spec.topology = Topology::kPipeline;
+  spec.cluster = ClusterSpec{.num_nodes = 1, .cores_per_node = 6};
+  spec.extents = {10, 10};
+  GenApp producer = pattern_app(AppRole::kPatternProducer, 1, "stage1",
+                                {2, 2}, /*versions=*/1);
+  producer.produces = {"s1"};
+  producer.pattern_seed = 41;
+  GenApp relay = pattern_app(AppRole::kPatternRelay, 2, "stage2", {1, 2},
+                             /*versions=*/1);
+  relay.consumes = {"s1"};
+  relay.consume_seed = 41;
+  relay.produces = {"s2"};
+  relay.pattern_seed = 42;
+  GenApp consumer = pattern_app(AppRole::kPatternConsumer, 3, "stage3",
+                                {2, 1}, /*versions=*/1);
+  consumer.consumes = {"s2"};
+  consumer.consume_seed = 42;
+  spec.apps = {producer, relay, consumer};
+  spec.edges = {{1, 2}, {2, 3}};
+
+  wfgen::EnactResult sim;
+  ASSERT_TRUE(enact_checked(spec, {.mode = ExecMode::kSimulate}, sim));
+  expect_oracles(spec, sim, "kSimulate");
+  // One node: network traffic is impossible, shm traffic is not.
+  u64 net = 0;
+  u64 shm = 0;
+  for (const auto* counters : {&sim.inter, &sim.intra, &sim.control}) {
+    for (const auto& [app, c] : *counters) {
+      net += c.net_bytes;
+      shm += c.shm_bytes;
+    }
+  }
+  EXPECT_EQ(net, 0u);
+  EXPECT_GT(shm, 0u);
+  check_everything(spec);
+}
+
+TEST(FuzzEdge, EveryWaveLosesANode) {
+  // Depth-3 pipeline on 5 nodes; waves 0, 1, 2 lose nodes 0, 1, 2. Each
+  // victim hosts work when it dies and every recovery must re-home onto
+  // the shrinking survivor set while all oracles keep holding.
+  ScenarioSpec spec;
+  spec.seed = 5;
+  spec.topology = Topology::kPipeline;
+  spec.cluster = ClusterSpec{.num_nodes = 5, .cores_per_node = 4};
+  spec.extents = {16, 8};
+  GenApp producer = pattern_app(AppRole::kPatternProducer, 1, "stage1",
+                                {4, 2}, /*versions=*/1);
+  producer.produces = {"s1"};
+  producer.pattern_seed = 51;
+  GenApp relay = pattern_app(AppRole::kPatternRelay, 2, "stage2", {2, 4},
+                             /*versions=*/1);
+  relay.consumes = {"s1"};
+  relay.consume_seed = 51;
+  relay.produces = {"s2"};
+  relay.pattern_seed = 52;
+  GenApp consumer = pattern_app(AppRole::kPatternConsumer, 3, "stage3",
+                                {4, 2}, /*versions=*/1);
+  consumer.consumes = {"s2"};
+  consumer.consume_seed = 52;
+  spec.apps = {producer, relay, consumer};
+  spec.edges = {{1, 2}, {2, 3}};
+  spec.faulty = true;
+  spec.fault.seed = 5;
+  spec.fault.crashes = {NodeCrash{/*wave=*/0, /*node=*/0, /*after_ops=*/0},
+                        NodeCrash{/*wave=*/1, /*node=*/1, /*after_ops=*/0},
+                        NodeCrash{/*wave=*/2, /*node=*/2, /*after_ops=*/0}};
+  ASSERT_EQ(spec.dag().waves().size(), 3u);
+
+  wfgen::EnactResult sim;
+  ASSERT_TRUE(enact_checked(spec, {.mode = ExecMode::kSimulate}, sim));
+  expect_oracles(spec, sim, "kSimulate");
+  ASSERT_EQ(sim.reports.size(), 3u);
+  for (size_t w = 0; w < sim.reports.size(); ++w) {
+    EXPECT_EQ(sim.reports[w].failed_nodes,
+              std::vector<i32>{static_cast<i32>(w)})
+        << "wave " << w;
+    EXPECT_GT(sim.reports[w].attempts, 1) << "wave " << w;
+    EXPECT_GT(sim.reports[w].reexecuted_tasks, 0) << "wave " << w;
+  }
+  // All three victims dead, data still verified end to end.
+  EXPECT_EQ(sim.dead_nodes, (std::vector<i32>{0, 1, 2}));
+  EXPECT_EQ(sim.mismatches, 0u);
+  check_everything(spec);
+}
+
+TEST(FuzzEdge, GeneratedDegenerateCornersPassOracles) {
+  // Drive the *sampler* into its corners too: 1-D domains, width/depth 1,
+  // minimum cluster — whatever the constrained parameter space yields.
+  wfgen::GenParams params;
+  params.max_nodes = 2;
+  params.max_cores_per_node = 2;
+  params.max_width = 1;
+  params.max_depth = 1;
+  params.max_dims = 1;
+  params.max_extent = 4;
+  params.allow_faults = false;
+  const u64 base = testing::fuzz_base_seed(9200);
+  const i32 count = testing::fuzz_count(12);
+  for (i32 i = 0; i < count; ++i) {
+    const u64 seed = base + static_cast<u64>(i);
+    CODS_SEED_TRACE("CODS_FUZZ_SEED", seed);
+    const ScenarioSpec spec = wfgen::generate(seed, params);
+    wfgen::EnactResult sim;
+    if (!enact_checked(spec, {.mode = ExecMode::kSimulate}, sim)) continue;
+    expect_oracles(spec, sim, "kSimulate");
+  }
+}
+
+}  // namespace
+}  // namespace cods

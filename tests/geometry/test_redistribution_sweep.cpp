@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "geometry/redistribution.hpp"
+#include "support/seed_report.hpp"
 #include "workflow/mapping.hpp"
 
 namespace cods {
@@ -56,6 +57,7 @@ class RedistributionSweep : public ::testing::TestWithParam<u64> {};
 
 TEST_P(RedistributionSweep, VolumesEqualAllPairsOracle) {
   const u64 seed = GetParam();
+  CODS_SEED_NOTE(seed);
   Rng rng(seed);
   const int nd = static_cast<int>(uniform(rng, 1, 3));
   std::vector<i64> extents;
@@ -85,6 +87,7 @@ TEST_P(RedistributionSweep, VolumesEqualAllPairsOracle) {
 
 TEST_P(RedistributionSweep, CommGraphMatchesAllPairsVolumes) {
   const u64 seed = GetParam();
+  CODS_SEED_NOTE(seed);
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   std::vector<i64> extents = {uniform(rng, 8, 32), uniform(rng, 8, 32)};
   AppSpec a;

@@ -15,17 +15,13 @@
 #include "apps/synthetic.hpp"
 #include "workflow/engine.hpp"
 
+#include "support/apps.hpp"
+
 namespace cods {
 namespace {
 
-AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
-                 std::vector<i32> procs) {
-  AppSpec app;
-  app.app_id = id;
-  app.name = std::move(name);
-  app.dec = blocked(std::move(extents), std::move(procs));
-  return app;
-}
+using testing::make_app;
+
 
 /// Ledger snapshot of one workflow run: everything that must be invariant
 /// under the hot-path optimisations.

@@ -3,35 +3,21 @@
 // deaths (zero false positives at the default phi thresholds), recover, and
 // reconcile the byte ledger. The nightly CI job re-runs this binary over
 // random seeds via CODS_SOAK_SEED; a failure prints the seed so the run can
-// be replayed locally.
+// be replayed locally. The scenario is described as a wfgen ScenarioSpec
+// and enacted through the shared harness (src/wfgen/enact.hpp), so every
+// soak run also passes the full fuzz oracle suite.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-
-#include "apps/synthetic.hpp"
-#include "workflow/engine.hpp"
+#include "health/monitor.hpp"
+#include "support/seed_report.hpp"
+#include "wfgen/enact.hpp"
+#include "wfgen/oracle.hpp"
 
 namespace cods {
 namespace {
 
-constexpr i32 kNodes = 4;
 constexpr u64 kFieldBytes = 16 * 16 * 8;
 constexpr u64 kDefaultSeed = 20260809;
-
-AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
-                 std::vector<i32> procs) {
-  AppSpec app;
-  app.app_id = id;
-  app.name = std::move(name);
-  app.dec = blocked(std::move(extents), std::move(procs));
-  return app;
-}
-
-u64 soak_seed() {
-  const char* env = std::getenv("CODS_SOAK_SEED");
-  if (env == nullptr || *env == '\0') return kDefaultSeed;
-  return std::strtoull(env, nullptr, 10);
-}
 
 // The two scheduled victims: node 0 dies in the producer wave and node 1 in
 // the consumer wave. Both always host work (the 8-rank producer spans at
@@ -41,53 +27,46 @@ u64 soak_seed() {
 constexpr i32 kFirstVictim = 0;
 constexpr i32 kSecondVictim = 1;
 
-struct SoakResult {
-  u64 mismatches = 0;
-  u64 stored_bytes = 0;
-  std::vector<WaveReport> reports;
-};
-
-SoakResult run_soak(u64 seed, ExecMode mode = ExecMode::kPooled) {
-  FaultSpec spec;
+wfgen::ScenarioSpec soak_scenario(u64 seed) {
+  wfgen::ScenarioSpec spec;
   spec.seed = seed;
-  spec.p_heartbeat = 0.05;  // the acceptance-criterion loss rate
-  spec.crashes.push_back(NodeCrash{/*wave=*/0, kFirstVictim, /*after_ops=*/0});
-  spec.crashes.push_back(
+  spec.topology = wfgen::Topology::kForkJoin;
+  spec.cluster = ClusterSpec{.num_nodes = 4, .cores_per_node = 4};
+  spec.extents = {16, 16};
+
+  wfgen::GenApp producer;
+  producer.role = wfgen::AppRole::kPatternProducer;
+  producer.app_id = 1;
+  producer.name = "producer";
+  producer.procs = {4, 2};
+  producer.produces = {"field"};
+  producer.pattern_seed = 11;
+
+  wfgen::GenApp consumer;
+  consumer.role = wfgen::AppRole::kPatternConsumer;
+  consumer.app_id = 2;
+  consumer.name = "consumer";
+  consumer.procs = {2, 2};
+  consumer.consumes = {"field"};
+  consumer.consume_seed = 11;
+
+  spec.apps = {producer, consumer};
+  spec.edges = {{1, 2}};
+  spec.faulty = true;
+  spec.fault.seed = seed;
+  spec.fault.p_heartbeat = 0.05;  // the acceptance-criterion loss rate
+  spec.fault.crashes.push_back(
+      NodeCrash{/*wave=*/0, kFirstVictim, /*after_ops=*/0});
+  spec.fault.crashes.push_back(
       NodeCrash{/*wave=*/1, kSecondVictim, /*after_ops=*/0});
-
-  Cluster cluster(ClusterSpec{.num_nodes = kNodes, .cores_per_node = 4});
-  Metrics metrics;
-  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
-  auto mismatches = std::make_shared<std::atomic<u64>>(0);
-  server.register_app(make_app(1, "producer", {16, 16}, {4, 2}),
-                      make_pattern_producer({{"field"}, 1, true, 11}));
-  server.register_app(
-      make_app(2, "consumer", {16, 16}, {2, 2}),
-      make_pattern_consumer({{"field"}, 1, true, 11, mismatches, nullptr}),
-      /*consumes_var=*/"field");
-  DagSpec dag;
-  dag.add_app(1);
-  dag.add_app(2);
-  dag.add_dependency(1, 2);
-
-  FaultInjector injector(spec);
-  WorkflowOptions options;
-  options.fault = &injector;
-  options.retry.max_retries = 50;
-  options.retry.op_timeout = std::chrono::seconds(2);
-  options.exec_mode = mode;
-  server.run(dag, options);
-
-  SoakResult result;
-  result.mismatches = mismatches->load();
-  result.stored_bytes = server.space().stored_bytes();
-  result.reports = server.wave_reports();
-  return result;
+  return spec;
 }
 
 void check_soak(u64 seed) {
-  SCOPED_TRACE("replay with CODS_SOAK_SEED=" + std::to_string(seed));
-  const SoakResult r = run_soak(seed);
+  CODS_SEED_TRACE("CODS_SOAK_SEED", seed);
+  const wfgen::ScenarioSpec spec = soak_scenario(seed);
+  const wfgen::EnactResult r =
+      wfgen::enact(spec, {.mode = ExecMode::kPooled});
   EXPECT_EQ(r.mismatches, 0u);
   ASSERT_EQ(r.reports.size(), 2u);
   // Exactly the scheduled victims — equality both ways rules out missed
@@ -102,28 +81,20 @@ void check_soak(u64 seed) {
   }
   // After both recoveries the space holds the field exactly once.
   EXPECT_EQ(r.stored_bytes, kFieldBytes);
+  const wfgen::OracleReport oracles = wfgen::check_oracles(spec, r);
+  EXPECT_TRUE(oracles.ok()) << oracles.to_string();
 
   // Cross-mode soak (docs/SIMULATION.md): the same chaos schedule under
   // ExecMode::kSimulate must produce the same recovery story — detection
-  // rounds, re-homed ranks and final ledgers — as the live run above.
-  const SoakResult sim = run_soak(seed, ExecMode::kSimulate);
-  EXPECT_EQ(sim.mismatches, r.mismatches);
-  EXPECT_EQ(sim.stored_bytes, r.stored_bytes);
-  ASSERT_EQ(sim.reports.size(), r.reports.size());
-  for (size_t w = 0; w < r.reports.size(); ++w) {
-    SCOPED_TRACE("wave " + std::to_string(w));
-    EXPECT_EQ(sim.reports[w].failed_nodes, r.reports[w].failed_nodes);
-    EXPECT_EQ(sim.reports[w].attempts, r.reports[w].attempts);
-    EXPECT_EQ(sim.reports[w].failed_tasks, r.reports[w].failed_tasks);
-    EXPECT_EQ(sim.reports[w].reexecuted_tasks, r.reports[w].reexecuted_tasks);
-    EXPECT_EQ(sim.reports[w].recovered_bytes, r.reports[w].recovered_bytes);
-    EXPECT_EQ(sim.reports[w].detection_rounds, r.reports[w].detection_rounds);
-    EXPECT_EQ(sim.reports[w].detection_latency,
-              r.reports[w].detection_latency);
-  }
+  // rounds, re-homed ranks, traces and final ledgers — as the live run.
+  const wfgen::EnactResult sim =
+      wfgen::enact(spec, {.mode = ExecMode::kSimulate});
+  EXPECT_EQ(wfgen::diff_runs(r, sim), "");
 }
 
-TEST(HealthSoak, SeededChaosRunReconciles) { check_soak(soak_seed()); }
+TEST(HealthSoak, SeededChaosRunReconciles) {
+  check_soak(testing::seed_from_env("CODS_SOAK_SEED", kDefaultSeed));
+}
 
 TEST(HealthSoak, FixedSeedSweep) {
   // A small always-on sweep so every CI run covers several crash

@@ -8,16 +8,13 @@
 #include "apps/synthetic.hpp"
 #include "workflow/scenario.hpp"
 
+#include "support/apps.hpp"
+
 namespace cods {
 namespace {
 
-AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs) {
-  AppSpec app;
-  app.app_id = id;
-  app.name = "app" + std::to_string(id);
-  app.dec = blocked(std::move(extents), std::move(procs));
-  return app;
-}
+using testing::make_app;
+
 
 struct Config {
   ClusterSpec cluster{.num_nodes = 8, .cores_per_node = 4};

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "core/cods.hpp"
 #include "geometry/decomposition.hpp"
+#include "support/seed_report.hpp"
 
 namespace cods {
 namespace {
@@ -24,6 +25,7 @@ Dist random_dist(Rng& rng) {
 class RandomizedRoundTrip : public ::testing::TestWithParam<u64> {};
 
 TEST_P(RandomizedRoundTrip, PutGetWindowsVerify) {
+  CODS_SEED_NOTE(GetParam());
   Rng rng(GetParam());
   const int nd = static_cast<int>(rng.range(1, 3));
   std::vector<i64> extents;

@@ -3,27 +3,26 @@
 // from the live dispatch modes. SimEngine unit tests pin the event
 // semantics (deterministic order, virtual deadlines, FIFO wakeups,
 // deadlock cancellation, stack recycling); runtime-level tests pin rank
-// enactment; and a property suite drives seeded random topologies —
-// fork-join, pipeline, montage-like fanout, fault-injected recovery and
-// straggler speculation — through kSimulate vs kPooled, exact-comparing
-// Chrome exports, WaveReports, ByteCounters and critical-path phase
-// decompositions.
+// enactment; and a property suite drives generated topologies (via the
+// shared src/wfgen generator) — fork-join, pipeline, diamond, in-situ
+// bundles, fault-injected recovery and straggler speculation — through
+// kSimulate vs kPooled, exact-comparing traces, WaveReports,
+// ByteCounters, journals and critical-path phase decompositions.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
-#include <memory>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
-#include "apps/synthetic.hpp"
 #include "common/error.hpp"
 #include "common/sync.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/sim.hpp"
-#include "trace/critical_path.hpp"
-#include "trace/export.hpp"
-#include "workflow/engine.hpp"
+#include "support/seed_report.hpp"
+#include "wfgen/enact.hpp"
+#include "wfgen/oracle.hpp"
 
 namespace cods {
 namespace {
@@ -356,428 +355,230 @@ TEST(SimulateRuntime, RecvFromSilentPeerTimesOutVirtually) {
 }
 
 // ---------------------------------------------------------------------
-// Property suite: seeded random topologies through kSimulate vs kPooled.
+// Property suite: seeded generated topologies through kSimulate vs
+// kPooled. The hand-rolled topology builders that used to live here are
+// replaced by the shared generator (src/wfgen); tests/fuzz sweeps the
+// same harness over a much wider seed range.
 // ---------------------------------------------------------------------
 
-/// splitmix64: all topology parameters derive from the seed through an
-/// integer hash (src/ bans <random>; a hash keeps replay trivial).
-u64 mix(u64 x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
+/// Enacts `spec` under kSimulate and kPooled: the two runs must be
+/// observably identical (traces, WaveReports, ByteCounters, stored
+/// bytes, critical-path decompositions, journals) and each must satisfy
+/// the full oracle suite.
+void expect_equivalent(const wfgen::ScenarioSpec& spec) {
+  const wfgen::EnactResult sim =
+      wfgen::enact(spec, {.mode = ExecMode::kSimulate});
+  const wfgen::EnactResult pooled =
+      wfgen::enact(spec, {.mode = ExecMode::kPooled});
+  EXPECT_EQ(wfgen::diff_runs(sim, pooled), "");
+  const wfgen::OracleReport sim_oracles = wfgen::check_oracles(spec, sim);
+  EXPECT_TRUE(sim_oracles.ok()) << sim_oracles.to_string();
+  const wfgen::OracleReport pooled_oracles =
+      wfgen::check_oracles(spec, pooled);
+  EXPECT_TRUE(pooled_oracles.ok()) << pooled_oracles.to_string();
 }
 
-u64 pick(u64 seed, u64 salt, u64 n) { return mix(seed * 1000003 + salt) % n; }
-
-AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
-                 std::vector<i32> procs) {
-  AppSpec app;
-  app.app_id = id;
-  app.name = std::move(name);
-  app.dec = blocked(std::move(extents), std::move(procs));
-  return app;
-}
-
-constexpr i32 kMaxApps = 5;
-
-/// Everything observable about one engine run.
-struct EngineRun {
-  std::string json;
-  std::vector<TraceSpan> spans;
-  std::vector<WaveReport> reports;
-  ByteCounters inter[kMaxApps];
-  ByteCounters intra[kMaxApps];
-  u64 mismatches = 0;
-  u64 stored_bytes = 0;
-  std::vector<Moments> moments;
-  std::vector<std::vector<i64>> histogram;
-};
-
-void capture(EngineRun& out, WorkflowServer& server, Metrics& metrics,
-             TraceRecorder& trace, const std::atomic<u64>* mismatches) {
-  out.spans = trace.snapshot();
-  out.json = to_chrome_trace(out.spans);
-  out.reports = server.wave_reports();
-  for (i32 app = 0; app < kMaxApps; ++app) {
-    out.inter[app] = metrics.counters(app, TrafficClass::kInterApp);
-    out.intra[app] = metrics.counters(app, TrafficClass::kIntraApp);
+/// One pinned topology across a seed sweep; cluster geometry, box
+/// decompositions, version counts and coupling vars vary per seed.
+void sweep_topology(wfgen::Topology topology,
+                    std::initializer_list<u64> seeds) {
+  wfgen::GenParams params;
+  params.topology = topology;
+  params.deterministic_crashes = true;
+  for (const u64 seed : seeds) {
+    CODS_SEED_TRACE("CODS_FUZZ_SEED", seed);
+    expect_equivalent(wfgen::generate(seed, params));
   }
-  out.stored_bytes = server.space().stored_bytes();
-  if (mismatches != nullptr) out.mismatches = mismatches->load();
 }
 
-void expect_equivalent(const EngineRun& pooled, const EngineRun& sim) {
-  EXPECT_EQ(pooled.mismatches, 0u);
-  EXPECT_EQ(sim.mismatches, 0u);
-  ASSERT_FALSE(pooled.spans.empty());
-  // The Chrome export is keyed by (wave, attempt, rank) tracks and the
-  // deterministic virtual clock, so it must be bit-identical whether
-  // ranks ran on the pool or as discrete-event fibers.
-  EXPECT_EQ(pooled.json, sim.json);
-
-  // WaveReports, field by field — including the recovery and health
-  // counters, which must not depend on the dispatch mode.
-  ASSERT_EQ(pooled.reports.size(), sim.reports.size());
-  for (size_t w = 0; w < pooled.reports.size(); ++w) {
-    const WaveReport& p = pooled.reports[w];
-    const WaveReport& s = sim.reports[w];
-    EXPECT_EQ(p.apps, s.apps) << "wave " << w;
-    EXPECT_EQ(p.strategy, s.strategy) << "wave " << w;
-    EXPECT_EQ(p.used_server_mapping, s.used_server_mapping) << "wave " << w;
-    EXPECT_EQ(p.used_client_mapping, s.used_client_mapping) << "wave " << w;
-    EXPECT_EQ(p.comm_graph_cut_bytes, s.comm_graph_cut_bytes) << "wave " << w;
-    EXPECT_EQ(p.attempts, s.attempts) << "wave " << w;
-    EXPECT_EQ(p.failed_nodes, s.failed_nodes) << "wave " << w;
-    EXPECT_EQ(p.failed_tasks, s.failed_tasks) << "wave " << w;
-    EXPECT_EQ(p.reexecuted_tasks, s.reexecuted_tasks) << "wave " << w;
-    EXPECT_EQ(p.recovered_bytes, s.recovered_bytes) << "wave " << w;
-    EXPECT_EQ(p.detection_rounds, s.detection_rounds) << "wave " << w;
-    EXPECT_EQ(p.detection_latency, s.detection_latency) << "wave " << w;
-    EXPECT_EQ(p.straggler_tasks, s.straggler_tasks) << "wave " << w;
-    EXPECT_EQ(p.speculated_tasks, s.speculated_tasks) << "wave " << w;
-    EXPECT_EQ(p.speculation_wins, s.speculation_wins) << "wave " << w;
-  }
-
-  // The always-on byte ledger.
-  for (i32 app = 0; app < kMaxApps; ++app) {
-    EXPECT_EQ(pooled.inter[app].shm_bytes, sim.inter[app].shm_bytes);
-    EXPECT_EQ(pooled.inter[app].net_bytes, sim.inter[app].net_bytes);
-    EXPECT_EQ(pooled.intra[app].shm_bytes, sim.intra[app].shm_bytes);
-    EXPECT_EQ(pooled.intra[app].net_bytes, sim.intra[app].net_bytes);
-  }
-  EXPECT_EQ(pooled.stored_bytes, sim.stored_bytes);
-
-  // Critical-path phase decomposition: identical spans must analyze to
-  // identical wave breakdowns; assert the decomposition explicitly so a
-  // regression points at the divergent phase, not at a JSON diff.
-  const TraceAnalysis pa = analyze_trace(pooled.spans);
-  const TraceAnalysis sa = analyze_trace(sim.spans);
-  EXPECT_EQ(pa.total_time, sa.total_time);
-  EXPECT_EQ(pa.critical_length, sa.critical_length);
-  EXPECT_EQ(pa.critical_path, sa.critical_path);
-  EXPECT_EQ(pa.shm_bytes, sa.shm_bytes);
-  EXPECT_EQ(pa.net_bytes, sa.net_bytes);
-  EXPECT_EQ(pa.ledger_spans, sa.ledger_spans);
-  ASSERT_EQ(pa.waves.size(), sa.waves.size());
-  for (size_t w = 0; w < pa.waves.size(); ++w) {
-    const WaveBreakdown& p = pa.waves[w];
-    const WaveBreakdown& s = sa.waves[w];
-    EXPECT_EQ(p.duration, s.duration) << "wave " << w;
-    EXPECT_EQ(p.critical_task, s.critical_task) << "wave " << w;
-    EXPECT_EQ(p.time.compute, s.time.compute) << "wave " << w;
-    EXPECT_EQ(p.time.shm, s.time.shm) << "wave " << w;
-    EXPECT_EQ(p.time.net, s.time.net) << "wave " << w;
-    EXPECT_EQ(p.time.lock_wait, s.time.lock_wait) << "wave " << w;
-    EXPECT_EQ(p.time.redistribute, s.time.redistribute) << "wave " << w;
-    EXPECT_EQ(p.time.control, s.time.control) << "wave " << w;
-    EXPECT_EQ(p.critical_time.total(), s.critical_time.total())
-        << "wave " << w;
-  }
-
-  // Functional outputs of the analysis consumers, when present.
-  ASSERT_EQ(pooled.moments.size(), sim.moments.size());
-  for (size_t i = 0; i < pooled.moments.size(); ++i) {
-    EXPECT_EQ(pooled.moments[i].min, sim.moments[i].min);
-    EXPECT_EQ(pooled.moments[i].max, sim.moments[i].max);
-    EXPECT_EQ(pooled.moments[i].mean, sim.moments[i].mean);
-  }
-  EXPECT_EQ(pooled.histogram, sim.histogram);
+TEST(SimulateEquivalence, ForkJoinTopologies) {
+  sweep_topology(wfgen::Topology::kForkJoin, {1, 2, 3, 4, 5, 6});
 }
 
-/// Fork-join: pattern producer wave then consumer wave, sequentially
-/// coupled; cluster size, decompositions and version count vary by seed.
-EngineRun run_fork_join(u64 seed, ExecMode mode) {
-  const std::vector<std::vector<i64>> extents = {{16, 16}, {32, 16}};
-  const std::vector<std::vector<i32>> prod_procs = {{2, 2}, {4, 2}, {2, 1}};
-  const std::vector<std::vector<i32>> cons_procs = {
-      {2, 1}, {1, 2}, {1, 1}, {2, 2}};
-  const std::vector<i64> ext = extents[pick(seed, 1, extents.size())];
-  const i32 nodes = 3 + static_cast<i32>(pick(seed, 2, 3));
-  const i32 nversions = 1 + static_cast<i32>(pick(seed, 3, 3));
-
-  Cluster cluster(ClusterSpec{.num_nodes = nodes, .cores_per_node = 4});
-  Metrics metrics;
-  WorkflowServer server(cluster, metrics,
-                        Box{{0, 0}, {ext[0] - 1, ext[1] - 1}});
-  auto mismatches = std::make_shared<std::atomic<u64>>(0);
-  server.register_app(
-      make_app(1, "producer", ext,
-               prod_procs[pick(seed, 4, prod_procs.size())]),
-      make_pattern_producer({{"field"}, nversions, /*sequential=*/true, seed}));
-  server.register_app(
-      make_app(2, "consumer", ext,
-               cons_procs[pick(seed, 5, cons_procs.size())]),
-      make_pattern_consumer(
-          {{"field"}, nversions, /*sequential=*/true, seed, mismatches,
-           nullptr}),
-      /*consumes_var=*/"field");
-  DagSpec dag;
-  dag.add_app(1);
-  dag.add_app(2);
-  dag.add_dependency(1, 2);
-
-  TraceRecorder trace;
-  WorkflowOptions options;
-  options.seed = seed;
-  options.trace = &trace;
-  options.exec_mode = mode;
-  server.run(dag, options);
-
-  EngineRun out;
-  capture(out, server, metrics, trace, mismatches.get());
-  return out;
+TEST(SimulateEquivalence, PipelineTopologies) {
+  sweep_topology(wfgen::Topology::kPipeline, {11, 12, 13, 14});
 }
 
-/// Pipeline: stencil simulation -> moments analysis -> downsampler, a
-/// three-wave dependency chain concurrently coupled through put_cont.
-EngineRun run_pipeline(u64 seed, ExecMode mode) {
-  const std::vector<std::vector<i32>> sim_procs = {{2, 2}, {4, 1}, {2, 1}};
-  const std::vector<std::vector<i32>> ana_procs = {{2, 1}, {1, 2}, {1, 1}};
-  const i32 iterations = 2 + static_cast<i32>(pick(seed, 1, 2));
-  const i32 nodes = 3 + static_cast<i32>(pick(seed, 2, 2));
-
-  Cluster cluster(ClusterSpec{.num_nodes = nodes, .cores_per_node = 4});
-  Metrics metrics;
-  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
-  auto moments = std::make_shared<std::vector<Moments>>(
-      static_cast<size_t>(iterations));
-  server.register_app(
-      make_app(1, "stencil", {16, 16},
-               sim_procs[pick(seed, 3, sim_procs.size())]),
-      make_stencil_simulation({"temperature", iterations, /*alpha=*/0.1}));
-  server.register_app(
-      make_app(2, "moments", {16, 16},
-               ana_procs[pick(seed, 4, ana_procs.size())]),
-      make_moments_analysis({"temperature", iterations, moments}));
-  server.register_app(
-      make_app(3, "viz", {16, 16}, {2, 2}),
-      make_downsampler(
-          {"temperature", "temperature_coarse", iterations, /*factor=*/2}));
-  DagSpec dag;
-  dag.add_app(1);
-  dag.add_app(2);
-  dag.add_app(3);
-  dag.add_dependency(1, 2);
-  dag.add_dependency(2, 3);
-
-  TraceRecorder trace;
-  WorkflowOptions options;
-  options.seed = seed;
-  options.trace = &trace;
-  options.exec_mode = mode;
-  server.run(dag, options);
-
-  EngineRun out;
-  capture(out, server, metrics, trace, nullptr);
-  out.moments = *moments;
-  return out;
+TEST(SimulateEquivalence, DiamondTopologies) {
+  sweep_topology(wfgen::Topology::kDiamond, {21, 22, 23, 24});
 }
 
-/// Montage-like fanout: one stencil producer feeding three independent
-/// analysis consumers that become ready together in the second wave.
-EngineRun run_fanout(u64 seed, ExecMode mode) {
-  const std::vector<std::vector<i32>> sim_procs = {{2, 2}, {4, 2}};
-  const i32 iterations = 2 + static_cast<i32>(pick(seed, 1, 2));
-  const i32 bins = 8 + static_cast<i32>(pick(seed, 2, 3)) * 4;
+TEST(SimulateEquivalence, InSituBundleTopologies) {
+  sweep_topology(wfgen::Topology::kInSituPair, {31, 32, 33});
+}
 
-  Cluster cluster(ClusterSpec{.num_nodes = 5, .cores_per_node = 4});
-  Metrics metrics;
-  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
-  auto moments = std::make_shared<std::vector<Moments>>(
-      static_cast<size_t>(iterations));
-  auto histogram = std::make_shared<std::vector<std::vector<i64>>>(
-      static_cast<size_t>(iterations));
-  server.register_app(
-      make_app(1, "stencil", {16, 16},
-               sim_procs[pick(seed, 3, sim_procs.size())]),
-      make_stencil_simulation({"temperature", iterations, /*alpha=*/0.1}));
-  server.register_app(
-      make_app(2, "moments", {16, 16}, {2, 1}),
-      make_moments_analysis({"temperature", iterations, moments}));
-  server.register_app(
-      make_app(3, "histogram", {16, 16}, {1, 2}),
-      make_histogram_analysis(
-          {"temperature", iterations, /*lo=*/0.0, /*hi=*/1.0, bins,
-           histogram}));
-  server.register_app(
-      make_app(4, "viz", {16, 16}, {2, 2}),
-      make_downsampler(
-          {"temperature", "temperature_coarse", iterations, /*factor=*/2}));
-  DagSpec dag;
-  for (i32 app = 1; app <= 4; ++app) dag.add_app(app);
-  dag.add_dependency(1, 2);
-  dag.add_dependency(1, 3);
-  dag.add_dependency(1, 4);
+/// Sequentially coupled stencil -> analyses chain (the montage-like
+/// fanout the suite used to hand-roll): one simulation wave feeding
+/// moments, histogram and downsampler consumers in the next wave.
+TEST(SimulateEquivalence, StencilAnalysisFanout) {
+  wfgen::ScenarioSpec spec;
+  spec.seed = 23;
+  spec.topology = wfgen::Topology::kForkJoin;
+  spec.cluster = ClusterSpec{.num_nodes = 5, .cores_per_node = 4};
+  spec.extents = {16, 16};
 
-  TraceRecorder trace;
-  WorkflowOptions options;
-  options.seed = seed;
-  options.trace = &trace;
-  options.exec_mode = mode;
-  server.run(dag, options);
+  wfgen::GenApp stencil;
+  stencil.role = wfgen::AppRole::kStencil;
+  stencil.app_id = 1;
+  stencil.name = "stencil";
+  stencil.procs = {2, 2};
+  stencil.produces = {"temperature"};
+  stencil.versions = 2;
 
-  EngineRun out;
-  capture(out, server, metrics, trace, nullptr);
-  out.moments = *moments;
-  out.histogram = *histogram;
-  return out;
+  wfgen::GenApp moments;
+  moments.role = wfgen::AppRole::kMoments;
+  moments.app_id = 2;
+  moments.name = "moments";
+  moments.procs = {2, 1};
+  moments.consumes = {"temperature"};
+  moments.versions = 2;
+
+  wfgen::GenApp histogram;
+  histogram.role = wfgen::AppRole::kHistogram;
+  histogram.app_id = 3;
+  histogram.name = "histogram";
+  histogram.procs = {1, 2};
+  histogram.consumes = {"temperature"};
+  histogram.versions = 2;
+
+  wfgen::GenApp viz;
+  viz.role = wfgen::AppRole::kDownsampler;
+  viz.app_id = 4;
+  viz.name = "viz";
+  viz.procs = {2, 2};
+  viz.consumes = {"temperature"};
+  viz.produces = {"temperature_coarse"};
+  viz.versions = 2;
+  viz.factor = 2;
+
+  spec.apps = {stencil, moments, histogram, viz};
+  spec.edges = {{1, 2}, {1, 3}, {1, 4}};
+  ASSERT_EQ(spec.dag().waves().size(), 2u);
+
+  const wfgen::EnactResult sim =
+      wfgen::enact(spec, {.mode = ExecMode::kSimulate});
+  ASSERT_FALSE(sim.moments.empty());
+  ASSERT_FALSE(sim.histograms.empty());
+  expect_equivalent(spec);
 }
 
 /// Fault-injected fork-join (the chaos-soak shape): a scheduled crash
 /// under heartbeat loss — detection, failover and re-execution must play
 /// out identically in both modes. Seeds also vary transient-loss rates.
-EngineRun run_faulty(u64 seed, ExecMode mode) {
-  FaultSpec spec;
-  spec.seed = seed;
-  spec.p_heartbeat = 0.05;
-  spec.p_transfer = (pick(seed, 1, 2) == 0) ? 0.0 : 0.05;
-  spec.crashes.push_back(NodeCrash{/*wave=*/0, /*node=*/0, /*after_ops=*/0});
+TEST(SimulateEquivalence, FaultInjectedTopologies) {
+  for (const u64 seed : {u64{31}, u64{32}}) {
+    CODS_SEED_TRACE("CODS_FUZZ_SEED", seed);
+    wfgen::ScenarioSpec spec;
+    spec.seed = seed;
+    spec.topology = wfgen::Topology::kForkJoin;
+    spec.cluster = ClusterSpec{.num_nodes = 4, .cores_per_node = 4};
+    spec.extents = {16, 16};
 
-  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
-  Metrics metrics;
-  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
-  auto mismatches = std::make_shared<std::atomic<u64>>(0);
-  server.register_app(
-      make_app(1, "producer", {16, 16}, {4, 2}),
-      make_pattern_producer({{"field"}, 1, /*sequential=*/true, seed}));
-  server.register_app(
-      make_app(2, "consumer", {16, 16}, {2, 2}),
-      make_pattern_consumer(
-          {{"field"}, 1, /*sequential=*/true, seed, mismatches, nullptr}),
-      /*consumes_var=*/"field");
-  DagSpec dag;
-  dag.add_app(1);
-  dag.add_app(2);
-  dag.add_dependency(1, 2);
+    wfgen::GenApp producer;
+    producer.role = wfgen::AppRole::kPatternProducer;
+    producer.app_id = 1;
+    producer.name = "producer";
+    producer.procs = {4, 2};
+    producer.produces = {"field"};
+    producer.pattern_seed = seed;
 
-  FaultInjector injector(spec);
-  TraceRecorder trace;
-  WorkflowOptions options;
-  options.seed = seed;
-  options.trace = &trace;
-  options.fault = &injector;
-  options.retry.max_retries = 50;
-  options.retry.op_timeout = std::chrono::seconds(2);
-  options.exec_mode = mode;
-  server.run(dag, options);
+    wfgen::GenApp consumer;
+    consumer.role = wfgen::AppRole::kPatternConsumer;
+    consumer.app_id = 2;
+    consumer.name = "consumer";
+    consumer.procs = {2, 2};
+    consumer.consumes = {"field"};
+    consumer.consume_seed = seed;
 
-  EngineRun out;
-  capture(out, server, metrics, trace, mismatches.get());
-  return out;
+    spec.apps = {producer, consumer};
+    spec.edges = {{1, 2}};
+    spec.faulty = true;
+    spec.fault.seed = seed;
+    spec.fault.p_heartbeat = 0.05;
+    spec.fault.p_transfer = (seed % 2 == 0) ? 0.05 : 0.0;
+    spec.fault.crashes.push_back(
+        NodeCrash{/*wave=*/0, /*node=*/0, /*after_ops=*/0});
+
+    const wfgen::EnactResult pooled =
+        wfgen::enact(spec, {.mode = ExecMode::kPooled});
+    ASSERT_FALSE(pooled.reports.empty());
+    EXPECT_EQ(pooled.reports[0].failed_nodes, (std::vector<i32>{0}));
+    expect_equivalent(spec);
+  }
 }
 
 /// Straggler speculation: a 50x slowdown on node 0 makes its tasks
 /// stragglers, and speculation re-executes them — through the same
 /// one-rank enactment path that once hardcoded kThreadPerRank.
-EngineRun run_speculative(u64 seed, ExecMode mode) {
-  FaultSpec spec;
-  spec.seed = seed;
-  spec.slowdowns.push_back(Slowdown{/*wave=*/0, /*node=*/0, /*factor=*/50.0});
-
-  Cluster cluster(ClusterSpec{.num_nodes = 4, .cores_per_node = 4});
-  Metrics metrics;
-  WorkflowServer server(cluster, metrics, Box{{0, 0}, {15, 15}});
-  auto mismatches = std::make_shared<std::atomic<u64>>(0);
-  server.register_app(
-      make_app(1, "producer", {16, 16}, {4, 2}),
-      make_pattern_producer({{"field"}, 1, /*sequential=*/true, seed}));
-  server.register_app(
-      make_app(2, "consumer", {16, 16}, {2, 2}),
-      make_pattern_consumer(
-          {{"field"}, 1, /*sequential=*/true, seed, mismatches, nullptr}),
-      /*consumes_var=*/"field");
-  DagSpec dag;
-  dag.add_app(1);
-  dag.add_app(2);
-  dag.add_dependency(1, 2);
-
-  FaultInjector injector(spec);
-  TraceRecorder trace;
-  WorkflowOptions options;
-  options.seed = seed;
-  options.trace = &trace;
-  options.fault = &injector;
-  options.retry.op_timeout = std::chrono::seconds(2);
-  options.health.speculation = true;
-  options.exec_mode = mode;
-  server.run(dag, options);
-
-  EngineRun out;
-  capture(out, server, metrics, trace, mismatches.get());
-  return out;
-}
-
-TEST(SimulateEquivalence, ForkJoinTopologies) {
-  for (const u64 seed : {u64{1}, u64{2}, u64{3}, u64{4}, u64{5}, u64{6}}) {
-    SCOPED_TRACE("fork-join seed " + std::to_string(seed));
-    expect_equivalent(run_fork_join(seed, ExecMode::kPooled),
-                      run_fork_join(seed, ExecMode::kSimulate));
-  }
-}
-
-TEST(SimulateEquivalence, PipelineTopologies) {
-  for (const u64 seed : {u64{11}, u64{12}, u64{13}, u64{14}}) {
-    SCOPED_TRACE("pipeline seed " + std::to_string(seed));
-    expect_equivalent(run_pipeline(seed, ExecMode::kPooled),
-                      run_pipeline(seed, ExecMode::kSimulate));
-  }
-}
-
-TEST(SimulateEquivalence, FanoutTopologies) {
-  for (const u64 seed : {u64{21}, u64{22}, u64{23}, u64{24}}) {
-    SCOPED_TRACE("fanout seed " + std::to_string(seed));
-    expect_equivalent(run_fanout(seed, ExecMode::kPooled),
-                      run_fanout(seed, ExecMode::kSimulate));
-  }
-}
-
-TEST(SimulateEquivalence, FaultInjectedTopologies) {
-  for (const u64 seed : {u64{31}, u64{32}}) {
-    SCOPED_TRACE("faulty seed " + std::to_string(seed));
-    const EngineRun pooled = run_faulty(seed, ExecMode::kPooled);
-    ASSERT_FALSE(pooled.reports.empty());
-    EXPECT_EQ(pooled.reports[0].failed_nodes, (std::vector<i32>{0}));
-    expect_equivalent(pooled, run_faulty(seed, ExecMode::kSimulate));
-  }
-}
-
 TEST(SimulateEquivalence, SpeculationTopology) {
-  const EngineRun pooled = run_speculative(41, ExecMode::kPooled);
+  wfgen::ScenarioSpec spec;
+  spec.seed = 41;
+  spec.topology = wfgen::Topology::kForkJoin;
+  spec.cluster = ClusterSpec{.num_nodes = 4, .cores_per_node = 4};
+  spec.extents = {16, 16};
+
+  wfgen::GenApp producer;
+  producer.role = wfgen::AppRole::kPatternProducer;
+  producer.app_id = 1;
+  producer.name = "producer";
+  producer.procs = {4, 2};
+  producer.produces = {"field"};
+  producer.pattern_seed = 41;
+
+  wfgen::GenApp consumer;
+  consumer.role = wfgen::AppRole::kPatternConsumer;
+  consumer.app_id = 2;
+  consumer.name = "consumer";
+  consumer.procs = {2, 2};
+  consumer.consumes = {"field"};
+  consumer.consume_seed = 41;
+
+  spec.apps = {producer, consumer};
+  spec.edges = {{1, 2}};
+  spec.faulty = true;
+  spec.fault.seed = 41;
+  spec.fault.slowdowns.push_back(
+      Slowdown{/*wave=*/0, /*node=*/0, /*factor=*/50.0});
+  spec.speculation = true;
+
+  const wfgen::EnactResult pooled =
+      wfgen::enact(spec, {.mode = ExecMode::kPooled});
   ASSERT_FALSE(pooled.reports.empty());
   EXPECT_GT(pooled.reports[0].straggler_tasks, 0);
   EXPECT_EQ(pooled.reports[0].speculated_tasks,
             pooled.reports[0].straggler_tasks);
-  expect_equivalent(pooled, run_speculative(41, ExecMode::kSimulate));
+  expect_equivalent(spec);
 }
 
 /// Engine-level single-rank workflow: one app, one task, every mode —
 /// the ledgers must agree (regression companion to the runtime-level
 /// SingleRankHonorsSimulateMode pin).
 TEST(SimulateEquivalence, SingleRankWorkflowIdenticalAcrossModes) {
-  const auto run_single = [](ExecMode mode) {
-    Cluster cluster(ClusterSpec{.num_nodes = 1, .cores_per_node = 4});
-    Metrics metrics;
-    WorkflowServer server(cluster, metrics, Box{{0, 0}, {7, 7}});
-    server.register_app(
-        make_app(1, "solo", {8, 8}, {1, 1}),
-        make_pattern_producer({{"field"}, 2, /*sequential=*/true, 9}));
-    DagSpec dag;
-    dag.add_app(1);
-    TraceRecorder trace;
-    WorkflowOptions options;
-    options.seed = 9;
-    options.trace = &trace;
-    options.exec_mode = mode;
-    server.run(dag, options);
-    EngineRun out;
-    capture(out, server, metrics, trace, nullptr);
-    return out;
-  };
-  const EngineRun pooled = run_single(ExecMode::kPooled);
+  wfgen::ScenarioSpec spec;
+  spec.seed = 9;
+  spec.topology = wfgen::Topology::kPipeline;
+  spec.cluster = ClusterSpec{.num_nodes = 1, .cores_per_node = 4};
+  spec.extents = {8, 8};
+
+  wfgen::GenApp solo;
+  solo.role = wfgen::AppRole::kPatternProducer;
+  solo.app_id = 1;
+  solo.name = "solo";
+  solo.procs = {1, 1};
+  solo.produces = {"field"};
+  solo.versions = 2;
+  solo.pattern_seed = 9;
+  spec.apps = {solo};
+
+  const wfgen::EnactResult pooled =
+      wfgen::enact(spec, {.mode = ExecMode::kPooled});
   EXPECT_GT(pooled.stored_bytes, 0u);
-  expect_equivalent(pooled, run_single(ExecMode::kThreadPerRank));
-  expect_equivalent(pooled, run_single(ExecMode::kSimulate));
+  const wfgen::EnactResult legacy =
+      wfgen::enact(spec, {.mode = ExecMode::kThreadPerRank});
+  EXPECT_EQ(wfgen::diff_runs(pooled, legacy), "");
+  const wfgen::EnactResult sim =
+      wfgen::enact(spec, {.mode = ExecMode::kSimulate});
+  EXPECT_EQ(wfgen::diff_runs(pooled, sim), "");
 }
 
 }  // namespace

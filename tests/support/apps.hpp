@@ -1,0 +1,35 @@
+// Shared AppSpec construction helper for the engine-level suites. One
+// definition replaces the hand-rolled copies that used to live in every
+// integration/trace/workflow test file.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workflow/dag.hpp"
+
+namespace cods {
+namespace testing {
+
+/// A blocked-decomposition AppSpec (the common case in tests).
+inline AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
+                        std::vector<i32> procs,
+                        Dist dist = Dist::kBlocked) {
+  AppSpec app;
+  app.app_id = id;
+  app.name = std::move(name);
+  app.dec = Decomposition(std::move(extents), std::move(procs), dist);
+  return app;
+}
+
+/// Name-defaulted overload: "app<id>".
+inline AppSpec make_app(i32 id, std::vector<i64> extents,
+                        std::vector<i32> procs,
+                        Dist dist = Dist::kBlocked) {
+  return make_app(id, "app" + std::to_string(id), std::move(extents),
+                  std::move(procs), dist);
+}
+
+}  // namespace testing
+}  // namespace cods

@@ -1,0 +1,53 @@
+// Shared seed plumbing for seeded/property suites (docs/TESTING.md).
+//
+// Every seeded suite has the same two needs:
+//   1. an environment override so CI sweeps (chaos-soak, nightly fuzz)
+//      can re-run the binary over random seeds, and
+//   2. failure output that names the seed and the exact replay command —
+//      a seeded property that fails without echoing its seed is
+//      unreproducible by construction.
+//
+// Usage:
+//   const u64 seed = cods::testing::seed_from_env("CODS_SOAK_SEED", 42);
+//   for (u64 s : seeds) {
+//     CODS_SEED_TRACE("CODS_SOAK_SEED", s);
+//     ... assertions; any failure prints "replay: CODS_SOAK_SEED=<s> ..."
+//   }
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cods {
+namespace testing {
+
+/// Reads a u64 seed from the environment; empty/unset selects `fallback`.
+inline u64 seed_from_env(const char* name, u64 fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// The replay banner SCOPED_TRACE attaches to every failure in scope.
+inline std::string seed_banner(const char* env_name, u64 seed) {
+  return "replay: " + std::string(env_name) + "=" + std::to_string(seed) +
+         " <this test binary>";
+}
+
+}  // namespace testing
+}  // namespace cods
+
+/// Attaches "replay: <ENV>=<seed> ..." to every assertion failure in the
+/// current scope (one per seed iteration of a property loop).
+#define CODS_SEED_TRACE(env_name, seed) \
+  SCOPED_TRACE(::cods::testing::seed_banner(env_name, seed))
+
+/// For seeded suites without an environment override (value-parameterized
+/// or fixed sweeps): names the failing seed itself, since gtest's default
+/// TEST_P naming prints the parameter *index*, not the seed value.
+#define CODS_SEED_NOTE(seed) \
+  SCOPED_TRACE("failing seed: " + std::to_string(seed))

@@ -14,17 +14,14 @@
 #include "trace/critical_path.hpp"
 #include "workflow/engine.hpp"
 
+#include "support/apps.hpp"
+#include "support/seed_report.hpp"
+
 namespace cods {
 namespace {
 
-AppSpec make_app(i32 id, std::string name, std::vector<i64> extents,
-                 std::vector<i32> procs) {
-  AppSpec app;
-  app.app_id = id;
-  app.name = std::move(name);
-  app.dec = blocked(std::move(extents), std::move(procs));
-  return app;
-}
+using testing::make_app;
+
 
 std::vector<TraceSpan> run_workload(u64 seed) {
   Cluster cluster(ClusterSpec{.num_nodes = 3, .cores_per_node = 4});
@@ -122,7 +119,7 @@ void check_analysis_invariants(const std::vector<TraceSpan>& spans) {
 
 TEST(SpanProperties, InvariantsHoldAcrossSeedsAndShapes) {
   for (u64 seed = 1; seed <= 12; ++seed) {
-    SCOPED_TRACE("seed " + std::to_string(seed));
+    CODS_SEED_NOTE(seed);
     const std::vector<TraceSpan> spans = run_workload(seed);
     check_stream_invariants(spans);
     check_analysis_invariants(spans);

@@ -1,0 +1,252 @@
+// Unit tests for the workflow generator itself (src/wfgen/wfgen.hpp):
+// determinism, sampling bounds, topology well-formedness and the
+// spec-level derived quantities — everything checkable without enacting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/seed_report.hpp"
+#include "wfgen/wfgen.hpp"
+
+namespace cods {
+namespace {
+
+using wfgen::AppRole;
+using wfgen::GenApp;
+using wfgen::GenParams;
+using wfgen::ScenarioSpec;
+using wfgen::Topology;
+
+constexpr u64 kSweepBase = 1000;
+constexpr i32 kSweep = 300;
+
+TEST(Wfgen, SameSeedSameScenarioBitForBit) {
+  for (u64 seed = kSweepBase; seed < kSweepBase + 50; ++seed) {
+    CODS_SEED_TRACE("CODS_FUZZ_SEED", seed);
+    const ScenarioSpec a = wfgen::generate(seed);
+    const ScenarioSpec b = wfgen::generate(seed);
+    EXPECT_EQ(a.json(), b.json());
+  }
+}
+
+TEST(Wfgen, DifferentSeedsDiversify) {
+  std::set<std::string> unique;
+  for (u64 seed = kSweepBase; seed < kSweepBase + 100; ++seed) {
+    unique.insert(wfgen::generate(seed).json());
+  }
+  // Near-total uniqueness: the sampler must actually use its space.
+  EXPECT_GT(unique.size(), 95u);
+}
+
+TEST(Wfgen, SweepCoversEveryTopologyFaultinessAndSpeculation) {
+  std::set<Topology> topologies;
+  i32 faulty = 0;
+  i32 speculative = 0;
+  i32 crashes = 0;
+  for (u64 seed = kSweepBase; seed < kSweepBase + kSweep; ++seed) {
+    const ScenarioSpec spec = wfgen::generate(seed);
+    topologies.insert(spec.topology);
+    faulty += spec.faulty ? 1 : 0;
+    speculative += spec.speculation ? 1 : 0;
+    crashes += spec.fault.crashes.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(topologies.size(), 4u);
+  EXPECT_GT(faulty, 0);
+  EXPECT_LT(faulty, kSweep);
+  EXPECT_GT(speculative, 0);
+  EXPECT_GT(crashes, 0);
+}
+
+TEST(Wfgen, EveryScenarioRespectsSamplerBounds) {
+  const GenParams params;
+  for (u64 seed = kSweepBase; seed < kSweepBase + kSweep; ++seed) {
+    CODS_SEED_TRACE("CODS_FUZZ_SEED", seed);
+    const ScenarioSpec spec = wfgen::generate(seed);
+    EXPECT_EQ(spec.seed, seed);
+    EXPECT_GE(spec.cluster.num_nodes, params.min_nodes);
+    EXPECT_LE(spec.cluster.num_nodes, params.max_nodes);
+    EXPECT_GE(spec.cluster.cores_per_node, params.min_cores_per_node);
+    EXPECT_LE(spec.cluster.cores_per_node, params.max_cores_per_node);
+    ASSERT_FALSE(spec.apps.empty());
+    ASSERT_FALSE(spec.extents.empty());
+    EXPECT_LE(spec.extents.size(), static_cast<size_t>(params.max_dims));
+    for (const i64 extent : spec.extents) {
+      EXPECT_GE(extent, 1);
+      EXPECT_LE(extent, params.max_extent);
+    }
+    for (const GenApp& app : spec.apps) {
+      EXPECT_EQ(app.procs.size(), spec.extents.size());
+      EXPECT_GE(app.versions, 1);
+      EXPECT_LE(app.versions, params.max_versions);
+      EXPECT_GE(app.ntasks(), 1);
+    }
+    // The DAG validates and the engine can physically host every wave on
+    // the nodes that survive all scheduled crashes.
+    const auto waves = spec.dag().waves();
+    EXPECT_FALSE(waves.empty());
+    const i32 survivors =
+        spec.cluster.num_nodes -
+        static_cast<i32>(spec.fault.crashes.size());
+    EXPECT_LE(spec.max_wave_tasks(),
+              survivors * spec.cluster.cores_per_node);
+  }
+}
+
+TEST(Wfgen, FaultOverlaysAreWellFormed) {
+  for (u64 seed = kSweepBase; seed < kSweepBase + kSweep; ++seed) {
+    CODS_SEED_TRACE("CODS_FUZZ_SEED", seed);
+    const ScenarioSpec spec = wfgen::generate(seed);
+    if (!spec.faulty) {
+      EXPECT_TRUE(spec.fault.crashes.empty());
+      EXPECT_TRUE(spec.fault.slowdowns.empty());
+      EXPECT_FALSE(spec.speculation);
+      continue;
+    }
+    const i32 nwaves = static_cast<i32>(spec.dag().waves().size());
+    std::set<i32> victims;
+    for (const NodeCrash& crash : spec.fault.crashes) {
+      EXPECT_GE(crash.wave, 0);
+      EXPECT_LT(crash.wave, nwaves);
+      EXPECT_GE(crash.node, 0);
+      EXPECT_LT(crash.node, spec.cluster.num_nodes);
+      EXPECT_TRUE(victims.insert(crash.node).second)
+          << "node crashed twice";
+    }
+    // Concurrent in-situ bundles never take scheduled node deaths.
+    if (spec.topology == Topology::kInSituPair) {
+      EXPECT_TRUE(spec.fault.crashes.empty());
+      EXPECT_FALSE(spec.speculation);
+    }
+    for (const Slowdown& slow : spec.fault.slowdowns) {
+      EXPECT_GE(slow.wave, 0);
+      EXPECT_LT(slow.wave, nwaves);
+      EXPECT_EQ(victims.count(slow.node), 0u)
+          << "slowdown scheduled on a crashing node";
+      EXPECT_GT(slow.factor, 1.0);
+    }
+    if (spec.speculation) {
+      EXPECT_FALSE(spec.fault.slowdowns.empty());
+    }
+  }
+}
+
+TEST(Wfgen, PatternSeedsChainThroughTheCouplingGraph) {
+  // For every sequential topology, each consumed var's verification seed
+  // must equal the producing app's fill seed adjusted for var index —
+  // otherwise enactment would report false mismatches.
+  for (u64 seed = kSweepBase; seed < kSweepBase + kSweep; ++seed) {
+    CODS_SEED_TRACE("CODS_FUZZ_SEED", seed);
+    const ScenarioSpec spec = wfgen::generate(seed);
+    if (spec.topology == Topology::kInSituPair) continue;
+    for (const GenApp& app : spec.apps) {
+      for (size_t v = 0; v < app.consumes.size(); ++v) {
+        const std::string& var = app.consumes[v];
+        const GenApp* producer = nullptr;
+        size_t producer_index = 0;
+        for (const GenApp& other : spec.apps) {
+          const auto it = std::find(other.produces.begin(),
+                                    other.produces.end(), var);
+          if (it != other.produces.end()) {
+            producer = &other;
+            producer_index = static_cast<size_t>(
+                it - other.produces.begin());
+          }
+        }
+        ASSERT_NE(producer, nullptr)
+            << "app " << app.app_id << " consumes unproduced '" << var
+            << "'";
+        EXPECT_EQ(app.consume_seed + v * 1000,
+                  producer->pattern_seed + producer_index * 1000)
+            << "app " << app.app_id << " var '" << var << "'";
+        EXPECT_EQ(app.versions, producer->versions);
+      }
+    }
+  }
+}
+
+TEST(Wfgen, InSituGeometryHonorsStencilAndDownsamplerConstraints) {
+  i32 found = 0;
+  for (u64 seed = kSweepBase; seed < kSweepBase + kSweep; ++seed) {
+    const ScenarioSpec spec = wfgen::generate(seed);
+    if (spec.topology != Topology::kInSituPair) continue;
+    ++found;
+    CODS_SEED_TRACE("CODS_FUZZ_SEED", seed);
+    EXPECT_EQ(spec.elem_size, sizeof(double));
+    ASSERT_EQ(spec.bundles.size(), 1u);
+    EXPECT_GE(spec.bundles[0].size(), 2u);
+    for (const GenApp& app : spec.apps) {
+      EXPECT_EQ(app.dist, Dist::kBlocked);
+      for (size_t d = 0; d < spec.extents.size(); ++d) {
+        // Every task owns a nonzero equal block...
+        EXPECT_EQ(spec.extents[d] % app.procs[d], 0);
+        if (app.role == AppRole::kDownsampler) {
+          // ...and downsampled blocks stay factor-aligned.
+          EXPECT_EQ((spec.extents[d] / app.procs[d]) % app.factor, 0);
+        }
+      }
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(Wfgen, JsonIsCanonicalAndCarriesTheSeed) {
+  const ScenarioSpec spec = wfgen::generate(424242);
+  const std::string json = spec.json();
+  EXPECT_NE(json.find("\"seed\":424242"), std::string::npos);
+  EXPECT_NE(json.find("\"topology\":\""), std::string::npos);
+  EXPECT_EQ(json, spec.json());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Wfgen, ToStringCoversEveryEnumerator) {
+  EXPECT_EQ(wfgen::to_string(Topology::kForkJoin), "fork-join");
+  EXPECT_EQ(wfgen::to_string(Topology::kDiamond), "diamond");
+  EXPECT_EQ(wfgen::to_string(Topology::kPipeline), "pipeline");
+  EXPECT_EQ(wfgen::to_string(Topology::kInSituPair), "in-situ-pair");
+  EXPECT_EQ(wfgen::to_string(AppRole::kPatternProducer),
+            "pattern-producer");
+  EXPECT_EQ(wfgen::to_string(AppRole::kPatternConsumer),
+            "pattern-consumer");
+  EXPECT_EQ(wfgen::to_string(AppRole::kPatternRelay), "pattern-relay");
+  EXPECT_EQ(wfgen::to_string(AppRole::kStencil), "stencil");
+  EXPECT_EQ(wfgen::to_string(AppRole::kMoments), "moments");
+  EXPECT_EQ(wfgen::to_string(AppRole::kHistogram), "histogram");
+  EXPECT_EQ(wfgen::to_string(AppRole::kDownsampler), "downsampler");
+}
+
+TEST(Wfgen, ExpectedStoredBytesTracksSequentialPutsOnly) {
+  ScenarioSpec spec;
+  spec.extents = {4, 4};
+  spec.elem_size = 8;
+  GenApp producer;
+  producer.role = AppRole::kPatternProducer;
+  producer.app_id = 1;
+  producer.procs = {1, 1};
+  producer.produces = {"a", "b"};
+  producer.versions = 3;
+  GenApp consumer;
+  consumer.role = AppRole::kPatternConsumer;
+  consumer.app_id = 2;
+  consumer.procs = {1, 1};
+  consumer.consumes = {"a", "b"};
+  spec.apps = {producer, consumer};
+  // 2 vars x 3 versions x 16 cells x 8 bytes; the consumer stores nothing.
+  EXPECT_EQ(spec.expected_stored_bytes(), 2u * 3 * 16 * 8);
+
+  GenApp down;
+  down.role = AppRole::kDownsampler;
+  down.app_id = 3;
+  down.procs = {1, 1};
+  down.consumes = {"a"};
+  down.produces = {"a_coarse"};
+  down.versions = 2;
+  down.factor = 2;
+  spec.apps.push_back(down);
+  // + 2 iterations x (16/4) coarse cells x 8 bytes (doubles).
+  EXPECT_EQ(spec.expected_stored_bytes(), 2u * 3 * 16 * 8 + 2u * 4 * 8);
+}
+
+}  // namespace
+}  // namespace cods

@@ -2,16 +2,13 @@
 
 #include "workflow/advisor.hpp"
 
+#include "support/apps.hpp"
+
 namespace cods {
 namespace {
 
-AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs,
-                 Dist dist = Dist::kBlocked) {
-  AppSpec app;
-  app.app_id = id;
-  app.dec = Decomposition(std::move(extents), std::move(procs), dist);
-  return app;
-}
+using testing::make_app;
+
 
 ScenarioConfig base_config(Dist consumer_dist) {
   ScenarioConfig config;

@@ -5,16 +5,13 @@
 
 #include "apps/synthetic.hpp"
 
+#include "support/apps.hpp"
+
 namespace cods {
 namespace {
 
-AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs) {
-  AppSpec app;
-  app.app_id = id;
-  app.name = "app" + std::to_string(id);
-  app.dec = blocked(std::move(extents), std::move(procs));
-  return app;
-}
+using testing::make_app;
+
 
 class EngineEdgeTest : public ::testing::Test {
  protected:

@@ -2,17 +2,13 @@
 
 #include "workflow/mapping.hpp"
 
+#include "support/apps.hpp"
+
 namespace cods {
 namespace {
 
-AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs,
-                 Dist dist = Dist::kBlocked) {
-  AppSpec app;
-  app.app_id = id;
-  app.name = "app" + std::to_string(id);
-  app.dec = Decomposition(std::move(extents), std::move(procs), dist);
-  return app;
-}
+using testing::make_app;
+
 
 TEST(Placement, AssignAndLookup) {
   Placement p;

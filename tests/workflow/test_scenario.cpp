@@ -2,16 +2,13 @@
 
 #include "workflow/scenario.hpp"
 
+#include "support/apps.hpp"
+
 namespace cods {
 namespace {
 
-AppSpec make_app(i32 id, std::vector<i64> extents, std::vector<i32> procs,
-                 Dist dist = Dist::kBlocked) {
-  AppSpec app;
-  app.app_id = id;
-  app.dec = Decomposition(std::move(extents), std::move(procs), dist);
-  return app;
-}
+using testing::make_app;
+
 
 /// Small concurrent scenario: 32 producers + 8 consumers on 4-core nodes.
 ScenarioConfig concurrent_config(MappingStrategy strategy) {
