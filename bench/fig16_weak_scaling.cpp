@@ -16,10 +16,13 @@
 // ExecMode::kSimulate (docs/SIMULATION.md): every rank of a sequentially
 // coupled producer -> consumer workflow actually executes — puts, DHT
 // registration, redistribution pulls, pattern verification — as
-// discrete-event fibers on one thread, up to 81,920 ranks. Per-task
-// payloads are small (the point is rank-count scaling, not bandwidth).
-// --smoke caps the ladder for the CI Release job; the JSON schema is
-// unchanged.
+// discrete-event fibers on one thread, up to 1,310,720 ranks (a
+// 1,048,576-rank producer wave at side=1024). Per-task payloads are
+// small (the point is rank-count scaling, not bandwidth). Each point
+// records wall time, scheduler events/sec (fiber context switches over
+// wall time), and process peak RSS; the JSON pins the bytes-per-rank
+// budget the CI scale smoke enforces. --smoke caps the ladder for the
+// CI Release job.
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -38,11 +41,42 @@ struct SimulatePoint {
   i32 consumer_tasks = 0;
   i32 ranks = 0;
   double wall_seconds = 0.0;
+  u64 sim_events = 0;       ///< fiber context switches the run scheduled
+  double events_per_sec = 0.0;
+  u64 peak_rss_bytes = 0;   ///< process high-water mark after this point
+                            ///< (monotone across the sweep: the kernel
+                            ///< counter never decreases within a process)
+  u64 arena_bytes = 0;      ///< stack-arena bytes made writable
   u64 inter_shm = 0;
   u64 inter_net = 0;
   u64 stored_bytes = 0;
   u64 mismatches = 0;
 };
+
+/// Peak-RSS regression budget the CI scale smoke reads back from the
+/// committed JSON: the smoke's process peak RSS divided by its rank
+/// count must stay under this. The sweep's asymptote is ~4,970 B/rank
+/// (side=1024, 1,310,720 ranks); the smoke's producer-only 262,144-rank
+/// wave amortizes fixed process costs worse and measures ~6,156 B/rank.
+/// Chosen ~2x the smoke's measured bytes/rank for slack.
+constexpr u64 kRssBudgetBytesPerRank = 12288;
+
+/// Cluster spec for the simulate rungs: near-cubic torus with just
+/// enough volume, instead of the default exact factorization. Rung node
+/// counts are arbitrary ceilings (ranks / cores-per-node) and routinely
+/// carry a large prime factor — 87,382 nodes factorizes exactly only as
+/// a {43691, 2, 1} ring, where dimension-order routes average ~11,000
+/// links per flow and the per-pull link-load accounting dwarfs the
+/// workflow being modeled. A padded {45, 45, 44} box models the same
+/// machine with ~30-link routes; the spare volume is idle coordinates.
+ClusterSpec simulate_cluster(i32 cores) {
+  ClusterSpec spec = cluster_for_cores(cores);
+  i32 a = 1;
+  while (a * a * a < spec.num_nodes) ++a;
+  const i32 c = (spec.num_nodes + a * a - 1) / (a * a);
+  spec.torus = {a, a, c};
+  return spec;
+}
 
 /// One weak-scaling rung: side^2 producer ranks each put a 2x2-cell
 /// block (32 B), then a side^2/4-rank consumer wave pulls and verifies
@@ -55,7 +89,7 @@ SimulatePoint run_simulate_point(i32 side) {
   point.ranks = point.producer_tasks + point.consumer_tasks;
 
   const i64 extent = 2 * static_cast<i64>(side);
-  Cluster cluster(cluster_for_cores(point.producer_tasks));
+  Cluster cluster(simulate_cluster(point.producer_tasks));
   Metrics metrics;
   WorkflowServer server(cluster, metrics,
                         Box{{0, 0}, {extent - 1, extent - 1}});
@@ -83,6 +117,15 @@ SimulatePoint run_simulate_point(i32 side) {
                            std::chrono::steady_clock::now() - t0)
                            .count();
 
+  const SimStats& sim = server.last_sim_stats();
+  point.sim_events = sim.switches;
+  point.events_per_sec =
+      point.wall_seconds > 0.0
+          ? static_cast<double>(sim.switches) / point.wall_seconds
+          : 0.0;
+  point.peak_rss_bytes = sim.peak_rss_bytes;
+  point.arena_bytes = sim.arena_bytes;
+
   const ByteCounters inter = metrics.counters(2, TrafficClass::kInterApp);
   point.inter_shm = inter.shm_bytes;
   point.inter_net = inter.net_bytes;
@@ -94,27 +137,28 @@ SimulatePoint run_simulate_point(i32 side) {
 int run_simulate_sweep(bool smoke, const std::string& out_path) {
   std::printf("Figure 16 (simulate mode): live weak-scaling enactment "
               "under ExecMode::kSimulate\n");
-  rule(86);
-  std::printf("%-7s %-10s %-10s %-8s %12s %12s %12s\n", "side",
-              "producers", "consumers", "ranks", "wall s", "inter MiB",
-              "bad cells");
-  rule(86);
+  rule(100);
+  std::printf("%-6s %-9s %-9s %-9s %9s %11s %10s %9s %6s\n", "side",
+              "producers", "consumers", "ranks", "wall s", "events/s",
+              "peak RSS", "B/rank", "bad");
+  rule(100);
   std::vector<SimulatePoint> points;
-  for (const i32 side : std::vector<i32>{32, 64, 128, 256}) {
+  for (const i32 side : std::vector<i32>{32, 64, 128, 256, 512, 1024}) {
     if (smoke && side > 64) break;
     const SimulatePoint p = run_simulate_point(side);
     points.push_back(p);
-    std::printf("%-7d %-10d %-10d %-8d %12.2f %12.2f %12llu\n", p.side,
-                p.producer_tasks, p.consumer_tasks, p.ranks, p.wall_seconds,
-                static_cast<double>(p.inter_shm + p.inter_net) /
-                    (1024.0 * 1024.0),
+    std::printf("%-6d %-9d %-9d %-9d %9.2f %11.0f %8.0fMB %9.0f %6llu\n",
+                p.side, p.producer_tasks, p.consumer_tasks, p.ranks,
+                p.wall_seconds, p.events_per_sec,
+                static_cast<double>(p.peak_rss_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(p.peak_rss_bytes) / p.ranks,
                 static_cast<unsigned long long>(p.mismatches));
     if (p.mismatches != 0) {
       std::fprintf(stderr, "pattern verification failed\n");
       return 1;
     }
   }
-  rule(86);
+  rule(100);
   std::printf("one OS thread enacted every rank; the largest rung runs "
               "%d ranks\n", points.back().ranks);
 
@@ -126,17 +170,24 @@ int run_simulate_sweep(bool smoke, const std::string& out_path) {
   std::fprintf(out,
                "{\n  \"bench\": \"fig16_weak_scaling_simulate\",\n"
                "  \"exec_mode\": \"kSimulate\",\n  \"smoke\": %s,\n"
+               "  \"rss_budget_bytes_per_rank\": %llu,\n"
                "  \"points\": [\n",
-               smoke ? "true" : "false");
+               smoke ? "true" : "false",
+               static_cast<unsigned long long>(kRssBudgetBytesPerRank));
   for (size_t i = 0; i < points.size(); ++i) {
     const SimulatePoint& p = points[i];
     std::fprintf(
         out,
         "    {\"side\": %d, \"producer_tasks\": %d, \"consumer_tasks\": %d,"
-        " \"ranks\": %d, \"wall_seconds\": %.3f, \"inter_shm_bytes\": %llu,"
+        " \"ranks\": %d, \"wall_seconds\": %.3f, \"sim_events\": %llu,"
+        " \"events_per_sec\": %.0f, \"peak_rss_bytes\": %llu,"
+        " \"arena_bytes\": %llu, \"inter_shm_bytes\": %llu,"
         " \"inter_net_bytes\": %llu, \"stored_bytes\": %llu,"
         " \"mismatches\": %llu}%s\n",
         p.side, p.producer_tasks, p.consumer_tasks, p.ranks, p.wall_seconds,
+        static_cast<unsigned long long>(p.sim_events), p.events_per_sec,
+        static_cast<unsigned long long>(p.peak_rss_bytes),
+        static_cast<unsigned long long>(p.arena_bytes),
         static_cast<unsigned long long>(p.inter_shm),
         static_cast<unsigned long long>(p.inter_net),
         static_cast<unsigned long long>(p.stored_bytes),

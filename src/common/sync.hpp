@@ -193,6 +193,41 @@ class CODS_SCOPED_CAPABILITY ReaderLock {
   SharedMutex* mu_;
 };
 
+/// A timeout for CondVar waits that keeps wall-clock types out of the
+/// rest of src/ (the codslint `clock` check pins this header as the only
+/// place allowed to touch std::chrono::steady_clock). On a live thread it
+/// captures `steady_clock::now() + timeout` once, so a waiter looping on
+/// its predicate re-waits against a fixed wall deadline. Under
+/// ExecMode::kSimulate (a blocking::SimHook is installed) it never reads
+/// the wall clock at all: it carries the relative timeout in seconds and
+/// every wait arms a *virtual* deadline from the fiber's current virtual
+/// time — a million parked ranks cost zero clock syscalls.
+class WaitDeadline {
+ public:
+  template <typename Rep, typename Period>
+  explicit WaitDeadline(std::chrono::duration<Rep, Period> timeout)
+      : is_virtual_(blocking::sim_hook() != nullptr) {
+    if (is_virtual_) {
+      seconds_ = std::chrono::duration<double>(timeout).count();
+    } else {
+      wall_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  timeout);
+    }
+  }
+
+  /// True when the deadline is virtual (simulate mode): it holds a
+  /// relative timeout, not a wall time_point.
+  bool is_virtual() const { return is_virtual_; }
+
+ private:
+  friend class CondVar;
+
+  std::chrono::steady_clock::time_point wall_{};
+  double seconds_ = 0.0;  ///< relative timeout when is_virtual_
+  bool is_virtual_;
+};
+
 /// Condition variable paired with Mutex/MutexLock. Waiting re-acquires
 /// through the raw handle (the capability state is unchanged across a
 /// wait, matching the analysis' view).
@@ -262,6 +297,23 @@ class CondVar {
     blocking::ScopedBlock block;
     std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
     const std::cv_status status = cv_.wait_until(native, tp);
+    native.release();
+    return status;
+  }
+
+  /// Deadline-object overload: the one timed-wait entry point for code
+  /// outside this header. A WaitDeadline built under a SimHook routes
+  /// straight to the hook with its relative timeout (no wall-clock read
+  /// on either side); a live one behaves like wait_until(lock, tp).
+  std::cv_status wait_until(MutexLock& lock, const WaitDeadline& deadline) {
+    if (blocking::SimHook* sim = blocking::sim_hook(); sim != nullptr) {
+      return sim->wait_until(this, *lock.mu_, deadline.seconds_)
+                 ? std::cv_status::timeout
+                 : std::cv_status::no_timeout;
+    }
+    blocking::ScopedBlock block;
+    std::unique_lock<std::mutex> native(lock.mu_->impl_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline.wall_);
     native.release();
     return status;
   }

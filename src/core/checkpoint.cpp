@@ -162,10 +162,7 @@ CodsSpace::RestoreResult CodsSpace::restore_from_stream(
     bool exists = false;
     {
       MutexLock lock(store_mutex_);
-      const auto idx = store_index_.find({var, version});
-      exists = idx != store_index_.end() &&
-               std::any_of(idx->second.begin(), idx->second.end(),
-                           [&](const auto& e) { return e.second == key; });
+      exists = store_by_key_.contains(key);
     }
     const std::optional<i32> target = exists ? std::nullopt : remap(node);
     if (!target) {

@@ -79,21 +79,20 @@ DataLocation CodsSpace::store_object(i32 node, const std::string& var,
   {
     MutexLock lock(store_mutex_);
     auto& index = store_index_[{var, version}];
-    const auto existing =
-        std::find_if(index.begin(), index.end(),
-                     [&](const auto& e) { return e.second == key; });
-    if (existing != index.end()) {
+    const auto existing = store_by_key_.find(key);
+    if (existing != store_by_key_.end()) {
+      const i32 owner = existing->second;
       if (speculation_.load() && !reexec_.load()) {
         // First completion wins: a speculative re-put of an object that
         // already landed keeps the original (wherever it lives). The
         // caller's traffic was already accounted; only the store and the
         // DHT registration are skipped.
         if (stored != nullptr) *stored = false;
-        const auto it = store_.find({existing->first, key});
+        const auto it = store_.find({owner, key});
         CODS_CHECK(it != store_.end(), "store index out of sync");
         DataLocation kept;
         kept.box = box;
-        kept.owner_client = existing->first;
+        kept.owner_client = owner;
         kept.owner_loc = CoreLoc{it->second.node, 0};
         kept.window_key = key;
         return kept;
@@ -103,11 +102,15 @@ DataLocation CodsSpace::store_object(i32 node, const std::string& var,
       // object (possibly on a different node).
       CODS_CHECK(reexec_.load(),
                  "object already stored for this (var, version, box)");
-      replaced_client = existing->first;
-      const auto it = store_.find({existing->first, key});
+      replaced_client = owner;
+      const auto it = store_.find({owner, key});
       if (it != store_.end()) stored_total_ -= it->second.data.size();
-      store_.erase({existing->first, key});
-      index.erase(existing);
+      store_.erase({owner, key});
+      store_by_key_.erase(existing);
+      // The ordered entry list is only walked on this (rare) re-execution
+      // replacement path; publication order of the survivors is kept.
+      std::erase_if(index,
+                    [&](const std::pair<i32, u64>& e) { return e.second == key; });
     }
     // Shed-load watermark: recovery re-puts are exempt (restoring lost
     // objects must never be refused for the memory they already held).
@@ -122,6 +125,7 @@ DataLocation CodsSpace::store_object(i32 node, const std::string& var,
         store_.insert({{client, key}, StoredObject{node, box, std::move(data)}});
     CODS_CHECK(inserted, "object already stored for this (var, version, box)");
     index.push_back({client, key});
+    store_by_key_.emplace(key, client);
     window = std::span(it->second.data);
   }
   if (replaced_client) dart_.withdraw(*replaced_client, key);
@@ -174,8 +178,7 @@ std::vector<CodsSpace::ContEntry> CodsSpace::wait_cont_coverage(
     const std::string& var, i32 version, const Box& region,
     std::optional<std::chrono::seconds> timeout) {
   MutexLock lock(cont_mutex_);
-  const auto deadline =
-      std::chrono::steady_clock::now() + timeout.value_or(op_timeout());
+  const WaitDeadline deadline(timeout.value_or(op_timeout()));
   for (;;) {
     const auto it = cont_.find({var, version});
     if (it != cont_.end()) {
@@ -215,6 +218,7 @@ void CodsSpace::retire(const std::string& var, i32 version) {
     if (it != store_index_.end()) {
       for (const auto& [client, key] : it->second) {
         dart_.withdraw(client, key);
+        store_by_key_.erase(key);
         const auto obj = store_.find({client, key});
         if (obj != store_.end()) {
           stored_total_ -= obj->second.data.size();
@@ -288,8 +292,7 @@ void CodsSpace::wait_version(const std::string& var, i32 version,
                              std::optional<std::chrono::seconds> timeout)
     const {
   MutexLock lock(meta_mutex_);
-  const auto deadline =
-      std::chrono::steady_clock::now() + timeout.value_or(op_timeout());
+  const WaitDeadline deadline(timeout.value_or(op_timeout()));
   for (;;) {
     const auto it = latest_.find(var);
     if (it != latest_.end() && it->second >= version) return;
@@ -380,6 +383,7 @@ u64 CodsSpace::drop_node(i32 node) {
         lost += it->second.data.size();
         stored_total_ -= it->second.data.size();
         windows.push_back(it->first);
+        store_by_key_.erase(it->first.second);
         it = store_.erase(it);
       } else {
         ++it;

@@ -21,6 +21,7 @@
 #include <functional>
 #include <iosfwd>
 #include <optional>
+#include <unordered_map>
 
 #include "common/sync.hpp"
 #include "core/dht.hpp"
@@ -262,9 +263,19 @@ class CodsSpace {
   /// Running payload total of store_ (kept incrementally so the watermark
   /// check on the put hot path never walks the map).
   u64 stored_total_ CODS_GUARDED_BY(store_mutex_) = 0;
-  // (var, version) -> store keys
+  // (var, version) -> store keys, in publication order. catalog() and
+  // checkpointing iterate these lists, so insertion order is part of the
+  // observable (deterministic) behavior — membership queries go through
+  // store_by_key_ instead.
   std::map<std::pair<std::string, i32>, std::vector<std::pair<i32, u64>>>
       store_index_ CODS_GUARDED_BY(store_mutex_);
+  // window key -> owning storage client, mirroring store_index_'s entries.
+  // The duplicate-put check on the put hot path: a linear scan of the
+  // (var, version) entry list is O(n) per put when one variable gathers a
+  // window per rank, which is quadratic over a 10^6-rank wave. The window
+  // key already hashes (var, version, box), so key equality is the same
+  // predicate the scan evaluated.
+  std::unordered_map<u64, i32> store_by_key_ CODS_GUARDED_BY(store_mutex_);
 
   mutable Mutex cont_mutex_{"cods.cont"};
   CondVar cont_cv_;

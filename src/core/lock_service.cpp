@@ -29,7 +29,7 @@ void LockService::lock_read(const std::string& name, const Endpoint& who,
   ScopedSpan span(SpanCategory::kLockWait, 0, /*detail=*/1);
   account(who, name);
   MutexLock lock(mutex_);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const WaitDeadline deadline(timeout);
   LockState& s = state(name);
   // Writer preference: readers also yield to queued writers.
   while (s.writer || s.waiting_writers > 0) {
@@ -45,7 +45,7 @@ void LockService::lock_write(const std::string& name, const Endpoint& who,
   ScopedSpan span(SpanCategory::kLockWait, 0, /*detail=*/2);
   account(who, name);
   MutexLock lock(mutex_);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const WaitDeadline deadline(timeout);
   LockState& s = state(name);
   ++s.waiting_writers;
   while (s.writer || s.readers > 0) {

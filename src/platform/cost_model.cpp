@@ -53,32 +53,48 @@ double CostModel::batch_time_with_background(
   if (primary.empty()) return 0.0;
   // Accumulate loads over primary + background, but remember which
   // resources the primary flows touch: only those bound the result.
-  std::unordered_set<u64> primary_links;
-  std::unordered_set<i32> primary_nics;
-  std::unordered_set<i32> primary_shm;
+  //
+  // This runs once per pull batch on the simulate hot path (10^5+ calls
+  // per enacted wave), so the scratch containers are thread-local —
+  // cleared, never freed — and each flow's route is walked exactly once:
+  // a dimension-order route visits each link at most once, so folding
+  // the primary-membership insert and the load sum into one walk leaves
+  // every per-link sum accumulating in the same flow order as two
+  // separate passes would. route_links().size() is the hop count by
+  // construction (shortest steps per dimension).
+  static thread_local std::unordered_set<u64> primary_links;
+  static thread_local std::unordered_set<i32> primary_nics;
+  static thread_local std::unordered_set<i32> primary_shm;
+  static thread_local std::unordered_map<u64, double> link_load;  // links
+  static thread_local std::unordered_map<i32, double> nic_load;   // per-node
+  static thread_local std::unordered_map<i32, double> shm_load;   // mem bus
+  primary_links.clear();
+  primary_nics.clear();
+  primary_shm.clear();
+  link_load.clear();
+  nic_load.clear();
+  shm_load.clear();
+  i32 max_hops = 0;
   for (const Flow& f : primary) {
     if (f.bytes == 0) continue;
+    const double bytes = static_cast<double>(f.bytes);
     if (f.src.node == f.dst.node) {
       primary_shm.insert(f.src.node);
+      shm_load[f.src.node] += bytes;
       continue;
     }
     primary_nics.insert(f.src.node);
     primary_nics.insert(f.dst.node);
-    for (u64 link : cluster_->route_links(f.src.node, f.dst.node)) {
+    nic_load[f.src.node] += bytes;
+    nic_load[f.dst.node] += bytes;
+    const auto route = cluster_->route_links(f.src.node, f.dst.node);
+    max_hops = std::max(max_hops, static_cast<i32>(route.size()));
+    for (u64 link : route) {
       primary_links.insert(link);
+      link_load[link] += bytes;
     }
   }
-  std::vector<Flow> flows = primary;
-  flows.insert(flows.end(), background.begin(), background.end());
-  std::unordered_map<u64, double> link_load;   // directed torus links
-  std::unordered_map<i32, double> nic_load;    // per-node injection+ejection
-  std::unordered_map<i32, double> shm_load;    // per-node memory bus
-  i32 max_hops = 0;
-  for (const Flow& f : primary) {
-    if (f.bytes == 0 || f.src.node == f.dst.node) continue;
-    max_hops = std::max(max_hops, cluster_->hops(f.src.node, f.dst.node));
-  }
-  for (const Flow& f : flows) {
+  for (const Flow& f : background) {
     if (f.bytes == 0) continue;
     const double bytes = static_cast<double>(f.bytes);
     if (f.src.node == f.dst.node) {

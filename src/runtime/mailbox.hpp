@@ -41,7 +41,7 @@ class Mailbox {
   Message pop(i32 src_global, i64 comm_tag,
               std::chrono::seconds timeout = std::chrono::seconds(120)) {
     MutexLock lock(mutex_);
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const WaitDeadline deadline(timeout);
     for (;;) {
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         if (it->comm_tag != comm_tag) continue;

@@ -35,8 +35,8 @@ bool Comm::RecvRequest::test() {
   if (message_) return true;
   const i32 src_global =
       src_ == kAnySource ? kAnySource : comm_->global_rank(src_);
-  auto m = comm_->runtime_->mailbox(comm_->global_rank(comm_->rank()))
-               .try_pop(src_global, comm_->comm_tag(tag_));
+  auto m = comm_->runtime_->mail_try_pop(comm_->global_rank(comm_->rank()),
+                                         src_global, comm_->comm_tag(tag_));
   if (m) message_ = std::move(*m);
   return message_.has_value();
 }
@@ -64,10 +64,6 @@ void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
   CODS_REQUIRE(valid(), "invalid communicator");
   const i32 dst_global = global_rank(dst);
   const i32 src_global = global_rank(my_index_);
-  Message m;
-  m.src_global = src_global;
-  m.comm_tag = comm_tag(tag);
-  m.payload.assign(payload.begin(), payload.end());
   // Account the movement against the placement of the two ranks.
   const CoreLoc a = runtime_->loc(src_global);
   const CoreLoc b = runtime_->loc(dst_global);
@@ -96,7 +92,7 @@ void Comm::send(i32 dst, i32 tag, std::span<const std::byte> payload) const {
   if (dst_global != src_global && !payload.empty()) {
     runtime_->note_transfer(app_id_, a, b, payload.size());
   }
-  runtime_->mailbox(dst_global).push(std::move(m));
+  runtime_->mail_push(dst_global, src_global, comm_tag(tag), payload);
 }
 
 Message Comm::recv(i32 src, i32 tag) const {
@@ -111,9 +107,9 @@ Message Comm::recv(i32 src, i32 tag) const {
 Message Comm::recv_impl(i32 src, i32 tag) const {
   CODS_REQUIRE(valid(), "invalid communicator");
   const i32 src_global = src == kAnySource ? kAnySource : global_rank(src);
-  Mailbox& box = runtime_->mailbox(global_rank(my_index_));
+  const i32 my_global = global_rank(my_index_);
   if (FaultInjector* fault = runtime_->fault()) {
-    const i32 my_node = runtime_->loc(global_rank(my_index_)).node;
+    const i32 my_node = runtime_->loc(my_global).node;
     if (fault->is_dead(my_node)) {
       throw NodeDownError(my_node, "node " + std::to_string(my_node) +
                                        " is down (receiver)");
@@ -121,7 +117,8 @@ Message Comm::recv_impl(i32 src, i32 tag) const {
     if (src_global != kAnySource) {
       // A message the peer sent before dying is still deliverable; only
       // block on a live peer.
-      if (auto m = box.try_pop(src_global, comm_tag(tag))) {
+      if (auto m = runtime_->mail_try_pop(my_global, src_global,
+                                          comm_tag(tag))) {
         return std::move(*m);
       }
       const i32 src_node = runtime_->loc(src_global).node;
@@ -132,7 +129,7 @@ Message Comm::recv_impl(i32 src, i32 tag) const {
       }
     }
   }
-  return box.pop(src_global, comm_tag(tag), runtime_->recv_timeout());
+  return runtime_->mail_pop(my_global, src_global, comm_tag(tag));
 }
 
 void Comm::barrier() const {
@@ -375,7 +372,17 @@ std::vector<RankFailure> Runtime::run_collect(
   }
   placement_ = placement;
   mailboxes_.clear();
-  for (i32 r = 0; r < n; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  sim_mail_.reset();
+  if (exec_mode_ == ExecMode::kSimulate) {
+    // One dense cell per rank instead of a Mailbox (mutex + condvar +
+    // deque) per rank: all fibers share the calling thread, so the
+    // per-rank lock sharding the live modes need is pure overhead here.
+    sim_mail_ = std::make_unique<SimMailboxPool>(n);
+  } else {
+    for (i32 r = 0; r < n; ++r) {
+      mailboxes_.push_back(std::make_unique<Mailbox>());
+    }
+  }
   {
     // Groups registered by previous waves' splits are unreachable once
     // their Comm handles die with the rank bodies; drop them here so the
@@ -422,7 +429,7 @@ std::vector<RankFailure> Runtime::run_collect(
     executor.run(n, rank_main);
     last_exec_stats_ = executor.stats();
   } else if (exec_mode_ == ExecMode::kSimulate) {
-    SimEngine sim(sim_stack_bytes_);
+    SimEngine sim(sim_stack_bytes_, sim_ready_queue_);
     sim.run(n, rank_main);
     last_sim_stats_ = sim.stats();
     last_exec_stats_ = ExecutorStats{};
@@ -474,6 +481,34 @@ void Runtime::note_transfer(i32 app_id, const CoreLoc& src, const CoreLoc& dst,
                 /*sequential=*/true, TraceFlags::kLedger,
                 pack_loc(src.node, src.core));
   }
+}
+
+void Runtime::mail_push(i32 dst_global, i32 src_global, i64 comm_tag,
+                        std::span<const std::byte> payload) {
+  if (sim_mail_ != nullptr) {
+    sim_mail_->push(dst_global, src_global, comm_tag, payload);
+    return;
+  }
+  Message m;
+  m.src_global = src_global;
+  m.comm_tag = comm_tag;
+  m.payload.assign(payload.begin(), payload.end());
+  mailbox(dst_global).push(std::move(m));
+}
+
+Message Runtime::mail_pop(i32 rank, i32 src_global, i64 comm_tag) {
+  if (sim_mail_ != nullptr) {
+    return sim_mail_->pop(rank, src_global, comm_tag, recv_timeout());
+  }
+  return mailbox(rank).pop(src_global, comm_tag, recv_timeout());
+}
+
+std::optional<Message> Runtime::mail_try_pop(i32 rank, i32 src_global,
+                                             i64 comm_tag) {
+  if (sim_mail_ != nullptr) {
+    return sim_mail_->try_pop(rank, src_global, comm_tag);
+  }
+  return mailbox(rank).try_pop(src_global, comm_tag);
 }
 
 Mailbox& Runtime::mailbox(i32 global_rank) {

@@ -23,6 +23,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/sim.hpp"
+#include "runtime/sim_mailbox.hpp"
 
 namespace cods {
 
@@ -268,6 +269,15 @@ class Runtime {
   void set_sim_stack_bytes(i64 bytes) { sim_stack_bytes_ = bytes; }
   i64 sim_stack_bytes() const { return sim_stack_bytes_; }
 
+  /// Ready structure for ExecMode::kSimulate (runtime/sim.hpp): the
+  /// calendar queue by default, or the binary-heap oracle — schedules
+  /// are identical, so this only trades event-loop constants. Set
+  /// between waves.
+  void set_sim_ready_queue(SimReadyQueue ready_queue) {
+    sim_ready_queue_ = ready_queue;
+  }
+  SimReadyQueue sim_ready_queue() const { return sim_ready_queue_; }
+
   /// Per-task deadline in modelled seconds installed into every rank's
   /// TaskClock (src/health/task_clock.hpp); 0 = none. Set between waves.
   void set_task_deadline(double deadline) { task_deadline_ = deadline; }
@@ -281,6 +291,17 @@ class Runtime {
   }
 
   // --- internals used by Comm ---
+  /// Mode-dispatching mailbox plane. The live modes keep one Mailbox per
+  /// rank (real threads contend on real locks); ExecMode::kSimulate
+  /// swaps the whole plane for a dense SimMailboxPool (one 64-byte cell
+  /// per rank, runtime/sim_mailbox.hpp) built by run_collect. Message
+  /// semantics — FIFO per match, timeout error, byte accounting — are
+  /// identical.
+  void mail_push(i32 dst_global, i32 src_global, i64 comm_tag,
+                 std::span<const std::byte> payload);
+  Message mail_pop(i32 rank, i32 src_global, i64 comm_tag);
+  std::optional<Message> mail_try_pop(i32 rank, i32 src_global, i64 comm_tag);
+  /// Live-mode per-rank mailbox (unused under kSimulate).
   Mailbox& mailbox(i32 global_rank);
   CoreLoc loc(i32 global_rank) const;
   i64 alloc_comm_id() { return next_comm_id_.fetch_add(1); }
@@ -307,7 +328,10 @@ class Runtime {
   std::atomic<std::chrono::seconds> recv_timeout_{std::chrono::seconds(120)};
   // Rebuilt single-threadedly in run_collect() before ranks spawn and only
   // read while they execute (the spawn is the synchronization point).
+  // Exactly one of the two planes is populated per run: mailboxes_ for
+  // the live modes, sim_mail_ for kSimulate.
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<SimMailboxPool> sim_mail_;
   std::vector<CoreLoc> placement_;
   std::atomic<i64> next_comm_id_{1};
   Mutex comm_groups_mutex_{"runtime.comm_groups"};
@@ -316,6 +340,7 @@ class Runtime {
   ExecMode exec_mode_ = ExecMode::kPooled;
   i32 exec_pool_size_ = 0;  ///< <= 0: default_pool_size()
   i64 sim_stack_bytes_ = 0;  ///< <= 0: SimEngine::kDefaultStackBytes
+  SimReadyQueue sim_ready_queue_ = SimReadyQueue::kCalendar;
   ExecutorStats last_exec_stats_;
   SimStats last_sim_stats_;
   double task_deadline_ = 0.0;  ///< set between waves (see set_task_deadline)

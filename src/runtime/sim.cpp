@@ -4,17 +4,25 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <map>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <queue>
-#include <set>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define CODS_SIM_RUSAGE 1
+#endif
 
 #include "common/blocking.hpp"
 #include "common/error.hpp"
 #include "common/sync.hpp"
 #include "health/task_clock.hpp"
+#include "runtime/calendar_queue.hpp"
+#include "runtime/stack_arena.hpp"
 #include "trace/trace.hpp"
 
 // Fiber-switch annotations keep the sanitizers' shadow state coherent
@@ -59,54 +67,215 @@ thread_local Impl* t_impl = nullptr;
 /// stack) or a rank fiber.
 struct ContextRec {
   ucontext_t ctx{};
-  void* fake_stack = nullptr;         // ASan fake-frame save slot
+  void* fake_stack = nullptr;          // ASan fake-frame save slot
   const void* stack_bottom = nullptr;  // lowest stack address
   std::size_t stack_size = 0;
   void* tsan = nullptr;  // TSan logical-thread handle
 };
 
-struct Fiber {
-  enum class State { kNew, kReady, kRunning, kBlocked, kDone };
-
-  i32 index = -1;
-  State state = State::kNew;
+/// The expensive part of a fiber — ucontext (≈1 KiB), arena stack slot,
+/// parked thread-local state. Allocated only while a fiber is live
+/// (started, not yet done) and recycled through a free pool, so at 10^6
+/// ranks the engine holds peak-co-residency LiveFibers, not one per
+/// rank. Pointer-stable (pool of unique_ptr): ucontext_t must not move
+/// while a fiber can be switched to.
+struct LiveFiber {
   ContextRec rec;
-  std::unique_ptr<std::byte[]> stack;
-  /// Virtual timestamp: the modelled seconds this rank's TaskClock had
-  /// accumulated when it last yielded. Orders the ready queue.
-  double vtime = 0.0;
+  std::byte* stack = nullptr;  ///< arena slot (StackArena::acquire)
   /// Thread-local state parked here while the fiber is switched out.
   TaskClock::Snapshot clock{};
   TraceContext* trace = nullptr;
-  // Blocking bookkeeping (valid while State::kBlocked on a condvar).
-  const void* wait_cv = nullptr;
-  double deadline = 0.0;
-  bool timed = false;
-  bool timed_out = false;
-  bool cancelled = false;
-  std::exception_ptr error;
 };
 
-/// Ready-queue key: (virtual time, FIFO sequence) — a deterministic
-/// total order, so one seed replays one schedule on any host.
-struct ReadyItem {
+/// Always-resident per-rank record, kept to ~half a cache line so a
+/// million-rank enactment's fiber table stays tens of MB. Everything
+/// bigger lives in the pooled LiveFiber.
+struct Fiber {
+  enum class State : u8 { kNew, kReady, kRunning, kBlocked, kDone };
+
+  State state = State::kNew;
+  bool timed = false;      ///< current wait has a virtual deadline
+  bool timed_out = false;  ///< the deadline fired (wait returns timeout)
+  bool cancelled = false;  ///< unwound to break a deadlock
+  /// Intrusive FIFO link while parked on a cv/mutex waiter list.
+  i32 next_waiter = -1;
+  /// Bumped at every wait registration; a timed-heap entry whose epoch
+  /// no longer matches is stale (lazy deletion).
+  u32 wait_epoch = 0;
+  /// Virtual timestamp: the modelled seconds this rank's TaskClock had
+  /// accumulated when it last yielded. Orders the ready queue.
   double vtime = 0.0;
-  u64 seq = 0;
-  i32 index = -1;
+  double deadline = 0.0;
+  /// Wait channel (cv address) while State::kBlocked on a condvar.
+  const void* wait_key = nullptr;
+  LiveFiber* live = nullptr;  ///< null unless started and not yet done
 };
-struct ReadyAfter {
-  bool operator()(const ReadyItem& a, const ReadyItem& b) const {
-    if (a.vtime != b.vtime) return a.vtime > b.vtime;
-    return a.seq > b.seq;
+
+/// Waiter list head/tail; members chain through Fiber::next_waiter (a
+/// fiber waits on at most one channel at a time).
+struct WaitList {
+  i32 head = -1;
+  i32 tail = -1;
+};
+
+/// Open-addressing pointer-keyed map of wait channels -> waiter lists.
+/// Replaces std::map: waiter registration is once per block/unblock, the
+/// hottest path of a communication-bound enactment, and the table reuses
+/// its slots instead of allocating a node per churn.
+class WaitTable {
+ public:
+  WaitTable() : slots_(kInitialSlots) {}
+
+  /// Finds or creates the list for `key`. The reference is invalidated
+  /// by any later insertion (the table may rehash).
+  WaitList& find_or_insert(const void* key) {
+    if ((count_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t i = probe(key);
+    if (slots_[i].key == nullptr) {
+      slots_[i].key = key;
+      slots_[i].list = WaitList{};
+      ++count_;
+    }
+    return slots_[i].list;
+  }
+
+  WaitList* find(const void* key) {
+    const std::size_t i = probe(key);
+    return slots_[i].key == nullptr ? nullptr : &slots_[i].list;
+  }
+
+  void erase(const void* key) {
+    std::size_t i = probe(key);
+    if (slots_[i].key == nullptr) return;
+    // Linear-probe backshift deletion: close the hole by moving forward
+    // any entry whose home slot is not cyclically within (hole, entry].
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (slots_[j].key == nullptr) break;
+      const std::size_t k = hash(slots_[j].key) & mask;
+      const bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
+      if (movable) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i] = TableEntry{};
+    --count_;
+  }
+
+  void clear() {
+    slots_.assign(slots_.size(), TableEntry{});
+    count_ = 0;
+  }
+
+ private:
+  struct TableEntry {
+    const void* key = nullptr;
+    WaitList list;
+  };
+  static constexpr std::size_t kInitialSlots = 256;  // power of two
+
+  std::size_t probe(const void* key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    while (slots_[i].key != nullptr && slots_[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  static std::size_t hash(const void* p) {
+    u64 x = static_cast<u64>(reinterpret_cast<std::uintptr_t>(p));
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  void grow() {
+    std::vector<TableEntry> old = std::move(slots_);
+    slots_.assign(old.size() * 2, TableEntry{});
+    for (const TableEntry& s : old) {
+      if (s.key == nullptr) continue;
+      slots_[probe(s.key)] = s;
+    }
+  }
+
+  std::vector<TableEntry> slots_;
+  std::size_t count_ = 0;
+};
+
+/// Pending virtual deadline (lazy deletion: a notify leaves the entry
+/// behind; validity is re-derived from the fiber when popped).
+struct TimedEntry {
+  double deadline = 0.0;
+  i32 fiber = -1;
+  u32 epoch = 0;
+};
+/// Orders the heap like the std::set<pair<deadline, index>> it replaced:
+/// earliest deadline first, smaller fiber index breaking ties.
+struct TimedAfter {
+  bool operator()(const TimedEntry& a, const TimedEntry& b) const {
+    if (a.deadline != b.deadline) return a.deadline > b.deadline;
+    return a.fiber > b.fiber;
   }
 };
 
+/// The ready structure behind SimReadyQueue: the calendar queue or the
+/// binary-heap oracle. Both pop the identical (vtime, seq) order.
+struct ReadyQueue {
+  explicit ReadyQueue(SimReadyQueue kind) : kind(kind) {}
+
+  bool empty() const {
+    return kind == SimReadyQueue::kCalendar ? calendar.empty() : heap.empty();
+  }
+  void push(ReadyItem item) {
+    if (kind == SimReadyQueue::kCalendar) {
+      calendar.push(item);
+    } else {
+      heap.push(item);
+    }
+  }
+  ReadyItem pop() {
+    if (kind == SimReadyQueue::kCalendar) return calendar.pop();
+    const ReadyItem item = heap.top();
+    heap.pop();
+    return item;
+  }
+  u64 rebuilds() const {
+    return kind == SimReadyQueue::kCalendar ? calendar.rebuilds() : 0;
+  }
+
+  const SimReadyQueue kind;
+  CalendarQueue calendar;
+  std::priority_queue<ReadyItem, std::vector<ReadyItem>, ReadyAfter> heap;
+};
+
+u64 read_peak_rss_bytes() {
+#if defined(CODS_SIM_RUSAGE)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<u64>(usage.ru_maxrss);  // bytes
+#else
+    return static_cast<u64>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+  }
+#endif
+  return 0;
+}
+
 struct Impl : blocking::SimHook {
-  Impl(i64 stack_bytes, SimStats* stats,
+  Impl(i64 stack_bytes, SimReadyQueue ready_queue, SimStats* stats,
        const std::function<void(i32)>& body)
-      : stack_bytes_(static_cast<std::size_t>(stack_bytes)),
-        stats_(stats),
-        body_(body) {}
+      : stats_(stats),
+        body_(body),
+        arena_(static_cast<std::size_t>(stack_bytes)),
+        ready_(ready_queue) {}
 
   // ---- scheduler ----
 
@@ -120,18 +289,34 @@ struct Impl : blocking::SimHook {
     Impl* prev_impl = t_impl;
     t_impl = this;
     for (i32 index = 0; index < ntasks; ++index) {
-      fibers_[static_cast<std::size_t>(index)].index = index;
       ready_.push(ReadyItem{0.0, next_seq_++, index});
     }
+    // Env-gated progress heartbeat: with CODS_SIM_PROGRESS set, one
+    // stderr line every ~2M context switches. A 10^6-rank wave runs for
+    // minutes with no observable output, and a counter that stops moving
+    // while completed_ sits at zero pinpoints which phase is grinding —
+    // this is how the store-index quadratic was isolated. Off (the
+    // default) it costs one predictable branch per event.
+    const bool progress = std::getenv("CODS_SIM_PROGRESS") != nullptr;
+    u64 next_report = u64{1} << 21;
     try {
       while (completed_ < ntasks) {
+        if (progress && stats_->switches >= next_report) {
+          next_report = stats_->switches + (u64{1} << 21);
+          std::fprintf(stderr,
+                       "[sim] switches=%llu completed=%d/%d blocked=%d "
+                       "timed=%lld rebuilds=%llu\n",
+                       static_cast<unsigned long long>(stats_->switches),
+                       completed_, ntasks, blocked_,
+                       static_cast<long long>(timed_live_),
+                       static_cast<unsigned long long>(ready_.rebuilds()));
+        }
         if (!ready_.empty()) {
-          const ReadyItem item = ready_.top();
-          ready_.pop();
+          const ReadyItem item = ready_.pop();
           dispatch(fibers_[static_cast<std::size_t>(item.index)]);
           continue;
         }
-        if (!timed_waiters_.empty()) {
+        if (timed_live_ > 0) {
           fire_earliest_deadline();
           continue;
         }
@@ -149,29 +334,38 @@ struct Impl : blocking::SimHook {
     }
     t_impl = prev_impl;
     blocking::install_sim_hook(prev_hook);
+    stats_->stacks = arena_.slots();
+    stats_->arena_bytes = arena_.committed_bytes();
+    stats_->ready_rebuilds = ready_.rebuilds();
+    stats_->peak_rss_bytes = read_peak_rss_bytes();
     // Surface the lowest-index escaped exception, mirroring the pooled
     // executor's run() contract.
-    for (Fiber& f : fibers_) {
-      if (f.error != nullptr) std::rethrow_exception(f.error);
-    }
+    std::sort(errors_.begin(), errors_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (!errors_.empty()) std::rethrow_exception(errors_.front().second);
+  }
+
+  i32 index_of(const Fiber& f) const {
+    return static_cast<i32>(&f - fibers_.data());
   }
 
   void dispatch(Fiber& f) {
     CODS_CHECK(f.state == Fiber::State::kNew || f.state == Fiber::State::kReady,
                "simulate: dispatched a fiber that is not runnable");
     if (f.state == Fiber::State::kNew) prepare(f);
+    LiveFiber& live = *f.live;
     f.state = Fiber::State::kRunning;
     cur_ = &f;
     // Each fiber owns private thread-local clock and trace state; swap
     // it in for the fiber's slice and back out for the scheduler's.
-    const TaskClock::Snapshot sched_clock = TaskClock::exchange(f.clock);
-    TraceContext* sched_trace = TraceContext::exchange_current(f.trace);
-    switch_context(sched_, f.rec);
-    f.trace = TraceContext::exchange_current(sched_trace);
-    f.clock = TaskClock::exchange(sched_clock);
+    const TaskClock::Snapshot sched_clock = TaskClock::exchange(live.clock);
+    TraceContext* sched_trace = TraceContext::exchange_current(live.trace);
+    switch_context(sched_, live.rec);
+    live.trace = TraceContext::exchange_current(sched_trace);
+    live.clock = TaskClock::exchange(sched_clock);
     cur_ = nullptr;
     stats_->switches += 2;
-    f.vtime = std::max(f.vtime, f.clock.elapsed);
+    f.vtime = std::max(f.vtime, live.clock.elapsed);
     stats_->final_vtime = std::max(stats_->final_vtime, f.vtime);
     if (f.state == Fiber::State::kDone) {
       ++completed_;
@@ -180,34 +374,44 @@ struct Impl : blocking::SimHook {
   }
 
   void prepare(Fiber& f) {
-    if (!free_stacks_.empty()) {
-      f.stack = std::move(free_stacks_.back());
-      free_stacks_.pop_back();
+    LiveFiber* live;
+    if (!free_live_.empty()) {
+      live = free_live_.back();
+      free_live_.pop_back();
     } else {
-      f.stack = std::make_unique<std::byte[]>(stack_bytes_);
-      ++stats_->stacks;
+      live_pool_.push_back(std::make_unique<LiveFiber>());
+      live = live_pool_.back().get();
     }
-    CODS_CHECK(getcontext(&f.rec.ctx) == 0, "simulate: getcontext failed");
-    f.rec.ctx.uc_stack.ss_sp = f.stack.get();
-    f.rec.ctx.uc_stack.ss_size = stack_bytes_;
-    f.rec.ctx.uc_link = &sched_.ctx;
-    f.rec.stack_bottom = f.stack.get();
-    f.rec.stack_size = stack_bytes_;
+    live->stack = arena_.acquire();
+    live->clock = TaskClock::Snapshot{};
+    live->trace = nullptr;
+    live->rec.fake_stack = nullptr;
+    CODS_CHECK(getcontext(&live->rec.ctx) == 0, "simulate: getcontext failed");
+    live->rec.ctx.uc_stack.ss_sp = live->stack;
+    live->rec.ctx.uc_stack.ss_size = arena_.stack_bytes();
+    live->rec.ctx.uc_link = &sched_.ctx;
+    live->rec.stack_bottom = live->stack;
+    live->rec.stack_size = arena_.stack_bytes();
 #if defined(CODS_SIM_TSAN)
-    f.rec.tsan = __tsan_create_fiber(0);
+    live->rec.tsan = __tsan_create_fiber(0);
 #endif
-    makecontext(&f.rec.ctx, fiber_trampoline, 0);
+    makecontext(&live->rec.ctx, fiber_trampoline, 0);
+    f.live = live;
   }
 
   void retire(Fiber& f) {
+    LiveFiber* live = f.live;
 #if defined(CODS_SIM_TSAN)
-    __tsan_destroy_fiber(f.rec.tsan);
-    f.rec.tsan = nullptr;
+    __tsan_destroy_fiber(live->rec.tsan);
+    live->rec.tsan = nullptr;
 #endif
-    // Recycle the stack for not-yet-started fibers: peak allocation
-    // tracks co-resident ranks, not total ranks, so pipeline-shaped
-    // workloads enact 100k ranks in a handful of stacks.
-    free_stacks_.push_back(std::move(f.stack));
+    // Recycle stack and context record for not-yet-started fibers: peak
+    // allocation tracks co-resident ranks, not total ranks, so
+    // pipeline-shaped workloads enact 1M ranks in a handful of slots.
+    arena_.release(live->stack);
+    live->stack = nullptr;
+    free_live_.push_back(live);
+    f.live = nullptr;
   }
 
   /// Swaps execution from `from` to `to`, keeping the sanitizers' view
@@ -231,38 +435,95 @@ struct Impl : blocking::SimHook {
   void make_ready(Fiber& f) {
     f.state = Fiber::State::kReady;
     --blocked_;
-    ready_.push(ReadyItem{f.vtime, next_seq_++, f.index});
+    ready_.push(ReadyItem{f.vtime, next_seq_++, index_of(f)});
+  }
+
+  /// Appends `f` to the FIFO waiter list of `key` in `table`.
+  void append_waiter(WaitTable& table, const void* key, Fiber& f) {
+    const i32 index = index_of(f);
+    f.next_waiter = -1;
+    WaitList& list = table.find_or_insert(key);
+    if (list.tail < 0) {
+      list.head = index;
+    } else {
+      fibers_[static_cast<std::size_t>(list.tail)].next_waiter = index;
+    }
+    list.tail = index;
+  }
+
+  /// Unlinks `index` from the waiter list of `key` (deadline firing:
+  /// the fiber leaves the list without a notify).
+  void unlink_waiter(WaitTable& table, const void* key, i32 index) {
+    WaitList* list = table.find(key);
+    CODS_CHECK(list != nullptr, "simulate: waiter not registered");
+    i32 prev = -1;
+    i32 cur = list->head;
+    while (cur != index) {
+      CODS_CHECK(cur >= 0, "simulate: waiter not on its wait list");
+      prev = cur;
+      cur = fibers_[static_cast<std::size_t>(cur)].next_waiter;
+    }
+    const i32 next = fibers_[static_cast<std::size_t>(cur)].next_waiter;
+    if (prev < 0) {
+      list->head = next;
+    } else {
+      fibers_[static_cast<std::size_t>(prev)].next_waiter = next;
+    }
+    if (list->tail == index) list->tail = prev;
+    fibers_[static_cast<std::size_t>(index)].next_waiter = -1;
+    if (list->head < 0) table.erase(key);
+  }
+
+  bool timed_entry_valid(const TimedEntry& e) const {
+    const Fiber& f = fibers_[static_cast<std::size_t>(e.fiber)];
+    return f.state == Fiber::State::kBlocked && f.timed &&
+           f.wait_epoch == e.epoch;
+  }
+
+  void push_timed(double deadline, Fiber& f) {
+    timed_.push_back(TimedEntry{deadline, index_of(f), f.wait_epoch});
+    std::push_heap(timed_.begin(), timed_.end(), TimedAfter{});
+    ++timed_live_;
+    // Stale entries (waiters that were notified) pile up under lazy
+    // deletion; compact when they outnumber the live ones 2:1.
+    if (timed_.size() > 2 * static_cast<std::size_t>(timed_live_) + 64) {
+      std::erase_if(timed_, [this](const TimedEntry& e) {
+        return !timed_entry_valid(e);
+      });
+      std::make_heap(timed_.begin(), timed_.end(), TimedAfter{});
+    }
   }
 
   void fire_earliest_deadline() {
-    const auto it = timed_waiters_.begin();
-    const double deadline = it->first;
-    Fiber& f = fibers_[static_cast<std::size_t>(it->second)];
-    timed_waiters_.erase(it);
-    remove_cv_waiter(f);
-    f.timed_out = true;
-    f.vtime = std::max(f.vtime, deadline);
-    ++stats_->timeouts;
-    make_ready(f);
+    while (!timed_.empty()) {
+      std::pop_heap(timed_.begin(), timed_.end(), TimedAfter{});
+      const TimedEntry e = timed_.back();
+      timed_.pop_back();
+      if (!timed_entry_valid(e)) continue;  // stale (notified since)
+      --timed_live_;
+      Fiber& f = fibers_[static_cast<std::size_t>(e.fiber)];
+      unlink_waiter(cv_waiters_, f.wait_key, e.fiber);
+      f.timed_out = true;
+      f.vtime = std::max(f.vtime, e.deadline);
+      ++stats_->timeouts;
+      make_ready(f);
+      return;
+    }
+    CODS_CHECK(false, "simulate: timed waiter count out of sync");
   }
 
   void cancel_blocked() {
     for (Fiber& f : fibers_) {
       if (f.state != Fiber::State::kBlocked) continue;
       f.cancelled = true;
+      f.next_waiter = -1;
       ++stats_->cancellations;
       make_ready(f);
     }
     cv_waiters_.clear();
     mutex_waiters_.clear();
-  }
-
-  void remove_cv_waiter(Fiber& f) {
-    const auto it = cv_waiters_.find(f.wait_cv);
-    CODS_CHECK(it != cv_waiters_.end(), "simulate: waiter not registered");
-    std::vector<i32>& waiters = it->second;
-    waiters.erase(std::find(waiters.begin(), waiters.end(), f.index));
-    if (waiters.empty()) cv_waiters_.erase(it);
+    timed_.clear();
+    timed_live_ = 0;
   }
 
   /// Parks the current fiber and returns once the scheduler resumes it.
@@ -271,7 +532,7 @@ struct Impl : blocking::SimHook {
     f.state = Fiber::State::kBlocked;
     ++blocked_;
     stats_->peak_blocked = std::max(stats_->peak_blocked, blocked_);
-    switch_context(f.rec, sched_);
+    switch_context(f.live->rec, sched_);
   }
 
   Fiber& require_fiber() {
@@ -303,21 +564,26 @@ struct Impl : blocking::SimHook {
     Fiber& f = *cur_;
     while (!mu.try_lock()) {
       ++stats_->mutex_waits;
-      mutex_waiters_[&mu].push_back(f.index);
+      ++f.wait_epoch;
+      append_waiter(mutex_waiters_, &mu, f);
       suspend();
       if (f.cancelled) throw_cancelled();
     }
   }
 
   void unlock(Mutex& mu) override {
-    const auto it = mutex_waiters_.find(&mu);
-    if (it == mutex_waiters_.end()) return;
+    WaitList* list = mutex_waiters_.find(&mu);
+    if (list == nullptr) return;
     // Wake every waiter; they re-contend deterministically in virtual
     // ready order and losers re-park.
-    const std::vector<i32> waiters = std::move(it->second);
-    mutex_waiters_.erase(it);
-    for (const i32 index : waiters) {
-      make_ready(fibers_[static_cast<std::size_t>(index)]);
+    i32 index = list->head;
+    mutex_waiters_.erase(&mu);
+    while (index >= 0) {
+      Fiber& f = fibers_[static_cast<std::size_t>(index)];
+      const i32 next = f.next_waiter;
+      f.next_waiter = -1;
+      make_ready(f);
+      index = next;
     }
   }
 
@@ -326,12 +592,13 @@ struct Impl : blocking::SimHook {
     Fiber& f = require_fiber();
     if (f.cancelled) throw_cancelled();
     mu.unlock();
-    f.wait_cv = cv;
+    f.wait_key = cv;
     f.timed = false;
     f.timed_out = false;
-    cv_waiters_[cv].push_back(f.index);
+    ++f.wait_epoch;
+    append_waiter(cv_waiters_, cv, f);
     suspend();
-    f.wait_cv = nullptr;
+    f.wait_key = nullptr;
     mu.lock();
     if (f.cancelled) throw_cancelled();
   }
@@ -345,16 +612,17 @@ struct Impl : blocking::SimHook {
       return true;
     }
     mu.unlock();
-    f.wait_cv = cv;
+    f.wait_key = cv;
     f.timed = true;
     f.timed_out = false;
+    ++f.wait_epoch;
     // TaskClock::elapsed() is the fiber's live virtual clock (its state
     // is swapped into the thread while the fiber runs).
     f.deadline = TaskClock::elapsed() + seconds;
-    cv_waiters_[cv].push_back(f.index);
-    timed_waiters_.insert({f.deadline, f.index});
+    append_waiter(cv_waiters_, cv, f);
+    push_timed(f.deadline, f);
     suspend();
-    f.wait_cv = nullptr;
+    f.wait_key = nullptr;
     f.timed = false;
     const bool timed_out = f.timed_out;
     mu.lock();
@@ -364,34 +632,51 @@ struct Impl : blocking::SimHook {
 
   void notify(const void* cv, bool all) override {
     ++stats_->notifies;
-    const auto it = cv_waiters_.find(cv);
-    if (it == cv_waiters_.end()) return;
-    std::vector<i32>& waiters = it->second;
+    WaitList* list = cv_waiters_.find(cv);
+    if (list == nullptr) return;
     // FIFO wakeup: notify_one resumes the longest-parked waiter, the
     // deterministic counterpart of the native "some waiter" contract.
-    std::size_t wake = all ? waiters.size() : std::size_t{1};
-    while (wake-- > 0 && !waiters.empty()) {
-      Fiber& f = fibers_[static_cast<std::size_t>(waiters.front())];
-      waiters.erase(waiters.begin());
-      if (f.timed) timed_waiters_.erase({f.deadline, f.index});
-      make_ready(f);
+    if (all) {
+      i32 index = list->head;
+      cv_waiters_.erase(cv);
+      while (index >= 0) {
+        Fiber& f = fibers_[static_cast<std::size_t>(index)];
+        const i32 next = f.next_waiter;
+        f.next_waiter = -1;
+        if (f.timed) --timed_live_;  // heap entry goes stale
+        make_ready(f);
+        index = next;
+      }
+      return;
     }
-    if (waiters.empty()) cv_waiters_.erase(it);
+    Fiber& f = fibers_[static_cast<std::size_t>(list->head)];
+    list->head = f.next_waiter;
+    // The tail can only have been f when f was the sole waiter, in which
+    // case the whole list goes away.
+    if (list->head < 0) cv_waiters_.erase(cv);
+    f.next_waiter = -1;
+    if (f.timed) --timed_live_;
+    make_ready(f);
   }
 
   // ---- state ----
 
-  const std::size_t stack_bytes_;
   SimStats* stats_;
   const std::function<void(i32)>& body_;
+  StackArena arena_;
   std::vector<Fiber> fibers_;
-  std::vector<std::unique_ptr<std::byte[]>> free_stacks_;
+  std::vector<std::unique_ptr<LiveFiber>> live_pool_;
+  std::vector<LiveFiber*> free_live_;
+  std::vector<std::pair<i32, std::exception_ptr>> errors_;
   ContextRec sched_;
   Fiber* cur_ = nullptr;
-  std::priority_queue<ReadyItem, std::vector<ReadyItem>, ReadyAfter> ready_;
-  std::map<const void*, std::vector<i32>> cv_waiters_;
-  std::map<const Mutex*, std::vector<i32>> mutex_waiters_;
-  std::set<std::pair<double, i32>> timed_waiters_;
+  ReadyQueue ready_;
+  WaitTable cv_waiters_;
+  WaitTable mutex_waiters_;
+  /// Lazy-deletion binary heap of virtual deadlines; timed_live_ counts
+  /// the non-stale entries (the scheduler's quiescence test).
+  std::vector<TimedEntry> timed_;
+  i32 timed_live_ = 0;
   u64 next_seq_ = 0;
   i32 blocked_ = 0;
   i32 completed_ = 0;
@@ -406,27 +691,29 @@ void fiber_trampoline() {
                                   &impl->sched_.stack_size);
 #endif
   Fiber* f = impl->cur_;
+  const i32 index = impl->index_of(*f);
   try {
-    impl->body_(f->index);
+    impl->body_(index);
   } catch (...) {
-    f->error = std::current_exception();
+    impl->errors_.emplace_back(index, std::current_exception());
   }
   f->state = Fiber::State::kDone;
-  impl->switch_context(f->rec, impl->sched_, /*exiting=*/true);
+  impl->switch_context(f->live->rec, impl->sched_, /*exiting=*/true);
   // Unreachable: a done fiber is never resumed.
 }
 
 }  // namespace
 
-SimEngine::SimEngine(i64 stack_bytes)
-    : stack_bytes_(stack_bytes > 0 ? stack_bytes : kDefaultStackBytes) {}
+SimEngine::SimEngine(i64 stack_bytes, SimReadyQueue ready_queue)
+    : stack_bytes_(stack_bytes > 0 ? stack_bytes : kDefaultStackBytes),
+      ready_queue_(ready_queue) {}
 
 void SimEngine::run(i32 ntasks, const std::function<void(i32)>& body) {
   stats_ = SimStats{};
   if (ntasks <= 0) return;
   CODS_CHECK(blocking::sim_hook() == nullptr,
              "simulate: nested SimEngine runs on one thread");
-  Impl impl(stack_bytes_, &stats_, body);
+  Impl impl(stack_bytes_, ready_queue_, &stats_, body);
   impl.run(ntasks);
 }
 

@@ -90,26 +90,48 @@ TraceRecorder::Track* TraceRecorder::acquire_track(u64 key,
   MutexLock lock(mutex_);
   auto it = tracks_.find(key);
   if (it == tracks_.end()) {
-    it = tracks_.emplace(key, std::make_unique<Track>(key, ring_capacity_))
-             .first;
+    it = tracks_.emplace(key, std::make_unique<Track>(key)).first;
   }
   it->second->clock = start_clock;
   return it->second.get();
 }
 
 void TraceRecorder::emit(Track& track, const TraceSpan& span) {
-  if (track.ring.try_push(span)) return;
-  // Ring full: the producer drains its own ring into the span list. The
-  // SPSC consumer side is only ever touched under mutex_, so this cannot
-  // race with a concurrent flush().
+  // The ring pointer is written only by the owning (producer) thread —
+  // here and in release_ring — and read by others only under mutex_, so
+  // the unlocked fast path stays single-writer-safe.
+  if (track.ring != nullptr && track.ring->try_push(span)) return;
   MutexLock lock(mutex_);
-  track.ring.drain(spans_);
-  CODS_CHECK(track.ring.try_push(span), "trace ring push after drain failed");
+  if (track.ring == nullptr) {
+    // First emit of this context: attach a pooled ring. Rings in flight
+    // track live contexts, not total tracks.
+    if (!free_rings_.empty()) {
+      track.ring = std::move(free_rings_.back());
+      free_rings_.pop_back();
+    } else {
+      track.ring = std::make_unique<Ring>(ring_capacity_);
+    }
+  } else {
+    // Ring full: the producer drains its own ring into the span list.
+    // The SPSC consumer side is only ever touched under mutex_, so this
+    // cannot race with a concurrent flush().
+    track.ring->drain(spans_);
+  }
+  CODS_CHECK(track.ring->try_push(span), "trace ring push after drain failed");
+}
+
+void TraceRecorder::release_ring(Track& track) {
+  MutexLock lock(mutex_);
+  if (track.ring == nullptr) return;
+  track.ring->drain(spans_);
+  free_rings_.push_back(std::move(track.ring));
 }
 
 void TraceRecorder::flush() {
   MutexLock lock(mutex_);
-  for (auto& [key, track] : tracks_) track->ring.drain(spans_);
+  for (auto& [key, track] : tracks_) {
+    if (track->ring != nullptr) track->ring->drain(spans_);
+  }
 }
 
 std::vector<TraceSpan> TraceRecorder::snapshot() {
@@ -157,6 +179,9 @@ TraceContext::~TraceContext() {
   // Close anything left open (a task that threw mid-span) so the parent
   // chain in the exported stream stays well formed.
   while (!stack_.empty()) end();
+  // Hand the track's ring back to the pool (drained): a finished rank's
+  // track keeps only its id/seq state, not a ring.
+  recorder_->release_ring(*track_);
   t_current = prev_;
 }
 

@@ -133,12 +133,19 @@ class TraceRecorder {
   /// One execution track. `seq` and `clock` belong to the installing
   /// thread; handoff between threads (e.g. track creation under the
   /// mutex, then use by the owner) is synchronized by mutex_.
+  ///
+  /// The ring is pooled, not owned for life: it attaches lazily on the
+  /// track's first emit and returns to the recorder's free pool when the
+  /// owning TraceContext dies (drained first, so no span is lost). Rings
+  /// in flight therefore track concurrently *live* contexts, and an
+  /// idle or finished rank's track costs this struct — well under a
+  /// cache line of payload — instead of a 64 KiB ring.
   struct Track {
-    explicit Track(u64 key_, size_t capacity) : key(key_), ring(capacity) {}
+    explicit Track(u64 key_) : key(key_) {}
     u64 key;
     u64 seq = 0;
     double clock = 0.0;
-    Ring ring;
+    std::unique_ptr<Ring> ring;  ///< null until first emit / after release
   };
 
   /// Creates (or resumes) the track for `key`, resetting its clock to
@@ -146,15 +153,49 @@ class TraceRecorder {
   /// reused, even across runs sharing a recorder.
   Track* acquire_track(u64 key, double start_clock);
 
-  /// Producer-side emit: pushes to the track's ring, draining it under
-  /// the mutex when full. Never drops.
+  /// Producer-side emit: pushes to the track's ring (attaching one from
+  /// the pool on first use), draining it under the mutex when full.
+  /// Never drops.
   void emit(Track& track, const TraceSpan& span);
+
+  /// Drains and returns the track's ring to the free pool (TraceContext
+  /// destruction; the track itself stays for id continuity).
+  void release_ring(Track& track);
 
   const size_t ring_capacity_;
   mutable Mutex mutex_{"trace.recorder"};
   std::map<u64, std::unique_ptr<Track>> tracks_ CODS_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Ring>> free_rings_ CODS_GUARDED_BY(mutex_);
   std::vector<TraceSpan> spans_ CODS_GUARDED_BY(mutex_);
 };
+
+/// Field widths of the workflow engine's rank-track keys, packed as
+///   (wave_index + 1) << (kTraceAttemptBits + kTraceRankBits)
+///   | attempt << kTraceRankBits | rank.
+/// 21 rank bits cover the 1,310,720-rank weak-scaling point (the
+/// previous 16-bit field collided with the attempt field past 65,535
+/// ranks); with the 20-bit span sequence, 64 - 20 - 21 - 8 = 15 bits
+/// remain for wave_index + 1, inside acquire_track's 44-bit key budget.
+inline constexpr u32 kTraceRankBits = 21;
+inline constexpr u32 kTraceAttemptBits = 8;
+
+/// Packs one wave attempt's rank identity into a trace track key.
+constexpr u64 pack_rank_track(i64 wave_index, i32 attempt, i32 rank) {
+  return (static_cast<u64>(wave_index + 1)
+          << (kTraceAttemptBits + kTraceRankBits)) |
+         (static_cast<u64>(static_cast<u32>(attempt)) << kTraceRankBits) |
+         static_cast<u64>(static_cast<u32>(rank));
+}
+
+/// Task-span detail: (app_id, rank) with the same widened rank field.
+constexpr u32 pack_task_detail(i32 app_id, i32 rank) {
+  return (static_cast<u32>(app_id) << kTraceRankBits) |
+         static_cast<u32>(rank);
+}
+
+static_assert(kTraceRankBits + kTraceAttemptBits + TraceRecorder::kSeqBits <
+                  64,
+              "rank-track packing must leave room for the wave field");
 
 /// Thread-local tracing state of one execution track: the open-span
 /// stack and the track's virtual clock. Installing a TraceContext makes

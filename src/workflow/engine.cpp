@@ -184,6 +184,7 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
   runtime.set_exec_mode(options.exec_mode);
   runtime.set_exec_pool_size(options.exec_pool_size);
   runtime.set_sim_stack_bytes(options.sim_stack_bytes);
+  runtime.set_sim_ready_queue(options.sim_ready_queue);
   const auto failures = runtime.run_collect(cores, [&](RankCtx& ctx) {
     const TaskId task = tasks[static_cast<size_t>(ctx.global_rank)];
     const RegisteredApp& reg = app(task.app_id);
@@ -192,17 +193,15 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
     // does not collide with the first attempt's spans.
     std::optional<TraceContext> tctx;
     if (options.trace != nullptr) {
-      const u64 track = (static_cast<u64>(wave_index + 1) << 24) |
-                        (static_cast<u64>(attempt) << 16) |
-                        static_cast<u64>(ctx.global_rank);
+      const u64 track =
+          pack_rank_track(wave_index, attempt, ctx.global_rank);
       tctx.emplace(*options.trace, track, wave_start, wave_span_id,
                    task.app_id, ctx.loc.node, ctx.loc.core);
     }
     // Declared after tctx so the task span closes before the context
     // detaches; everything the subroutine records nests under it.
-    ScopedSpan task_span(
-        SpanCategory::kTask, 0,
-        (static_cast<u32>(task.app_id) << 16) | static_cast<u32>(task.rank));
+    ScopedSpan task_span(SpanCategory::kTask, 0,
+                         pack_task_detail(task.app_id, task.rank));
     // Color by app id, order by task rank: the paper's dynamic grouping.
     Comm comm = ctx.world.split(task.app_id, task.rank);
     comm.set_app_id(task.app_id);
@@ -219,6 +218,9 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
     app_ctx.cluster = cluster_;
     reg.fn(app_ctx);
   });
+  if (options.exec_mode == ExecMode::kSimulate) {
+    accumulate_sim_stats(runtime.last_sim_stats());
+  }
   if (task_times != nullptr) {
     // Straggler-detection input: each rank's TaskClock total (modelled
     // seconds it spent in dart/runtime operations), keyed by task.
@@ -235,6 +237,26 @@ std::vector<WorkflowServer::TaskFailure> WorkflowServer::execute_wave(
         TaskFailure{tasks[static_cast<size_t>(f.global_rank)], f.error});
   }
   return out;
+}
+
+void WorkflowServer::accumulate_sim_stats(const SimStats& wave) {
+  // Counters add up over the run's waves; capacity figures are
+  // high-water marks, so the max is the honest aggregate (peak RSS in
+  // particular is a process-lifetime mark that only ever grows).
+  sim_stats_.fibers += wave.fibers;
+  sim_stats_.switches += wave.switches;
+  sim_stats_.notifies += wave.notifies;
+  sim_stats_.timeouts += wave.timeouts;
+  sim_stats_.mutex_waits += wave.mutex_waits;
+  sim_stats_.cancellations += wave.cancellations;
+  sim_stats_.ready_rebuilds += wave.ready_rebuilds;
+  sim_stats_.peak_blocked = std::max(sim_stats_.peak_blocked,
+                                     wave.peak_blocked);
+  sim_stats_.stacks = std::max(sim_stats_.stacks, wave.stacks);
+  sim_stats_.final_vtime = std::max(sim_stats_.final_vtime, wave.final_vtime);
+  sim_stats_.arena_bytes = std::max(sim_stats_.arena_bytes, wave.arena_bytes);
+  sim_stats_.peak_rss_bytes =
+      std::max(sim_stats_.peak_rss_bytes, wave.peak_rss_bytes);
 }
 
 void WorkflowServer::mitigate_stragglers(
@@ -280,14 +302,14 @@ void WorkflowServer::mitigate_stragglers(
     // costs the same as a dedicated thread.
     runtime.set_exec_mode(options.exec_mode);
     runtime.set_sim_stack_bytes(options.sim_stack_bytes);
+    runtime.set_sim_ready_queue(options.sim_ready_queue);
     space_.set_speculation(true);
     const std::vector<CoreLoc> cores{CoreLoc{target, 0}};
     const TaskId spec_task = task;
     const auto spec_failures = runtime.run_collect(cores, [&](RankCtx& ctx) {
       const RegisteredApp& reg = app(spec_task.app_id);
       ScopedSpan task_span(SpanCategory::kTask, 0,
-                           (static_cast<u32>(spec_task.app_id) << 16) |
-                               static_cast<u32>(spec_task.rank));
+                           pack_task_detail(spec_task.app_id, spec_task.rank));
       // The copy's world has exactly one rank, so comm.rank() is 0 even
       // when spec_task.rank is not — the subroutine must key off ctx.task.
       Comm comm = ctx.world.split(spec_task.app_id, spec_task.rank);
@@ -304,6 +326,9 @@ void WorkflowServer::mitigate_stragglers(
       reg.fn(app_ctx);
     });
     space_.set_speculation(false);
+    if (options.exec_mode == ExecMode::kSimulate) {
+      accumulate_sim_stats(runtime.last_sim_stats());
+    }
     ++report.speculated_tasks;
     metrics_->add_count(0, "health.speculated");
     // A failed copy is simply discarded — the original's output stands.
@@ -341,6 +366,7 @@ void WorkflowServer::run(const DagSpec& dag, WorkflowOptions options) {
   }
   reports_.clear();
   placements_.clear();
+  sim_stats_ = SimStats{};
   space_.set_reexecution(false);
   space_.dart().set_batch_threshold(options.dart_batch_threshold);
   if (options.transfer_log != nullptr) {

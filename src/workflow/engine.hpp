@@ -69,6 +69,11 @@ struct WorkflowOptions {
   /// SimEngine::kDefaultStackBytes. A memory/depth trade-off knob for
   /// 100k-rank enactments.
   i64 sim_stack_bytes = 0;
+  /// Ready-structure for kSimulate's event loop. kCalendar (default) is
+  /// the O(1)-amortized calendar queue; kBinaryHeap retains the original
+  /// heap as an equivalence oracle. Pop order — and therefore every
+  /// observable output — is identical between the two.
+  SimReadyQueue sim_ready_queue = SimReadyQueue::kCalendar;
   /// Health subsystem (docs/FAULT_MODEL.md "Failure detection"): when
   /// `fault` is set the engine learns of node deaths exclusively through
   /// a heartbeat-driven phi-accrual detector configured here — it never
@@ -122,6 +127,13 @@ class WorkflowServer {
 
   const std::vector<WaveReport>& wave_reports() const { return reports_; }
 
+  /// Aggregate simulate-mode accounting for the most recent run():
+  /// event counters (switches, notifies, timeouts, ...) sum across the
+  /// waves the run enacted; high-water marks (peak_blocked, stacks,
+  /// arena_bytes, peak_rss_bytes) take the per-wave max. All zeros
+  /// under ExecMode::kLive.
+  const SimStats& last_sim_stats() const { return sim_stats_; }
+
   /// Human-readable per-application traffic summary of the whole run
   /// (inter/intra bytes split by transport), from the metrics registry.
   std::string traffic_report() const;
@@ -160,8 +172,11 @@ class WorkflowServer {
   Metrics* metrics_;
   CodsSpace space_;
   std::map<i32, RegisteredApp> apps_;
+  void accumulate_sim_stats(const SimStats& wave);
+
   std::map<i32, Placement> placements_;
   std::vector<WaveReport> reports_;
+  SimStats sim_stats_;
 };
 
 }  // namespace cods

@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <ctime>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "apps/synthetic.hpp"
 #include "runtime/runtime.hpp"
@@ -125,6 +129,71 @@ TEST(SimulateScale, WorkflowEnactsSixtyFourKTaskWave) {
   EXPECT_EQ(server.placement(1).all().size(), static_cast<size_t>(n));
   if (kTimed) {
     EXPECT_LT(elapsed, 10.0) << n << " tasks took " << elapsed << "s";
+  }
+}
+
+/// The committed bench ledger pins the peak-RSS budget the scale smoke
+/// enforces (bench/fig16_weak_scaling.cpp writes it; see
+/// docs/SIMULATION.md "Scaling to 1M ranks"). Returns 0 when the file
+/// or key is missing so the test can skip rather than invent a bound.
+u64 rss_budget_from_bench_ledger() {
+  std::ifstream in(std::string(CODS_REPO_ROOT) + "/BENCH_simulate.json");
+  if (!in) return 0;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string key = "\"rss_budget_bytes_per_rank\":";
+  const std::size_t at = text.find(key);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(text.c_str() + at + key.size(), nullptr, 10);
+}
+
+TEST(SimulateScale, QuarterMillionRankWaveStaysInRssBudget) {
+  // The Release-job regression guard for the 1M-rank work: a 262,144-
+  // rank producer wave (side=512) must finish inside a CPU-time budget
+  // AND inside the committed bytes-per-rank peak-RSS budget. Each
+  // discovered gtest runs as its own process, so getrusage's process
+  // high-water mark here is this wave's footprint, not a neighbor's.
+  // Instrumented/debug builds scale down and skip both bounds — fixed
+  // costs then dominate bytes/rank and the numbers mean nothing.
+  const i32 n = kTimed ? 262144 : 16384;
+  const i64 side = kTimed ? 512 : 128;
+  Cluster cluster(ClusterSpec{.num_nodes = static_cast<i32>(n / 64),
+                              .cores_per_node = 64});
+  Metrics metrics;
+  WorkflowServer server(cluster, metrics, Box{{0, 0}, {side - 1, side - 1}});
+  AppSpec producer;
+  producer.app_id = 1;
+  producer.name = "producer";
+  producer.dec = blocked({side, side}, {static_cast<i32>(side),
+                                        static_cast<i32>(side)});
+  server.register_app(
+      producer,
+      make_pattern_producer({{"field"}, 1, /*sequential=*/true, 1}));
+  DagSpec dag;
+  dag.add_app(1);
+
+  WorkflowOptions options;
+  options.strategy = MappingStrategy::kRoundRobin;
+  options.exec_mode = ExecMode::kSimulate;
+
+  const std::clock_t start = std::clock();
+  server.run(dag, options);
+  const double elapsed = cpu_seconds_since(start);
+
+  const SimStats& sim = server.last_sim_stats();
+  EXPECT_EQ(sim.fibers, n);
+  EXPECT_EQ(server.placement(1).all().size(), static_cast<size_t>(n));
+  if (kTimed) {
+    EXPECT_LT(elapsed, 30.0) << n << " ranks took " << elapsed << "s";
+    const u64 budget = rss_budget_from_bench_ledger();
+    ASSERT_GT(budget, 0u) << "BENCH_simulate.json lost its "
+                             "rss_budget_bytes_per_rank key";
+    ASSERT_GT(sim.peak_rss_bytes, 0u);
+    const u64 per_rank = sim.peak_rss_bytes / static_cast<u64>(n);
+    EXPECT_LE(per_rank, budget)
+        << "peak RSS " << sim.peak_rss_bytes << " B over " << n
+        << " ranks = " << per_rank << " B/rank; budget " << budget;
   }
 }
 

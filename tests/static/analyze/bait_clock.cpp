@@ -1,7 +1,8 @@
 // Bait for the clock check (tools/analyze/codslint/checks/clock.py).
 //
 // Wall-clock reads and ambient randomness, written plainly, qualified,
-// and through an alias. steady_clock stays allowed (liveness deadlines).
+// and through an alias. steady_clock is confined to common/sync.hpp
+// (the WaitDeadline funnel), so naming it here must fire too.
 
 #include <chrono>
 #include <cstdlib>
@@ -34,9 +35,12 @@ struct Sampler {
     std::random_device rd;                      // codslint-expect(clock)
     return rd();
   }
-  // Liveness deadline: steady_clock is explicitly allowed, must NOT fire.
-  std::chrono::steady_clock::time_point timeout() {
-    return std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  // Liveness deadlines must route through cods::WaitDeadline; a bare
+  // steady_clock read outside common/sync.hpp is a wall-time wait that
+  // simulate mode cannot virtualize.
+  long timeout() {
+    auto t = std::chrono::steady_clock::now();  // codslint-expect(clock)
+    return t.time_since_epoch().count();
   }
 };
 

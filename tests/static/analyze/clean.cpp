@@ -1,7 +1,8 @@
 // The negative control: idiomatic code that every check must leave alone.
-// steady_clock deadlines (allowed liveness bounds), ordered-map iteration
-// in a canonical-output function, and a `record`-named method on a class
-// that is not a byte-accounting sink. Any finding here fails --self-test.
+// Duration arithmetic (clock-type-free timeouts, the WaitDeadline input
+// shape), ordered-map iteration in a canonical-output function, and a
+// `record`-named method on a class that is not a byte-accounting sink.
+// Any finding here fails --self-test.
 
 #include <chrono>
 #include <map>
@@ -25,8 +26,9 @@ class Accumulator {
     return sum;
   }
 
-  std::chrono::steady_clock::time_point deadline() const {
-    return std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  // Plain duration arithmetic: no clock type named, must stay silent.
+  std::chrono::milliseconds timeout() const {
+    return std::chrono::milliseconds(50) + std::chrono::milliseconds(5);
   }
 
  private:

@@ -41,6 +41,56 @@ TEST(TraceUnit, CategoryNamesAndLocPacking) {
   EXPECT_NE(pack_loc(0, 0), pack_loc(1, 0));
 }
 
+TEST(TraceUnit, RankTrackPackingHasNoCollisionsAtMillionRanks) {
+  // The engine keys one track per (wave, attempt, rank). The old
+  // (<<24 | <<16) packing wrapped the 16-bit rank field at 65,536 ranks,
+  // so rank 65,536 attempt 0 collided with rank 0 attempt 1. The widened
+  // fields must keep every coordinate distinct through the 1,310,720-rank
+  // weak-scaling point.
+  const i32 kMaxRank = (1 << kTraceRankBits) - 1;  // 2,097,151
+  EXPECT_GT(kMaxRank, 1310719) << "rank field too narrow for the 1M bench";
+
+  // Boundary pairs that collided under the old scheme.
+  EXPECT_NE(pack_rank_track(0, 0, 65536), pack_rank_track(0, 1, 0));
+  EXPECT_NE(pack_rank_track(0, 0, 1 << 20), pack_rank_track(1, 0, 0));
+  EXPECT_NE(pack_rank_track(0, 0, 1048576), pack_rank_track(0, 4, 0));
+
+  // Adjacent coordinates stay adjacent in exactly one field.
+  EXPECT_EQ(pack_rank_track(0, 0, 1048576) - pack_rank_track(0, 0, 1048575),
+            1u);
+  EXPECT_EQ(pack_rank_track(0, 1, 0) - pack_rank_track(0, 0, kMaxRank), 1u);
+
+  // The maximal key the engine can produce still fits acquire_track's
+  // 44-bit budget (64 - kSeqBits), with the max wave index that the
+  // static_assert's 15 remaining bits allow.
+  const i64 kMaxWave = (1 << (64 - TraceRecorder::kSeqBits -
+                              kTraceAttemptBits - kTraceRankBits)) -
+                       2;  // wave field stores wave_index + 1
+  const u64 top = pack_rank_track(kMaxWave, (1 << kTraceAttemptBits) - 1,
+                                  kMaxRank);
+  EXPECT_LT(top, u64{1} << (64 - TraceRecorder::kSeqBits));
+  TraceRecorder rec;
+  EXPECT_NO_THROW({
+    TraceContext ctx(rec, top, 0.0, 0, 0, 0, 0);  // inside the key budget
+  });
+
+  // Task-span details carry (app, rank) without aliasing at 1M ranks.
+  EXPECT_NE(pack_task_detail(0, 1048576), pack_task_detail(1, 0));
+  EXPECT_NE(pack_task_detail(1, 1048576), pack_task_detail(1, 1048575));
+}
+
+TEST(TraceUnit, MillionRankTrackIdsRoundTrip) {
+  // A track at the widened key's rank boundary still mints ids as
+  // (key << kSeqBits) | seq.
+  const u64 key = pack_rank_track(2, 1, 1310719);
+  TraceRecorder rec;
+  TraceContext ctx(rec, key, 0.0, 0, 1, 0, 0);
+  const u64 id = ctx.begin(SpanCategory::kTask);
+  ctx.end();
+  EXPECT_EQ(id >> TraceRecorder::kSeqBits, key);
+  EXPECT_EQ(id & ((u64{1} << TraceRecorder::kSeqBits) - 1), 1u);
+}
+
 TEST(TraceUnit, IdsAreTrackShiftedSequence) {
   TraceRecorder rec;
   TraceContext ctx(rec, kTrack, 0.0, 0, 1, 2, 3);

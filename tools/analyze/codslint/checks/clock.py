@@ -8,8 +8,13 @@ golden-trace suite. This subsumes check_sync.py's old determinism rules,
 now with alias resolution: `using Now = std::chrono::system_clock;` is
 caught at every use site.
 
-std::chrono::steady_clock stays allowed — recv-timeout deadlines are
-liveness bounds, not model inputs (docs/CONCURRENCY.md).
+std::chrono::steady_clock is confined to common/sync.hpp: recv-timeout
+deadlines are liveness bounds, not model inputs, but under
+ExecMode::kSimulate a steady_clock read outside the WaitDeadline funnel
+silently turns a virtual-time wait into a wall-time one (the 1M-rank
+scaling work in docs/SIMULATION.md relies on waits never touching the
+wall clock). Timed waits go through cods::WaitDeadline +
+CondVar::wait_until, which keep the clock type inside the funnel header.
 
 Per-site exceptions use `// codslint-allow(clock): <why>`.
 """
@@ -19,6 +24,18 @@ from __future__ import annotations
 from ..model import CodeIndex
 from ..registry import Check, Finding, register
 from . import util
+
+# The one header allowed to name steady_clock: the WaitDeadline /
+# CondVar funnel that converts timeouts to virtual deadlines under a
+# SimHook.
+STEADY_EXEMPT_SUFFIXES = ("src/common/sync.hpp",)
+
+STEADY_TYPES = {
+    "std::chrono::steady_clock":
+        "steady_clock outside common/sync.hpp; timed waits must go "
+        "through cods::WaitDeadline so simulate mode arms a virtual "
+        "deadline instead of a wall one (docs/SIMULATION.md)",
+}
 
 BANNED_TYPES = {
     "std::chrono::system_clock":
@@ -57,6 +74,15 @@ class ClockCheck(Check):
         seen: set[tuple[str, int, str]] = set()
         for path, tok, canonical, msg in util.scan_qualified(
                 index, BANNED_TYPES):
+            key = (path, tok.line, canonical)
+            if key not in seen:
+                seen.add(key)
+                findings.append(Finding(self.name, path, tok.line, msg,
+                                        canonical))
+        for path, tok, canonical, msg in util.scan_qualified(
+                index, STEADY_TYPES):
+            if path.endswith(STEADY_EXEMPT_SUFFIXES):
+                continue
             key = (path, tok.line, canonical)
             if key not in seen:
                 seen.add(key)
